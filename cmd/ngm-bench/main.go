@@ -1,0 +1,100 @@
+// Command ngm-bench regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md §5 for the experiment index).
+//
+// Usage:
+//
+//	ngm-bench [-scale quick|full] [experiment ...]
+//
+// With no experiment arguments it runs everything. Experiments:
+// figure1, table1, table2, table3, model, ablate-layout, ablate-core,
+// ablate-prealloc, sensitivity.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nextgenmalloc/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonPath := flag.String("json", "", "also write raw results (PMU counters per run) as JSON to this file")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "ngm-bench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	runners := map[string]func() experiments.Outcome{
+		"figure1":         func() experiments.Outcome { return experiments.Figure1(scale) },
+		"table1":          func() experiments.Outcome { return experiments.Table1(scale) },
+		"table2":          func() experiments.Outcome { return experiments.Table2(scale) },
+		"table3":          func() experiments.Outcome { return experiments.Table3(scale) },
+		"model":           func() experiments.Outcome { return experiments.Model() },
+		"ablate-layout":   func() experiments.Outcome { return experiments.AblateLayout(scale) },
+		"ablate-core":     func() experiments.Outcome { return experiments.AblateCore(scale) },
+		"ablate-prealloc": func() experiments.Outcome { return experiments.AblatePrealloc(scale) },
+		"sensitivity":     func() experiments.Outcome { return experiments.Sensitivity(scale) },
+		"ablate-gc":       func() experiments.Outcome { return experiments.AblateGC(scale) },
+		"ablate-faas":     func() experiments.Outcome { return experiments.AblateFaaS(scale) },
+		"ablate-gpu":      func() experiments.Outcome { return experiments.AblateGPU(scale) },
+		"ablate-scaling":  func() experiments.Outcome { return experiments.AblateScaling(scale) },
+		"ablate-room":     func() experiments.Outcome { return experiments.AblateRoom(scale) },
+	}
+	order := []string{
+		"figure1", "table1", "table2", "table3", "model",
+		"ablate-layout", "ablate-core", "ablate-prealloc", "sensitivity",
+		"ablate-gc", "ablate-faas", "ablate-gpu", "ablate-scaling", "ablate-room",
+	}
+
+	if *list {
+		for _, id := range order {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
+		ids = order
+	}
+	var outcomes []experiments.Outcome
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ngm-bench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		out := run()
+		outcomes = append(outcomes, out)
+		fmt.Printf("=== %s (scale=%s) ===\n%s\n[%s elapsed]\n\n", out.ID, scale.Name, out.Text, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(outcomes); err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: encode: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("raw results written to %s\n", *jsonPath)
+	}
+}

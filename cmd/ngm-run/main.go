@@ -1,0 +1,65 @@
+// Command ngm-run executes one (allocator, workload) pair on the
+// simulated machine and prints the PMU counters, allocator statistics,
+// and kernel accounting.
+//
+// Usage:
+//
+//	ngm-run -alloc mimalloc -workload xalanc -ops 100000
+//	ngm-run -alloc nextgen -workload xmalloc -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/report"
+	"nextgenmalloc/internal/workload"
+)
+
+func main() {
+	kind := flag.String("alloc", "nextgen", "allocator: "+strings.Join(harness.Kinds, ", "))
+	wname := flag.String("workload", "xalanc", "workload: xalanc, xmalloc, cache-scratch, cache-thrash, larson, churn, sh6bench, faas")
+	ops := flag.Int("ops", 100000, "operation count (total or per thread, workload-dependent)")
+	threads := flag.Int("threads", 1, "worker thread count (multi-thread workloads)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	var w workload.Workload
+	switch *wname {
+	case "xalanc":
+		x := workload.DefaultXalanc(*ops)
+		x.Seed = *seed
+		w = x
+	case "xmalloc":
+		w = &workload.Xmalloc{NThreads: *threads, OpsPerThread: *ops, TouchBytes: 128, Seed: *seed}
+	case "cache-scratch":
+		w = &workload.CacheScratch{NThreads: *threads, ObjSize: 8, Rounds: *ops, Inner: 50}
+	case "cache-thrash":
+		w = &workload.CacheThrash{NThreads: *threads, ObjSize: 8, Rounds: *ops, Inner: 50}
+	case "larson":
+		w = &workload.Larson{NThreads: *threads, SlotsPerThread: 4096, RoundsPerThread: *ops, MinSize: 16, MaxSize: 512, Seed: *seed}
+	case "churn":
+		w = &workload.Churn{NThreads: *threads, Slots: 20000, Rounds: *ops, MinSize: 16, MaxSize: 256, TouchBytes: 64, Seed: *seed}
+	case "sh6bench":
+		w = &workload.Sh6bench{NThreads: *threads, Passes: *ops / 100, BatchSize: 100, MinSize: 16, MaxSize: 512, RetainPasses: 5, Seed: *seed}
+	case "faas":
+		w = &workload.FaaS{Invocations: *ops, Profile: workload.DefaultFaaSProfile(), ComputePerAlloc: 40, Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "ngm-run: unknown workload %q\n", *wname)
+		os.Exit(2)
+	}
+
+	res := harness.Run(harness.Options{Allocator: *kind, Workload: w})
+	fmt.Print(report.CounterTable(fmt.Sprintf("%s on %s", *wname, *kind), []harness.Result{res}))
+	fmt.Printf("\nwall cycles:    %s\n", report.Sci(float64(res.WallCycles)))
+	fmt.Printf("mallocs/frees:  %d / %d\n", res.AllocStats.MallocCalls, res.AllocStats.FreeCalls)
+	fmt.Printf("heap bytes:     %d (fragmentation %.3f)\n", res.AllocStats.HeapBytes, res.AllocStats.Fragmentation())
+	fmt.Printf("kernel:         %d mmap, %d brk, %d pages, %s cycles\n",
+		res.Kernel.Mmap, res.Kernel.Brk, res.Kernel.Pages, report.Sci(float64(res.Kernel.Cycles)))
+	if res.Served > 0 {
+		fmt.Printf("offload server: %s cycles, %d ops served\n", report.Sci(float64(res.Server.Cycles)), res.Served)
+	}
+}

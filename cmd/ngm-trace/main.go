@@ -1,0 +1,120 @@
+// Command ngm-trace records a workload's allocation trace to a file and
+// replays traces against any allocator, so identical request streams can
+// be compared across allocators (or archived as regression inputs).
+//
+// Usage:
+//
+//	ngm-trace record -workload xalanc -ops 50000 -o xalanc.ngt
+//	ngm-trace replay -i xalanc.ngt -alloc ptmalloc2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/report"
+	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/trace"
+	"nextgenmalloc/internal/workload"
+)
+
+// replayWorkload drives a recorded trace as a single-threaded workload.
+type replayWorkload struct {
+	tr *trace.Trace
+}
+
+func (r *replayWorkload) Name() string                           { return "trace-replay" }
+func (r *replayWorkload) Threads() int                           { return 1 }
+func (r *replayWorkload) Setup(t *sim.Thread, a alloc.Allocator) {}
+func (r *replayWorkload) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	trace.Replay(t, a, r.tr)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ngm-trace record -workload <name> -ops <n> -o <file>")
+	fmt.Fprintln(os.Stderr, "       ngm-trace replay -i <file> -alloc <kind>")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	wname := fs.String("workload", "xalanc", "workload to record (xalanc, churn)")
+	ops := fs.Int("ops", 50000, "operation count")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	out := fs.String("o", "trace.ngt", "output file")
+	_ = fs.Parse(args)
+
+	var w workload.Workload
+	switch *wname {
+	case "xalanc":
+		x := workload.DefaultXalanc(*ops)
+		x.Seed = *seed
+		w = x
+	case "churn":
+		w = &workload.Churn{NThreads: 1, Slots: 20000, Rounds: *ops, MinSize: 16, MaxSize: 256, Seed: *seed}
+	default:
+		fmt.Fprintf(os.Stderr, "ngm-trace: workload %q is not recordable (single-threaded only)\n", *wname)
+		os.Exit(2)
+	}
+
+	var rec *trace.Recorder
+	harness.Run(harness.Options{
+		Allocator: "bump",
+		Workload:  w,
+		Wrap: func(a alloc.Allocator) alloc.Allocator {
+			rec = trace.NewRecorder(a)
+			return rec
+		},
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngm-trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rec.Trace().Encode(f); err != nil {
+		fmt.Fprintf(os.Stderr, "ngm-trace: encode: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d ops (%d mallocs) from %s to %s\n",
+		len(rec.Trace().Ops), rec.Trace().Mallocs(), w.Name(), *out)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "trace.ngt", "input trace file")
+	kind := fs.String("alloc", "mimalloc", "allocator to replay against")
+	_ = fs.Parse(args)
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngm-trace: %v\n", err)
+		os.Exit(1)
+	}
+	tr, err := trace.Decode(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngm-trace: decode: %v\n", err)
+		os.Exit(1)
+	}
+	res := harness.Run(harness.Options{Allocator: *kind, Workload: &replayWorkload{tr: tr}})
+	fmt.Print(report.CounterTable(fmt.Sprintf("replay of %s on %s", *in, *kind), []harness.Result{res}))
+	fmt.Printf("\nops replayed: %d, fragmentation %.3f\n", len(tr.Ops), res.AllocStats.Fragmentation())
+}

@@ -1,0 +1,76 @@
+// Managed GC: a GCBench-style managed-heap program on the simulated
+// machine, collected first on the mutator's own core and then on the
+// dedicated core (paper §3.3.2) — watch the mutator's miss counters.
+package main
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/gcheap"
+	"nextgenmalloc/internal/sim"
+)
+
+func run(offload bool) {
+	m := sim.New(sim.ScaledConfig())
+	var h *gcheap.Heap
+	var off *gcheap.Offloader
+	if offload {
+		m.SpawnDaemon("gc-core", 15, func(th *sim.Thread) {
+			for off == nil {
+				if th.Stopping() {
+					return
+				}
+				th.Pause(100)
+			}
+			off.Serve(th)
+		})
+	}
+	m.Spawn("mutator", 0, func(th *sim.Thread) {
+		h = gcheap.New(th, 2)
+		h.TriggerEvery = 4000
+		if offload {
+			off = gcheap.NewOffloader(th, h)
+		}
+
+		var build func(depth int) uint64
+		build = func(depth int) uint64 {
+			n := h.Alloc(th, 2, 16)
+			if depth > 0 {
+				h.WriteRef(th, n, 0, build(depth-1))
+				h.WriteRef(th, n, 1, build(depth-1))
+			}
+			return n
+		}
+		longLived := build(10)
+		th.Store64(h.RootAddr(0), longLived)
+
+		start := th.Counters()
+		for i := 0; i < 60; i++ {
+			tmp := build(8) // short-lived tree: 511 nodes
+			th.Store64(h.RootAddr(1), tmp)
+			th.Store64(h.RootAddr(1), 0)
+			if h.NeedsCollect() {
+				if offload {
+					off.Request(th)
+				} else {
+					h.CollectInline(th)
+				}
+			}
+		}
+		d := th.Counters().Sub(start)
+		st := h.Stats()
+		mode := "inline   "
+		if offload {
+			mode = "offloaded"
+		}
+		fmt.Printf("%s  GCs=%-3d swept=%-6d mutator: cycles=%-9d LLCload=%-6d dTLBload=%-5d pause=%d\n",
+			mode, st.Collections, st.ObjectsSwept, d.Cycles, d.LLCLoadMisses, d.DTLBLoadMisses, st.PauseCycles)
+	})
+	m.Run()
+}
+
+func main() {
+	fmt.Println("GCBench on the managed heap: where collection runs decides whose caches pay")
+	run(false)
+	run(true)
+}

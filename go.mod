@@ -1,0 +1,3 @@
+module nextgenmalloc
+
+go 1.23

@@ -1,0 +1,55 @@
+// Package alloc defines the user-level memory allocator (UMA) interface
+// every allocator model in this repository implements, plus the shared
+// size-class machinery.
+//
+// Allocators receive a *sim.Thread for every call and must perform all
+// metadata work through it, so the simulator observes their true access
+// streams. Returned addresses are simulated virtual addresses whose
+// payload bytes the caller may Load/Store freely until Free.
+package alloc
+
+import "nextgenmalloc/internal/sim"
+
+// Allocator is the malloc/free surface.
+//
+// Malloc returns the address of a block of at least size bytes, aligned
+// to at least 8 bytes (16 for sizes >= 16). It returns 0 only if the
+// simulated heap cannot grow, which the models treat as fatal.
+//
+// Free releases a block previously returned by Malloc on any thread;
+// like C free, passing any other address is undefined behaviour.
+type Allocator interface {
+	Name() string
+	Malloc(t *sim.Thread, size uint64) uint64
+	Free(t *sim.Thread, addr uint64)
+	Stats() Stats
+}
+
+// Flusher is implemented by allocators that buffer work (e.g. NextGen's
+// asynchronous frees); harnesses call Flush before reading final
+// statistics.
+type Flusher interface {
+	Flush(t *sim.Thread)
+}
+
+// Stats is the allocator-side view of heap health, used for the
+// fragmentation discussion of paper §2.1.
+type Stats struct {
+	// HeapBytes is the total bytes currently obtained from the kernel.
+	HeapBytes uint64
+	// LiveBytes is the payload bytes of currently live allocations
+	// (as requested by callers).
+	LiveBytes uint64
+	// MallocCalls and FreeCalls count API invocations.
+	MallocCalls uint64
+	FreeCalls   uint64
+}
+
+// Fragmentation returns heap overhead as a ratio: HeapBytes/LiveBytes.
+// It returns 1 when nothing is live.
+func (s Stats) Fragmentation() float64 {
+	if s.LiveBytes == 0 {
+		return 1
+	}
+	return float64(s.HeapBytes) / float64(s.LiveBytes)
+}

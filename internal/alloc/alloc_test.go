@@ -1,0 +1,101 @@
+package alloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClassForCoversAllSizes(t *testing.T) {
+	sc := NewSizeClasses()
+	for size := uint64(1); size <= MaxSmall; size++ {
+		class, ok := sc.ClassFor(size)
+		if !ok {
+			t.Fatalf("no class for size %d", size)
+		}
+		if sc.Size(class) < size {
+			t.Fatalf("class %d size %d < request %d", class, sc.Size(class), size)
+		}
+		if class > 0 && sc.Size(class-1) >= size {
+			t.Fatalf("size %d not in tightest class (%d fits in class %d)", size, size, class-1)
+		}
+	}
+}
+
+func TestLargeSizesBypass(t *testing.T) {
+	sc := NewSizeClasses()
+	if _, ok := sc.ClassFor(MaxSmall + 1); ok {
+		t.Error("size above MaxSmall got a class")
+	}
+}
+
+func TestClassesMonotoneAligned(t *testing.T) {
+	sc := NewSizeClasses()
+	prev := uint64(0)
+	for c := 0; c < sc.NumClasses(); c++ {
+		s := sc.Size(c)
+		if s <= prev {
+			t.Fatalf("class sizes not strictly increasing at %d", c)
+		}
+		if s > 16 && s%16 != 0 {
+			t.Errorf("class size %d not a 16-byte multiple", s)
+		}
+		prev = s
+	}
+	if prev != MaxSmall {
+		t.Errorf("largest class %d != MaxSmall %d", prev, MaxSmall)
+	}
+}
+
+func TestQuickClassRoundTrip(t *testing.T) {
+	sc := NewSizeClasses()
+	f := func(raw uint16) bool {
+		size := uint64(raw)%MaxSmall + 1
+		class, ok := sc.ClassFor(size)
+		return ok && sc.Size(class) >= size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatchSize(t *testing.T) {
+	sc := NewSizeClasses()
+	for c := 0; c < sc.NumClasses(); c++ {
+		b := sc.BatchSize(c)
+		if b < 2 || b > 32 {
+			t.Errorf("class %d batch %d out of [2,32]", c, b)
+		}
+	}
+	small := sc.BatchSize(0)
+	large := sc.BatchSize(sc.NumClasses() - 1)
+	if small <= large {
+		t.Errorf("small-class batch %d should exceed large-class batch %d", small, large)
+	}
+}
+
+func TestSpanGeometry(t *testing.T) {
+	sc := NewSizeClasses()
+	for c := 0; c < sc.NumClasses(); c++ {
+		pages := sc.SpanPages(c)
+		if pages < 1 || pages > 8 {
+			t.Errorf("class %d span pages %d", c, pages)
+		}
+		n := sc.ObjectsPerSpan(c, pages)
+		if n < 1 {
+			t.Errorf("class %d holds %d objects per span", c, n)
+		}
+		if uint64(n)*sc.Size(c) > uint64(pages)<<12 {
+			t.Errorf("class %d objects overflow the span", c)
+		}
+	}
+}
+
+func TestFragmentation(t *testing.T) {
+	s := Stats{HeapBytes: 200, LiveBytes: 100}
+	if got := s.Fragmentation(); got != 2 {
+		t.Errorf("fragmentation = %v", got)
+	}
+	if got := (Stats{HeapBytes: 100}).Fragmentation(); got != 1 {
+		t.Errorf("empty-heap fragmentation = %v", got)
+	}
+}

@@ -1,0 +1,105 @@
+package alloc
+
+// SizeClasses is the segregated-fit class map shared by the TCMalloc,
+// Jemalloc, Mimalloc and NextGen models. The progression mirrors
+// TCMalloc's: 8-byte granularity at the bottom, then geometric with ~25%
+// steps, capped at MaxSmall; larger requests go straight to the page
+// heap.
+type SizeClasses struct {
+	sizes []uint64
+	// lut maps (size+7)/8 to a class for sizes <= lutMax, giving the
+	// O(1) lookup real allocators use.
+	lut    []uint8
+	lutMax uint64
+}
+
+// MaxSmall is the largest size served from size classes (32 KiB,
+// TCMalloc's small-object threshold).
+const MaxSmall = 32 << 10
+
+// NewSizeClasses builds the default class table. All classes above 16
+// bytes are multiples of 16 so objects carved at size*index offsets stay
+// 16-byte aligned (malloc's max_align_t contract), matching TCMalloc's
+// and jemalloc's real spacing.
+func NewSizeClasses() *SizeClasses {
+	sizes := []uint64{8, 16}
+	for s := uint64(32); s <= 128; s += 16 {
+		sizes = append(sizes, s)
+	}
+	for s := uint64(160); s <= 512; s += 32 {
+		sizes = append(sizes, s)
+	}
+	s := uint64(640)
+	for s <= MaxSmall {
+		sizes = append(sizes, s)
+		s = s * 5 / 4
+		s = (s + 63) &^ 63
+	}
+	if sizes[len(sizes)-1] != MaxSmall {
+		sizes = append(sizes, MaxSmall)
+	}
+	sc := &SizeClasses{sizes: sizes, lutMax: MaxSmall}
+	sc.lut = make([]uint8, MaxSmall/8+1)
+	class := 0
+	for i := range sc.lut {
+		need := uint64(i) * 8
+		for sizes[class] < need {
+			class++
+		}
+		sc.lut[i] = uint8(class)
+	}
+	return sc
+}
+
+// NumClasses returns the number of classes.
+func (sc *SizeClasses) NumClasses() int { return len(sc.sizes) }
+
+// ClassFor maps a request size to its class; ok is false for large
+// requests that bypass the classes.
+func (sc *SizeClasses) ClassFor(size uint64) (int, bool) {
+	if size > sc.lutMax {
+		return 0, false
+	}
+	if size == 0 {
+		size = 1
+	}
+	return int(sc.lut[(size+7)/8]), true
+}
+
+// Size returns the block size of a class.
+func (sc *SizeClasses) Size(class int) uint64 { return sc.sizes[class] }
+
+// BatchSize returns how many objects of a class move between a thread
+// cache and a central list per transfer (TCMalloc's num_objects_to_move:
+// more for small classes, fewer for large).
+func (sc *SizeClasses) BatchSize(class int) int {
+	n := int(64 * 1024 / sc.sizes[class])
+	if n < 2 {
+		n = 2
+	}
+	if n > 32 {
+		n = 32
+	}
+	return n
+}
+
+// ObjectsPerSpan returns how many objects of a class a one-span slab
+// holds given the span's page count.
+func (sc *SizeClasses) ObjectsPerSpan(class, pages int) int {
+	return int(uint64(pages) << 12 / sc.sizes[class])
+}
+
+// SpanPages returns the page count allocators use for a class's slabs:
+// enough pages that a span holds at least 32 objects or 8 pages,
+// whichever is smaller.
+func (sc *SizeClasses) SpanPages(class int) int {
+	size := sc.sizes[class]
+	pages := int((size*32 + 4095) >> 12)
+	if pages < 1 {
+		pages = 1
+	}
+	if pages > 8 {
+		pages = 8
+	}
+	return pages
+}

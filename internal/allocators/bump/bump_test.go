@@ -1,0 +1,40 @@
+package bump
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/alloctest"
+	"nextgenmalloc/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, alloctest.Options{
+		Factory: func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+			return New(th)
+		},
+		SkipBounded: true, // bump never reuses memory by design
+	})
+}
+
+func TestBumpNeverOverlaps(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th)
+		prevEnd := uint64(0)
+		for i := 0; i < 1000; i++ {
+			size := uint64(8 + i%200)
+			p := a.Malloc(th, size)
+			if p < prevEnd {
+				t.Errorf("allocation %d at %#x precedes previous end %#x", i, p, prevEnd)
+			}
+			if p+size > prevEnd {
+				prevEnd = p + size
+			}
+		}
+		if got := a.Stats().MallocCalls; got != 1000 {
+			t.Errorf("MallocCalls = %d, want 1000", got)
+		}
+	})
+	m.Run()
+}

@@ -1,0 +1,111 @@
+package jemalloc
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/alloctest"
+	"nextgenmalloc/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, alloctest.Options{
+		Factory: func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+			return New(th, 0)
+		},
+	})
+}
+
+// TestTcacheArrayNoTouch: jemalloc's array-based tcache must not write
+// into freed user blocks (bitmap bookkeeping is segregated).
+func TestTcacheArrayNoTouch(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th, 0)
+		p := a.Malloc(th, 64)
+		th.Store64(p, 0x1122334455667788)
+		a.Free(th, p)
+		// The freed block's first word must be intact: jemalloc keeps no
+		// intrusive pointer there (unlike tcmalloc/mimalloc).
+		if got := th.Load64(p); got != 0x1122334455667788 {
+			t.Errorf("freed block was written by the allocator: %#x", got)
+		}
+	})
+	m.Run()
+}
+
+// TestRunBitmapRoundTrip exercises runPop/runPush over a whole run.
+func TestRunBitmapRoundTrip(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th, 1)
+		class, _ := a.sc.ClassFor(48)
+		seen := map[uint64]bool{}
+		var addrs []uint64
+		// Pop far more than one run holds to force multiple runs.
+		for i := 0; i < 600; i++ {
+			p := a.Malloc(th, 48)
+			if seen[p] {
+				t.Errorf("duplicate region %#x", p)
+			}
+			seen[p] = true
+			addrs = append(addrs, p)
+		}
+		for _, p := range addrs {
+			a.Free(th, p)
+		}
+		// Reuse must come from the same runs.
+		reused := 0
+		for i := 0; i < 600; i++ {
+			if p := a.Malloc(th, 48); seen[p] {
+				reused++
+			}
+		}
+		if reused < 500 {
+			t.Errorf("only %d/600 regions reused after free", reused)
+		}
+		_ = class
+	})
+	m.Run()
+}
+
+// TestArenaRoundRobin: threads spread across the configured arenas.
+func TestArenaRoundRobin(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	ready, _ := m.Kernel().Mmap(1)
+	var a *Allocator
+	for i := 0; i < 3; i++ {
+		part := i
+		m.Spawn("t", part, func(th *sim.Thread) {
+			if part == 0 {
+				a = New(th, 2)
+				th.AtomicStore64(ready, 1)
+			} else {
+				for th.Load64(ready) == 0 {
+					th.Pause(100)
+				}
+			}
+			p := a.Malloc(th, 64)
+			a.Free(th, p)
+		})
+	}
+	m.Run()
+	if got := len(a.byThread); got != 3 {
+		t.Fatalf("expected 3 thread registrations, got %d", got)
+	}
+	counts := map[int]int{}
+	for _, ar := range a.byThread {
+		counts[ar.id]++
+	}
+	if len(counts) != 2 {
+		t.Errorf("3 threads over 2 arenas should use both; got %v", counts)
+	}
+}
+
+func TestBadFreeFaults(t *testing.T) {
+	alloctest.RunBadFree(t, alloctest.Options{
+		Factory: func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+			return New(th, 0)
+		},
+	})
+}

@@ -1,0 +1,121 @@
+package ptmalloc
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/alloctest"
+	"nextgenmalloc/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, alloctest.Options{
+		Factory: func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+			return New(th)
+		},
+	})
+}
+
+// TestFastbinExactReuse: a freed fastbin-sized chunk is returned by the
+// next same-size malloc (LIFO), glibc's signature behaviour.
+func TestFastbinExactReuse(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th)
+		p := a.Malloc(th, 40)
+		a.Free(th, p)
+		q := a.Malloc(th, 40)
+		if p != q {
+			t.Errorf("fastbin reuse failed: freed %#x, got %#x", p, q)
+		}
+		a.Free(th, q)
+	})
+	m.Run()
+}
+
+// TestCoalescing: freeing two adjacent non-fastbin chunks yields a
+// merged chunk that can satisfy a larger request from the same space.
+func TestCoalescing(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th)
+		// Three adjacent chunks well above fastbin range.
+		p1 := a.Malloc(th, 400)
+		p2 := a.Malloc(th, 400)
+		p3 := a.Malloc(th, 400) // guard so p2 does not merge into top
+		if p2 != p1+416 {
+			t.Skipf("chunks not adjacent (%#x, %#x); layout changed", p1, p2)
+		}
+		a.Free(th, p1)
+		a.Free(th, p2)
+		// A request fitting in the merged ~832-byte chunk must reuse it.
+		q := a.Malloc(th, 700)
+		if q != p1 {
+			t.Errorf("coalesced reuse failed: want %#x, got %#x", p1, q)
+		}
+		a.Free(th, q)
+		a.Free(th, p3)
+	})
+	m.Run()
+}
+
+// TestMmapThreshold: very large requests bypass the arena entirely and
+// unmap on free.
+func TestMmapThreshold(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th)
+		before := m.Kernel().Stats().Munmap
+		p := a.Malloc(th, 256<<10)
+		th.Store64(p, 7)
+		a.Free(th, p)
+		if got := m.Kernel().Stats().Munmap; got != before+1 {
+			t.Errorf("expected one munmap for a large free, got %d", got-before)
+		}
+	})
+	m.Run()
+}
+
+// TestPerThreadArenas: a second thread gets its own arena, so its heap
+// segments are disjoint from the main thread's.
+func TestPerThreadArenas(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	ready, _ := m.Kernel().Mmap(1)
+	var a *Allocator
+	var p0, p1 uint64
+	m.Spawn("t0", 0, func(th *sim.Thread) {
+		a = New(th)
+		p0 = a.Malloc(th, 64)
+		th.AtomicStore64(ready, 1)
+	})
+	m.Spawn("t1", 1, func(th *sim.Thread) {
+		for th.Load64(ready) == 0 {
+			th.Pause(100)
+		}
+		p1 = a.Malloc(th, 64)
+	})
+	m.Run()
+	if len(a.arenas) != 2 {
+		t.Fatalf("expected 2 arenas, got %d", len(a.arenas))
+	}
+	arenaOf := func(addr uint64) *arena {
+		for _, seg := range a.segs {
+			if seg.base <= addr && addr < seg.end {
+				return seg.ar
+			}
+		}
+		t.Fatalf("address %#x not in any segment", addr)
+		return nil
+	}
+	if arenaOf(p0) == arenaOf(p1) {
+		t.Errorf("both threads allocated from the same arena")
+	}
+}
+
+func TestBadFreeFaults(t *testing.T) {
+	alloctest.RunBadFree(t, alloctest.Options{
+		Factory: func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+			return New(th)
+		},
+	})
+}

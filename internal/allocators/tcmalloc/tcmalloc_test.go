@@ -1,0 +1,88 @@
+package tcmalloc
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/alloctest"
+	"nextgenmalloc/internal/sim"
+)
+
+func TestConformance(t *testing.T) {
+	alloctest.Run(t, alloctest.Options{
+		Factory: func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+			return New(th)
+		},
+	})
+}
+
+// TestThreadCacheLIFO: a freed object is returned by the next same-class
+// malloc from the same thread — the lock-free fast path.
+func TestThreadCacheLIFO(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th)
+		p := a.Malloc(th, 64)
+		a.Free(th, p)
+		if q := a.Malloc(th, 64); q != p {
+			t.Errorf("thread cache LIFO reuse failed: freed %#x got %#x", p, q)
+		}
+	})
+	m.Run()
+}
+
+// TestBatchRefill: the first allocation of a class pulls a whole batch
+// into the thread cache, so subsequent allocations take no lock.
+func TestBatchRefill(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th)
+		a.Malloc(th, 128) // cold: batch refill, includes locks
+		atomicsAfterFirst := th.Counters().AtomicOps
+		for i := 0; i < 10; i++ {
+			p := a.Malloc(th, 128)
+			a.Free(th, p)
+		}
+		if got := th.Counters().AtomicOps; got != atomicsAfterFirst {
+			t.Errorf("fast path took %d atomics; want none", got-atomicsAfterFirst)
+		}
+	})
+	m.Run()
+}
+
+// TestSpanReturnToPageHeap: freeing every object of a span eventually
+// returns its pages, keeping the heap bounded.
+func TestSpanReturnToPageHeap(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th)
+		const n = 4000
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = a.Malloc(th, 1024)
+		}
+		grown := a.Stats().HeapBytes
+		for _, p := range addrs {
+			a.Free(th, p)
+		}
+		// Allocate the same volume again: the heap must not double.
+		for i := range addrs {
+			addrs[i] = a.Malloc(th, 1024)
+		}
+		if got := a.Stats().HeapBytes; got > grown+(1<<21) {
+			t.Errorf("heap grew from %d to %d; spans not recycled", grown, got)
+		}
+		for _, p := range addrs {
+			a.Free(th, p)
+		}
+	})
+	m.Run()
+}
+
+func TestBadFreeFaults(t *testing.T) {
+	alloctest.RunBadFree(t, alloctest.Options{
+		Factory: func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+			return New(th)
+		},
+	})
+}

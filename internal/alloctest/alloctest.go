@@ -1,0 +1,395 @@
+// Package alloctest is a conformance suite run against every allocator
+// in the repository: alignment, live-block non-overlap, data integrity
+// under churn, bounded heap growth, large-object handling, and
+// cross-thread free correctness. Allocator test packages call Run with
+// their constructor.
+package alloctest
+
+import (
+	"fmt"
+	"testing"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// Factory builds the allocator under test on the setup thread. The
+// returned cleanup (may be nil) runs on the same thread after the test
+// body.
+type Factory func(t *sim.Thread, m *sim.Machine) alloc.Allocator
+
+// Options tunes the suite for slow allocators.
+type Options struct {
+	// Factory builds the allocator under test.
+	Factory Factory
+	// Daemon, when non-nil, is spawned as a service core before Run
+	// (NextGen's server; it must honour Thread.Stopping).
+	Daemon func(m *sim.Machine)
+	// MaxThreads caps the cross-thread tests (0 = 4).
+	MaxThreads int
+	// SkipBounded skips the steady-state heap-growth check (for
+	// allocators like bump that never reuse memory by design).
+	SkipBounded bool
+}
+
+// run executes body as simulated thread(s); body[i] runs on core i.
+func run(opts Options, body ...func(t *sim.Thread, a alloc.Allocator)) {
+	m := sim.New(sim.ScaledConfig())
+	if opts.Daemon != nil {
+		opts.Daemon(m)
+	}
+	ready, _ := m.Kernel().Mmap(1)
+	var a alloc.Allocator
+	for i := range body {
+		part := i
+		fn := body[i]
+		m.Spawn(fmt.Sprintf("conform-%d", part), part, func(t *sim.Thread) {
+			if part == 0 {
+				a = opts.Factory(t, m)
+				t.AtomicStore64(ready, 1)
+			} else {
+				for t.Load64(ready) == 0 {
+					t.Pause(100)
+				}
+			}
+			t.FetchAdd64(ready+64, 1)
+			for t.Load64(ready+64) != uint64(len(body)) {
+				t.Pause(50)
+			}
+			fn(t, a)
+			if f, ok := a.(alloc.Flusher); ok {
+				f.Flush(t)
+			}
+		})
+	}
+	m.Run()
+}
+
+// block tracks one live allocation in the host-side shadow.
+type block struct {
+	addr, size uint64
+	pattern    uint64
+}
+
+// fill writes a recognizable pattern through the whole block.
+func fill(t *sim.Thread, b block) {
+	for off := uint64(0); off+8 <= b.size; off += 8 {
+		t.Store64(b.addr+off, b.pattern^off)
+	}
+	for off := b.size &^ 7; off < b.size; off++ {
+		t.Store8(b.addr+off, b.pattern^off)
+	}
+}
+
+// check validates the pattern; any mismatch means the allocator handed
+// out overlapping memory or corrupted a live block with metadata.
+func check(tb testing.TB, t *sim.Thread, b block) {
+	tb.Helper()
+	for off := uint64(0); off+8 <= b.size; off += 8 {
+		if got := t.Load64(b.addr + off); got != b.pattern^off {
+			tb.Errorf("corruption in block %#x size %d at +%d: got %#x want %#x",
+				b.addr, b.size, off, got, b.pattern^off)
+		}
+	}
+	for off := b.size &^ 7; off < b.size; off++ {
+		if got := t.Load8(b.addr + off); got != (b.pattern^off)&0xff {
+			tb.Errorf("corruption in tail of block %#x size %d at +%d", b.addr, b.size, off)
+		}
+	}
+}
+
+// overlaps reports whether [a, a+an) and [b, b+bn) intersect.
+func overlaps(a, an, b, bn uint64) bool {
+	return a < b+bn && b < a+an
+}
+
+// Run executes the whole conformance suite.
+func Run(t *testing.T, opts Options) {
+	if opts.MaxThreads == 0 {
+		opts.MaxThreads = 4
+	}
+	t.Run("Alignment", func(t *testing.T) { testAlignment(t, opts) })
+	t.Run("SmallSizesExhaustive", func(t *testing.T) { testSmallSizes(t, opts) })
+	t.Run("ChurnIntegrity", func(t *testing.T) { testChurn(t, opts) })
+	t.Run("LargeObjects", func(t *testing.T) { testLarge(t, opts) })
+	if !opts.SkipBounded {
+		t.Run("HeapBounded", func(t *testing.T) { testBounded(t, opts) })
+	}
+	t.Run("CrossThreadFree", func(t *testing.T) { testCrossThread(t, opts) })
+	t.Run("ZeroAndOddSizes", func(t *testing.T) { testOddSizes(t, opts) })
+}
+
+func testAlignment(tb *testing.T, opts Options) {
+	run(opts, func(t *sim.Thread, a alloc.Allocator) {
+		for _, size := range []uint64{1, 7, 8, 15, 16, 24, 33, 64, 100, 255, 256, 1000, 4096} {
+			p := a.Malloc(t, size)
+			if p == 0 {
+				tb.Errorf("Malloc(%d) returned 0", size)
+			}
+			if p%8 != 0 {
+				tb.Errorf("Malloc(%d) = %#x not 8-byte aligned", size, p)
+			}
+			if size >= 16 && p%16 != 0 {
+				tb.Errorf("Malloc(%d) = %#x not 16-byte aligned", size, p)
+			}
+			a.Free(t, p)
+		}
+	})
+}
+
+func testSmallSizes(tb *testing.T, opts Options) {
+	run(opts, func(t *sim.Thread, a alloc.Allocator) {
+		var live []block
+		for size := uint64(1); size <= 512; size++ {
+			b := block{addr: a.Malloc(t, size), size: size, pattern: size * 0x9e3779b9}
+			fill(t, b)
+			live = append(live, b)
+		}
+		// Every block must still hold its pattern and none may overlap.
+		for i, b := range live {
+			check(tb, t, b)
+			for _, o := range live[i+1:] {
+				if overlaps(b.addr, b.size, o.addr, o.size) {
+					tb.Errorf("blocks overlap: %#x+%d and %#x+%d", b.addr, b.size, o.addr, o.size)
+				}
+			}
+		}
+		for _, b := range live {
+			a.Free(t, b.addr)
+		}
+	})
+}
+
+func testChurn(tb *testing.T, opts Options) {
+	run(opts, func(t *sim.Thread, a alloc.Allocator) {
+		const slots = 300
+		live := make([]block, slots)
+		rng := uint64(12345)
+		next := func(n uint64) uint64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return rng >> 33 % n
+		}
+		for round := 0; round < 4000; round++ {
+			i := next(slots)
+			if live[i].addr != 0 {
+				check(tb, t, live[i])
+				a.Free(t, live[i].addr)
+			}
+			size := 1 + next(700)
+			b := block{addr: a.Malloc(t, size), size: size, pattern: uint64(round)*0x517cc1b7 + 1}
+			if b.addr == 0 {
+				tb.Errorf("round %d: Malloc(%d) returned 0", round, size)
+			}
+			fill(t, b)
+			live[i] = b
+			// Periodically validate a random other live block.
+			if j := next(slots); live[j].addr != 0 {
+				check(tb, t, live[j])
+			}
+		}
+		for _, b := range live {
+			if b.addr != 0 {
+				check(tb, t, b)
+				a.Free(t, b.addr)
+			}
+		}
+	})
+}
+
+func testLarge(tb *testing.T, opts Options) {
+	run(opts, func(t *sim.Thread, a alloc.Allocator) {
+		sizes := []uint64{33 << 10, 64 << 10, 200 << 10, 1 << 20}
+		var live []block
+		for i, size := range sizes {
+			b := block{addr: a.Malloc(t, size), size: size, pattern: uint64(i+1) * 0xabcdef}
+			// Touch first and last pages (full fill would be slow).
+			t.Store64(b.addr, b.pattern)
+			t.Store64(b.addr+b.size-8, b.pattern)
+			live = append(live, b)
+		}
+		for i, b := range live {
+			if got := t.Load64(b.addr); got != b.pattern {
+				tb.Errorf("large block %d head corrupted", i)
+			}
+			if got := t.Load64(b.addr + b.size - 8); got != b.pattern {
+				tb.Errorf("large block %d tail corrupted", i)
+			}
+			for _, o := range live[i+1:] {
+				if overlaps(b.addr, b.size, o.addr, o.size) {
+					tb.Errorf("large blocks overlap")
+				}
+			}
+			a.Free(t, b.addr)
+		}
+		// The space must be reusable.
+		p := a.Malloc(t, 64<<10)
+		t.Store64(p, 1)
+		a.Free(t, p)
+	})
+}
+
+func testBounded(tb *testing.T, opts Options) {
+	var heapAfterWarmup, heapAtEnd uint64
+	run(opts, func(t *sim.Thread, a alloc.Allocator) {
+		const slots = 200
+		live := make([]uint64, slots)
+		rng := uint64(7)
+		next := func(n uint64) uint64 {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			return rng >> 33 % n
+		}
+		churn := func(rounds int) {
+			for i := 0; i < rounds; i++ {
+				s := next(slots)
+				if live[s] != 0 {
+					a.Free(t, live[s])
+				}
+				live[s] = a.Malloc(t, 16+next(48)*8)
+			}
+		}
+		churn(3000)
+		if f, ok := a.(alloc.Flusher); ok {
+			f.Flush(t)
+		}
+		heapAfterWarmup = a.Stats().HeapBytes
+		churn(12000)
+		if f, ok := a.(alloc.Flusher); ok {
+			f.Flush(t)
+		}
+		heapAtEnd = a.Stats().HeapBytes
+	})
+	// Steady-state churn must not grow the heap unboundedly: allow 3x
+	// over the warmed-up footprint.
+	if heapAtEnd > 3*heapAfterWarmup {
+		tb.Errorf("heap grew from %d to %d bytes under steady churn (leak or unbounded fragmentation)",
+			heapAfterWarmup, heapAtEnd)
+	}
+}
+
+func testCrossThread(tb *testing.T, opts Options) {
+	n := opts.MaxThreads
+	if n > 4 {
+		n = 4
+	}
+	if n < 2 {
+		return
+	}
+	// Thread 0 allocates and publishes; threads 1..n-1 validate and free.
+	m := sim.New(sim.ScaledConfig())
+	if opts.Daemon != nil {
+		opts.Daemon(m)
+	}
+	ready, _ := m.Kernel().Mmap(1)
+	shared, _ := m.Kernel().Mmap(4) // published block table: addr,size pairs
+	const perThread = 200
+	var a alloc.Allocator
+	for i := 0; i < n; i++ {
+		part := i
+		m.Spawn(fmt.Sprintf("xfree-%d", part), part, func(t *sim.Thread) {
+			if part == 0 {
+				a = opts.Factory(t, m)
+				// Allocate blocks for every consumer and fill them.
+				for c := 1; c < n; c++ {
+					for k := 0; k < perThread; k++ {
+						size := uint64(16 + (k%30)*8)
+						p := a.Malloc(t, size)
+						b := block{addr: p, size: size, pattern: uint64(c*1000 + k)}
+						fill(t, b)
+						slot := shared + uint64(((c-1)*perThread+k)*16)
+						t.Store64(slot, p)
+						t.Store64(slot+8, size)
+					}
+				}
+				t.AtomicStore64(ready, 1)
+				if f, ok := a.(alloc.Flusher); ok {
+					f.Flush(t)
+				}
+				return
+			}
+			for t.Load64(ready) == 0 {
+				t.Pause(200)
+			}
+			for k := 0; k < perThread; k++ {
+				slot := shared + uint64(((part-1)*perThread+k)*16)
+				b := block{
+					addr:    t.Load64(slot),
+					size:    t.Load64(slot + 8),
+					pattern: uint64(part*1000 + k),
+				}
+				check(tb, t, b)
+				a.Free(t, b.addr)
+			}
+			if f, ok := a.(alloc.Flusher); ok {
+				f.Flush(t)
+			}
+		})
+	}
+	m.Run()
+	st := a.Stats()
+	want := uint64((n - 1) * perThread)
+	if st.FreeCalls < want {
+		tb.Errorf("expected >= %d frees, allocator saw %d", want, st.FreeCalls)
+	}
+}
+
+func testOddSizes(tb *testing.T, opts Options) {
+	run(opts, func(t *sim.Thread, a alloc.Allocator) {
+		// Zero-size malloc must return a valid, freeable pointer.
+		p := a.Malloc(t, 0)
+		if p == 0 {
+			tb.Error("Malloc(0) returned nil-equivalent")
+		}
+		a.Free(t, p)
+		// Sizes straddling every class boundary up to 4 KiB.
+		for size := uint64(1); size <= 4096; size = size*2 + 3 {
+			for _, s := range []uint64{size - 1, size, size + 1} {
+				if s == 0 {
+					continue
+				}
+				q := a.Malloc(t, s)
+				t.Store8(q, 0x5a)
+				t.Store8(q+s-1, 0xa5) // overwrites the head byte when s == 1
+				headWant := uint64(0x5a)
+				if s == 1 {
+					headWant = 0xa5
+				}
+				if t.Load8(q) != headWant || t.Load8(q+s-1) != 0xa5 {
+					tb.Errorf("size %d: boundary bytes lost", s)
+				}
+				a.Free(t, q)
+			}
+		}
+	})
+}
+
+// RunBadFree verifies the segfault-equivalence contract: freeing an
+// address the allocator never returned must crash the simulated process
+// (a panic), not corrupt state silently. Allocators whose bad-free
+// behaviour is a defined no-op (bump) skip this.
+func RunBadFree(t *testing.T, opts Options) {
+	m := sim.New(sim.ScaledConfig())
+	if opts.Daemon != nil {
+		opts.Daemon(m)
+	}
+	panicked := false
+	m.Spawn("badfree", 0, func(th *sim.Thread) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		a := opts.Factory(th, m)
+		p := a.Malloc(th, 64)
+		_ = p
+		// An address in the mapped heap region but never handed out as a
+		// block start: the middle of nowhere.
+		a.Free(th, 0x7000dead0000)
+		if f, ok := a.(alloc.Flusher); ok {
+			f.Flush(th)
+		}
+	})
+	m.Run()
+	if !panicked {
+		t.Error("freeing a never-allocated address did not fault")
+	}
+}

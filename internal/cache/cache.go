@@ -1,0 +1,557 @@
+// Package cache models a multicore cache hierarchy: private L1D and L2
+// per core, a shared inclusive LLC, and a directory-based MESI-style
+// coherence protocol.
+//
+// The paper's central observation is that allocator metadata traffic
+// pollutes these structures (Table 1) and that cross-core metadata
+// sharing causes invalidation storms (Table 2). Both effects fall out of
+// this model: every simulated load/store walks the hierarchy, shared
+// lines ping-pong through the directory, and the per-core counters
+// correspond one-for-one to the PMU events the paper reports
+// (LLC-load-misses, LLC-store-misses).
+package cache
+
+import "fmt"
+
+// LineShift is log2 of the cache line size (64 bytes, as assumed by the
+// paper's Figure 2 discussion).
+const (
+	LineShift = 6
+	LineSize  = 1 << LineShift
+)
+
+// MESI states for lines in private caches.
+const (
+	Invalid byte = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+type line struct {
+	tag   uint64 // full line address (addr >> LineShift)
+	state byte   // MESI state (private caches); LLC uses valid/dirty below
+	valid bool
+	dirty bool // LLC only: line differs from memory
+	used  uint64
+	// Directory fields (LLC only).
+	sharers uint64 // bitmask of cores whose private caches may hold the line
+	owner   int8   // core holding the line Modified, or -1
+}
+
+// cacheArray is one set-associative tag array with LRU replacement.
+type cacheArray struct {
+	sets  int
+	ways  int
+	lines []line
+	tick  uint64
+}
+
+func newArray(sizeBytes, ways int) *cacheArray {
+	nlines := sizeBytes / LineSize
+	if nlines%ways != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by %d ways", nlines, ways))
+	}
+	return &cacheArray{sets: nlines / ways, ways: ways, lines: make([]line, nlines)}
+}
+
+func (c *cacheArray) setBase(tag uint64) int { return int(tag%uint64(c.sets)) * c.ways }
+
+// find returns the line holding tag, or nil. It does not touch LRU.
+func (c *cacheArray) find(tag uint64) *line {
+	base := c.setBase(tag)
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			return l
+		}
+	}
+	return nil
+}
+
+// touch refreshes LRU state for a line.
+func (c *cacheArray) touch(l *line) {
+	c.tick++
+	l.used = c.tick
+}
+
+// victim returns the line to fill for tag: an invalid way if any,
+// otherwise the LRU way. The caller must handle eviction of the returned
+// line if it is valid.
+func (c *cacheArray) victim(tag uint64) *line {
+	base := c.setBase(tag)
+	v := &c.lines[base]
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if !l.valid {
+			return l
+		}
+		if l.used < v.used {
+			v = l
+		}
+	}
+	return v
+}
+
+// invalidate drops tag if present, returning whether it was Modified.
+func (c *cacheArray) invalidate(tag uint64) (present, wasModified bool) {
+	if l := c.find(tag); l != nil {
+		l.valid = false
+		return true, l.state == Modified
+	}
+	return false, false
+}
+
+// Config holds geometry and latency parameters for the hierarchy.
+type Config struct {
+	L1Size, L1Ways   int
+	L2Size, L2Ways   int // L2Size 0 disables the private L2 (near-memory core profile)
+	LLCSize, LLCWays int
+
+	L1HitCycles  uint64
+	L2HitCycles  uint64
+	LLCHitCycles uint64
+	MemCycles    uint64
+	// DirtyTransferCycles is the extra cost of sourcing a line from
+	// another core's modified copy (cache-to-cache transfer).
+	DirtyTransferCycles uint64
+	// InvalidateCycles is charged per remote sharer invalidated on a
+	// write (the cross-core communication the paper worries about).
+	InvalidateCycles uint64
+}
+
+// DefaultConfig mirrors a contemporary server part (per-core 32 KiB L1D,
+// 256 KiB L2; 8 MiB shared LLC).
+func DefaultConfig() Config {
+	return Config{
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 256 << 10, L2Ways: 8,
+		LLCSize: 8 << 20, LLCWays: 16,
+		L1HitCycles:  4,
+		L2HitCycles:  12,
+		LLCHitCycles: 40,
+		MemCycles:    200,
+		// Cortex-A72-class cluster-local cache-to-cache transfer (the
+		// paper's §4.2 machine; its weak memory model keeps cross-core
+		// handoff cheap).
+		DirtyTransferCycles: 40,
+		InvalidateCycles:    20,
+	}
+}
+
+// CoreStats are the per-core PMU-visible cache counters.
+type CoreStats struct {
+	Loads          uint64
+	Stores         uint64
+	L1Misses       uint64
+	L2Misses       uint64
+	LLCLoadMisses  uint64 // demand loads missing the shared LLC
+	LLCStoreMisses uint64 // demand stores (RFOs) missing the shared LLC
+	Invalidations  uint64 // remote copies this core's writes killed
+	DirtyTransfers uint64 // lines sourced from a remote modified copy
+}
+
+type coreCaches struct {
+	l1 *cacheArray
+	l2 *cacheArray // nil when disabled
+}
+
+// System is the full hierarchy shared by all cores of a machine.
+type System struct {
+	cfg       Config
+	cores     []*coreCaches
+	llc       *cacheArray
+	stats     []CoreStats
+	memCycles []uint64 // per-core DRAM latency (near-memory cores are lower)
+}
+
+// NewSystem builds a hierarchy for ncores cores.
+func NewSystem(cfg Config, ncores int) *System {
+	if ncores <= 0 || ncores > 64 {
+		panic("cache: core count must be 1..64")
+	}
+	s := &System{
+		cfg:   cfg,
+		llc:   newArray(cfg.LLCSize, cfg.LLCWays),
+		stats: make([]CoreStats, ncores),
+	}
+	for i := 0; i < ncores; i++ {
+		cc := &coreCaches{l1: newArray(cfg.L1Size, cfg.L1Ways)}
+		if cfg.L2Size > 0 {
+			cc.l2 = newArray(cfg.L2Size, cfg.L2Ways)
+		}
+		s.cores = append(s.cores, cc)
+		s.memCycles = append(s.memCycles, cfg.MemCycles)
+	}
+	return s
+}
+
+// NewSystemHetero builds a hierarchy where each core may have its own
+// private-cache geometry and DRAM latency (used for the near-memory
+// offload core ablation, paper §3.2). perCore[i] overrides the private
+// levels and MemCycles of core i; the shared LLC always comes from base.
+func NewSystemHetero(base Config, perCore []Config) *System {
+	s := &System{
+		cfg:   base,
+		llc:   newArray(base.LLCSize, base.LLCWays),
+		stats: make([]CoreStats, len(perCore)),
+	}
+	for _, cfg := range perCore {
+		cc := &coreCaches{l1: newArray(cfg.L1Size, cfg.L1Ways)}
+		if cfg.L2Size > 0 {
+			cc.l2 = newArray(cfg.L2Size, cfg.L2Ways)
+		}
+		s.cores = append(s.cores, cc)
+		mc := cfg.MemCycles
+		if mc == 0 {
+			mc = base.MemCycles
+		}
+		s.memCycles = append(s.memCycles, mc)
+	}
+	return s
+}
+
+// Stats returns a copy of core c's counters.
+func (s *System) Stats(c int) CoreStats { return s.stats[c] }
+
+// backInvalidate removes a line from every sharer's private caches
+// (inclusive-LLC back-invalidation); it reports whether any private copy
+// was Modified.
+func (s *System) backInvalidate(le *line) bool {
+	anyDirty := false
+	for c := 0; le.sharers != 0 && c < len(s.cores); c++ {
+		bit := uint64(1) << uint(c)
+		if le.sharers&bit == 0 {
+			continue
+		}
+		cc := s.cores[c]
+		_, m1 := cc.l1.invalidate(le.tag)
+		var m2 bool
+		if cc.l2 != nil {
+			_, m2 = cc.l2.invalidate(le.tag)
+		}
+		anyDirty = anyDirty || m1 || m2
+		le.sharers &^= bit
+	}
+	return anyDirty
+}
+
+// fillPrivate installs tag into core c's L1 (and L2 when present) with
+// the given MESI state, handling inclusive evictions. It returns extra
+// cycles charged for evictions that had to write back.
+func (s *System) fillPrivate(c int, tag uint64, state byte) uint64 {
+	cc := s.cores[c]
+	var extra uint64
+	if cc.l2 != nil {
+		if l2line := cc.l2.find(tag); l2line == nil {
+			v := cc.l2.victim(tag)
+			if v.valid {
+				extra += s.evictPrivate(c, v)
+			}
+			*v = line{tag: tag, state: state, valid: true}
+			cc.l2.touch(v)
+		} else {
+			l2line.state = state
+			cc.l2.touch(l2line)
+		}
+	}
+	if l1line := cc.l1.find(tag); l1line == nil {
+		v := cc.l1.victim(tag)
+		if v.valid {
+			extra += s.evictL1(c, v)
+		}
+		*v = line{tag: tag, state: state, valid: true}
+		cc.l1.touch(v)
+	} else {
+		l1line.state = state
+		cc.l1.touch(l1line)
+	}
+	return extra
+}
+
+// evictL1 handles an L1 eviction: a Modified line merges into L2 (or the
+// LLC when there is no L2). The sharer bit survives while the line is
+// still in L2.
+func (s *System) evictL1(c int, v *line) uint64 {
+	cc := s.cores[c]
+	if v.state != Modified {
+		if cc.l2 == nil || cc.l2.find(v.tag) == nil {
+			s.dropSharer(c, v.tag)
+		}
+		return 0
+	}
+	if cc.l2 != nil {
+		if l2line := cc.l2.find(v.tag); l2line != nil {
+			l2line.state = Modified
+			return 0
+		}
+	}
+	// No L2 copy: dirty data returns to the LLC.
+	s.absorbDirty(c, v.tag)
+	s.dropSharer(c, v.tag)
+	return 0
+}
+
+// evictPrivate handles an L2 eviction: inclusive back-invalidation of L1
+// and write-back of dirty data into the LLC.
+func (s *System) evictPrivate(c int, v *line) uint64 {
+	cc := s.cores[c]
+	dirty := v.state == Modified
+	if present, m := cc.l1.invalidate(v.tag); present && m {
+		dirty = true
+	}
+	if dirty {
+		s.absorbDirty(c, v.tag)
+	}
+	s.dropSharer(c, v.tag)
+	return 0
+}
+
+// absorbDirty marks the LLC copy of tag dirty and clears core c's
+// ownership.
+func (s *System) absorbDirty(c int, tag uint64) {
+	if le := s.llc.find(tag); le != nil {
+		le.dirty = true
+		if le.owner == int8(c) {
+			le.owner = -1
+		}
+	}
+}
+
+// dropSharer clears core c's sharer bit once the line has left both of
+// its private levels.
+func (s *System) dropSharer(c int, tag uint64) {
+	if le := s.llc.find(tag); le != nil {
+		le.sharers &^= uint64(1) << uint(c)
+		if le.owner == int8(c) {
+			le.owner = -1
+		}
+	}
+}
+
+// upgrade obtains write ownership of a line core c already holds Shared:
+// every other sharer is invalidated through the directory.
+func (s *System) upgrade(c int, tag uint64) uint64 {
+	le := s.llc.find(tag)
+	if le == nil {
+		// The line escaped the LLC (non-inclusive corner after an LLC
+		// eviction raced with the private copy); treat as silent upgrade.
+		return 0
+	}
+	var cycles uint64
+	myBit := uint64(1) << uint(c)
+	for oc := 0; le.sharers&^myBit != 0 && oc < len(s.cores); oc++ {
+		bit := uint64(1) << uint(oc)
+		if oc == c || le.sharers&bit == 0 {
+			continue
+		}
+		occ := s.cores[oc]
+		p1, m1 := occ.l1.invalidate(tag)
+		var p2, m2 bool
+		if occ.l2 != nil {
+			p2, m2 = occ.l2.invalidate(tag)
+		}
+		if p1 || p2 {
+			cycles += s.cfg.InvalidateCycles
+			s.stats[c].Invalidations++
+		}
+		if m1 || m2 {
+			le.dirty = true
+		}
+		le.sharers &^= bit
+	}
+	le.owner = int8(c)
+	le.sharers |= myBit
+	return cycles
+}
+
+// Access performs one demand access by core c to physical address paddr
+// and returns the cycles it cost. isWrite selects an RFO; isAtomic marks
+// the access as a locked RMW (same coherence behaviour, the extra
+// latency is charged by the caller).
+func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
+	tag := paddr >> LineShift
+	st := &s.stats[c]
+	if isWrite {
+		st.Stores++
+	} else {
+		st.Loads++
+	}
+	cc := s.cores[c]
+
+	// L1 fast path.
+	if l := cc.l1.find(tag); l != nil {
+		cc.l1.touch(l)
+		if !isWrite {
+			return s.cfg.L1HitCycles
+		}
+		switch l.state {
+		case Modified:
+			return s.cfg.L1HitCycles
+		case Exclusive:
+			l.state = Modified
+			return s.cfg.L1HitCycles
+		default: // Shared: upgrade through the directory
+			cyc := s.upgrade(c, tag)
+			l.state = Modified
+			if l2 := cc.l2; l2 != nil {
+				if l2line := l2.find(tag); l2line != nil {
+					l2line.state = Modified
+				}
+			}
+			return s.cfg.L1HitCycles + cyc
+		}
+	}
+	st.L1Misses++
+
+	// L2.
+	if cc.l2 != nil {
+		if l := cc.l2.find(tag); l != nil {
+			cc.l2.touch(l)
+			state := l.state
+			var cyc uint64
+			if isWrite {
+				if state == Shared {
+					cyc = s.upgrade(c, tag)
+				}
+				state = Modified
+				l.state = Modified
+			}
+			cyc += s.fillPrivate(c, tag, state)
+			return s.cfg.L2HitCycles + cyc
+		}
+		st.L2Misses++
+	} else {
+		st.L2Misses++
+	}
+
+	// Shared LLC.
+	if le := s.llc.find(tag); le != nil {
+		s.llc.touch(le)
+		cycles := s.cfg.LLCHitCycles
+		myBit := uint64(1) << uint(c)
+		if le.owner >= 0 && le.owner != int8(c) {
+			// Another core holds the line Modified: cache-to-cache.
+			cycles += s.cfg.DirtyTransferCycles
+			st.DirtyTransfers++
+			oc := int(le.owner)
+			occ := s.cores[oc]
+			if isWrite {
+				p1, _ := occ.l1.invalidate(tag)
+				var p2 bool
+				if occ.l2 != nil {
+					p2, _ = occ.l2.invalidate(tag)
+				}
+				if p1 || p2 {
+					st.Invalidations++
+				}
+				le.sharers &^= uint64(1) << uint(oc)
+			} else {
+				// Downgrade the owner to Shared.
+				if l := occ.l1.find(tag); l != nil {
+					l.state = Shared
+				}
+				if occ.l2 != nil {
+					if l := occ.l2.find(tag); l != nil {
+						l.state = Shared
+					}
+				}
+			}
+			le.dirty = true
+			le.owner = -1
+		}
+		var state byte
+		if isWrite {
+			cycles += s.invalidateOthers(c, le)
+			le.owner = int8(c)
+			state = Modified
+		} else if le.sharers&^myBit == 0 {
+			state = Exclusive
+		} else {
+			// Our read makes the line Shared everywhere: demote any
+			// remote Exclusive copy (snoop piggybacks on the fill).
+			for oc := 0; oc < len(s.cores); oc++ {
+				if oc == c || le.sharers&(uint64(1)<<uint(oc)) == 0 {
+					continue
+				}
+				occ := s.cores[oc]
+				if l := occ.l1.find(tag); l != nil && l.state == Exclusive {
+					l.state = Shared
+				}
+				if occ.l2 != nil {
+					if l := occ.l2.find(tag); l != nil && l.state == Exclusive {
+						l.state = Shared
+					}
+				}
+			}
+			state = Shared
+		}
+		le.sharers |= myBit
+		cycles += s.fillPrivate(c, tag, state)
+		return cycles
+	}
+
+	// Miss all the way to memory.
+	if isWrite {
+		st.LLCStoreMisses++
+	} else {
+		st.LLCLoadMisses++
+	}
+	v := s.llc.victim(tag)
+	if v.valid {
+		if s.backInvalidate(v) {
+			v.dirty = true
+		}
+		// Dirty victim writes back to memory; the latency overlaps the
+		// fill in modern parts, so no extra stall is charged.
+	}
+	*v = line{tag: tag, valid: true, owner: -1}
+	s.llc.touch(v)
+	state := Exclusive
+	if isWrite {
+		state = Modified
+		v.owner = int8(c)
+	}
+	v.sharers = uint64(1) << uint(c)
+	cycles := s.memCycles[c] + s.fillPrivate(c, tag, state)
+	return cycles
+}
+
+// invalidateOthers kills every remote copy of le on behalf of writer c.
+func (s *System) invalidateOthers(c int, le *line) uint64 {
+	var cycles uint64
+	myBit := uint64(1) << uint(c)
+	st := &s.stats[c]
+	for oc := 0; le.sharers&^myBit != 0 && oc < len(s.cores); oc++ {
+		bit := uint64(1) << uint(oc)
+		if oc == c || le.sharers&bit == 0 {
+			continue
+		}
+		occ := s.cores[oc]
+		p1, m1 := occ.l1.invalidate(le.tag)
+		var p2, m2 bool
+		if occ.l2 != nil {
+			p2, m2 = occ.l2.invalidate(le.tag)
+		}
+		if p1 || p2 {
+			cycles += s.cfg.InvalidateCycles
+			st.Invalidations++
+		}
+		if m1 || m2 {
+			le.dirty = true
+		}
+		le.sharers &^= bit
+	}
+	return cycles
+}
+
+// Contains reports whether core c's private caches currently hold the
+// line containing paddr (test hook).
+func (s *System) Contains(c int, paddr uint64) bool {
+	tag := paddr >> LineShift
+	cc := s.cores[c]
+	if cc.l1.find(tag) != nil {
+		return true
+	}
+	return cc.l2 != nil && cc.l2.find(tag) != nil
+}

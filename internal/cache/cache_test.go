@@ -1,0 +1,172 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() Config {
+	return Config{
+		L1Size: 1 << 10, L1Ways: 2,
+		L2Size: 4 << 10, L2Ways: 4,
+		LLCSize: 16 << 10, LLCWays: 4,
+		L1HitCycles: 4, L2HitCycles: 12, LLCHitCycles: 40, MemCycles: 200,
+		DirtyTransferCycles: 40, InvalidateCycles: 20,
+	}
+}
+
+func TestHitLevels(t *testing.T) {
+	s := NewSystem(tiny(), 2)
+	if cyc := s.Access(0, 0x1000, false); cyc != 200 {
+		t.Errorf("cold load cost %d, want 200", cyc)
+	}
+	if cyc := s.Access(0, 0x1000, false); cyc != 4 {
+		t.Errorf("warm load cost %d, want L1 hit 4", cyc)
+	}
+	st := s.Stats(0)
+	if st.LLCLoadMisses != 1 || st.L1Misses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestStoreMissCounter(t *testing.T) {
+	s := NewSystem(tiny(), 2)
+	s.Access(0, 0x2000, true)
+	st := s.Stats(0)
+	if st.LLCStoreMisses != 1 || st.LLCLoadMisses != 0 {
+		t.Errorf("store miss misattributed: %+v", st)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	s := NewSystem(tiny(), 1)
+	// L1: 1 KiB / 64 B = 16 lines, 2-way, 8 sets. Addresses 8 sets apart
+	// (stride 512) collide in a set.
+	s.Access(0, 0x0000, false)
+	s.Access(0, 0x0200, false)
+	s.Access(0, 0x0400, false) // evicts 0x0000 from L1 (still in L2)
+	if cyc := s.Access(0, 0x0000, false); cyc != 12 {
+		t.Errorf("L1-evicted line cost %d, want L2 hit 12", cyc)
+	}
+}
+
+func TestWriteHitUpgradesSharedLine(t *testing.T) {
+	s := NewSystem(tiny(), 2)
+	s.Access(0, 0x3000, false) // core 0 reads (Exclusive)
+	s.Access(1, 0x3000, false) // core 1 reads too (both Shared)
+	cyc := s.Access(0, 0x3000, true)
+	if cyc != 4+20 {
+		t.Errorf("upgrade cost %d, want L1 hit + invalidate = 24", cyc)
+	}
+	if s.Stats(0).Invalidations != 1 {
+		t.Errorf("invalidations = %d", s.Stats(0).Invalidations)
+	}
+	// Core 1's copy is gone: its next read goes back to the LLC and
+	// sources core 0's modified data.
+	cyc = s.Access(1, 0x3000, false)
+	if cyc < 40 {
+		t.Errorf("invalidated reader hit locally (cost %d)", cyc)
+	}
+	if s.Stats(1).DirtyTransfers != 1 {
+		t.Errorf("dirty transfers = %d", s.Stats(1).DirtyTransfers)
+	}
+}
+
+func TestExclusiveSilentUpgrade(t *testing.T) {
+	s := NewSystem(tiny(), 2)
+	s.Access(0, 0x4000, false) // Exclusive
+	if cyc := s.Access(0, 0x4000, true); cyc != 4 {
+		t.Errorf("E->M upgrade cost %d, want silent 4", cyc)
+	}
+	if s.Stats(0).Invalidations != 0 {
+		t.Error("silent upgrade should not invalidate")
+	}
+}
+
+func TestDirtyTransferOnRemoteRead(t *testing.T) {
+	s := NewSystem(tiny(), 2)
+	s.Access(0, 0x5000, true) // core 0 owns Modified
+	cyc := s.Access(1, 0x5000, false)
+	if cyc != 40+40+0 {
+		t.Errorf("remote read of modified line cost %d, want LLC+transfer=80", cyc)
+	}
+	// Both copies now Shared: core 0 re-reads for free.
+	if cyc := s.Access(0, 0x5000, false); cyc != 4 {
+		t.Errorf("owner's post-downgrade read cost %d", cyc)
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	s := NewSystem(tiny(), 1)
+	// LLC: 16 KiB / 64 = 256 lines, 4-way, 64 sets; stride 4096 collides.
+	base := uint64(0x100000)
+	for i := uint64(0); i < 5; i++ {
+		s.Access(0, base+i*4096, false)
+	}
+	// The first line was evicted from the LLC and back-invalidated from
+	// the private caches: re-access goes to memory.
+	if cyc := s.Access(0, base, false); cyc != 200 {
+		t.Errorf("back-invalidated line cost %d, want 200", cyc)
+	}
+}
+
+func TestHeteroMemLatency(t *testing.T) {
+	base := tiny()
+	near := tiny()
+	near.MemCycles = 80
+	s := NewSystemHetero(base, []Config{base, near})
+	if cyc := s.Access(1, 0x9000, false); cyc != 80 {
+		t.Errorf("near-memory core miss cost %d, want 80", cyc)
+	}
+	if cyc := s.Access(0, 0xa000, false); cyc != 200 {
+		t.Errorf("big core miss cost %d, want 200", cyc)
+	}
+}
+
+// TestQuickSecondAccessAlwaysHits: for any single-core access pattern,
+// accessing the same line twice in a row always hits L1.
+func TestQuickSecondAccessAlwaysHits(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		s := NewSystem(tiny(), 1)
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			s.Access(0, uint64(a), w)
+			if s.Access(0, uint64(a), w) != 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCoherenceSingleWriter: after any interleaving, writing on one
+// core and then reading the same line on another always returns fresh
+// data costs (i.e. the remote read is never a silent stale hit).
+func TestQuickCoherenceSingleWriter(t *testing.T) {
+	f := func(lines []uint8) bool {
+		s := NewSystem(tiny(), 4)
+		for _, l := range lines {
+			addr := uint64(l) << LineShift
+			s.Access(0, addr, true)
+			// Any other core's next access must not be a 4-cycle L1 hit
+			// unless it already re-fetched after the write.
+			if cyc := s.Access(1, addr, false); cyc == 4 {
+				// Only legal if core 1 held it Shared *after* the write,
+				// impossible here because the write invalidated it.
+				return false
+			}
+			// Write again on core 0 must invalidate core 1's fresh copy.
+			s.Access(0, addr, true)
+			if cyc := s.Access(1, addr, false); cyc == 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,838 @@
+// Package core implements NextGen-Malloc, the paper's contribution: a
+// user-level memory allocator whose metadata is fully decoupled from
+// user data (segregated layout, §3.1.2) so that allocation can be
+// offloaded to a dedicated core (§3.1), eliminating allocator-induced
+// cache/TLB pollution on application cores and removing all atomic
+// operations from the metadata path (§3.1.3, "Strategy 2").
+//
+// Two execution modes share one slab engine:
+//
+//   - Inline: malloc/free run on the calling core under a lock, exactly
+//     like a conventional UMA (the ablation baseline).
+//   - Offload: a server daemon pinned to its own core polls per-client
+//     SPSC rings in shared memory. Malloc is a synchronous request
+//     (the client spins on a response line, as in the paper's §4.2
+//     prototype with its two flag variables); free is asynchronous and
+//     costs the client only a ring push (§3.1.2: "the entire free phase
+//     is not on the critical path").
+//
+// The metadata engine keeps per-slab free-block *index stacks* of 16-bit
+// indices (the paper's suggested segregated encoding) in a dedicated
+// metadata address range (mem.MetaBase), so in offload mode application
+// cores never touch a metadata line. The aggregated-layout variant
+// (intrusive next-pointers in free blocks, Figure 2 top) is provided for
+// the layout ablation.
+package core
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/ring"
+	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/simsync"
+)
+
+// Layout selects the metadata encoding (paper Figure 2).
+type Layout int
+
+const (
+	// Segregated keeps 16-bit index stacks in the metadata region; user
+	// pages hold no allocator state at all.
+	Segregated Layout = iota
+	// Aggregated threads an intrusive next-pointer through the free
+	// blocks themselves (the Mimalloc-style layout).
+	Aggregated
+)
+
+func (l Layout) String() string {
+	if l == Aggregated {
+		return "aggregated"
+	}
+	return "segregated"
+}
+
+// Config selects the NextGen-Malloc variant.
+type Config struct {
+	// Offload runs the allocator on a dedicated server core.
+	Offload bool
+	// Layout selects the metadata encoding (default Segregated).
+	Layout Layout
+	// Prealloc, when > 0, has the server hand each malloc response up to
+	// this many extra blocks of the same class for the client to consume
+	// locally (predictive preallocation, §3.3.2 / the MMT discussion).
+	Prealloc int
+	// AsyncFree releases the client as soon as a free request is queued
+	// (default true in offload mode; the paper argues free is off the
+	// critical path).
+	AsyncFree bool
+	// RingSlots is the per-client request ring capacity (power of two).
+	RingSlots int
+}
+
+// DefaultConfig is the paper's proposal: offloaded, segregated, async
+// free, no preallocation (matching the §4.2 prototype).
+func DefaultConfig() Config {
+	return Config{Offload: true, Layout: Segregated, AsyncFree: true, RingSlots: 64}
+}
+
+// Slab metadata record offsets. Records live in the metadata region;
+// the index stack (2 bytes per block) follows the fixed fields.
+const (
+	slNext     = 0
+	slPrev     = 8
+	slBase     = 16
+	slPages    = 24
+	slClass    = 32 // 255 = large, 254 = free span
+	slTop      = 40 // index-stack depth == free blocks (segregated)
+	slCapacity = 48
+	slFreeHead = 56 // intrusive head (aggregated layout only)
+	slStack    = 64
+	slRecBytes = 64 + 2*512 // fixed fields + up to 512 uint16 indices
+
+	classLarge    = 255
+	classFreeSpan = 254
+)
+
+// Ring operation codes (slot word 0, low byte).
+const (
+	opMalloc  = 1
+	opFree    = 2
+	opSync    = 3
+	opPreheat = 4 // stock the stash for a class without allocating
+)
+
+// Per-client shared page layout. Malloc requests travel on their own
+// small ring so they are never queued behind the asynchronous free
+// backlog (head-of-line blocking would put the backlog on the malloc
+// critical path). The preallocation stash is a small direct-mapped
+// table of per-class cache lines the server restocks while the client
+// is still spinning on the response line, so a stash hit costs no round
+// trip at all (predictive preallocation, §3.3.2).
+const (
+	respSeq  = 0 // server publishes the request sequence number here
+	respAddr = 8 // malloc result
+
+	stashOff    = 64  // one SPSC slot per size class (no collisions)
+	stashSlots  = 64  // covers every class the engine serves
+	stashStride = 256 // writeIdx line, readIdx line, 14 address words
+	stashWrite  = 0   // server-owned: blocks published so far
+	stashRead   = 64  // client-owned: blocks consumed so far
+	stashAddrs  = 128 // ring of stashWindow block addresses
+	stashWindow = 14
+
+	mallocRingOff   = stashOff + stashSlots*stashStride
+	mallocRingSlots = 16
+	freeRingOff     = mallocRingOff + 384 // BytesFor(16) rounded to a line
+)
+
+// stashSlot returns the per-class stash slot base on a client page.
+// Each slot is a tiny SPSC ring: the server publishes preallocated block
+// addresses and bumps writeIdx; the client pops and bumps readIdx. The
+// two indices live on separate lines, so a stash hit touches no
+// server-hot line except the address word itself.
+func stashSlot(page uint64, class int) uint64 {
+	return page + stashOff + uint64(class)*stashStride
+}
+
+// client is the per-application-thread communication state.
+type client struct {
+	threadID int
+	page     uint64             // shared response/stash page
+	mreq     *ring.SPSC         // synchronous malloc/sync requests
+	freq     *ring.SPSC         // asynchronous frees (+ flush barriers)
+	seq      uint64             // host mirror of the next sequence number
+	readIdx  [stashSlots]uint64 // client-register mirrors of stash read indices
+	// hot tracks the classes this client allocated recently; the server
+	// tops up their stashes from its idle cycles.
+	hot [8]int // class + 1, most recent first
+}
+
+// noteHot records a served class in the client's recency list.
+func (c *client) noteHot(class int) {
+	v := class + 1
+	for i, h := range c.hot {
+		if h == v {
+			copy(c.hot[1:i+1], c.hot[:i])
+			c.hot[0] = v
+			return
+		}
+	}
+	copy(c.hot[1:], c.hot[:len(c.hot)-1])
+	c.hot[0] = v
+}
+
+// Allocator is NextGen-Malloc.
+type Allocator struct {
+	cfg   Config
+	sc    *alloc.SizeClasses
+	stats alloc.Stats
+
+	// Metadata engine state (all in the mem.MetaBase region).
+	pagemapRoot uint64
+	metaBase    uint64
+	metaOff     uint64
+	metaLimit   uint64
+	freeRecs    []uint64
+	classState  uint64           // per-class {cur, avail sentinel} slots
+	spanSent    uint64           // free page-span list sentinel
+	lock        simsync.SpinLock // inline mode only
+
+	clients   []*client
+	byThread  map[int]*client
+	served    uint64 // ops processed by the server
+	registerL simsync.SpinLock
+}
+
+// New builds the allocator; t performs the initial mmaps. In offload
+// mode a Server daemon must have been spawned and attached (see Server).
+func New(t *sim.Thread, cfg Config) *Allocator {
+	if cfg.RingSlots == 0 {
+		cfg.RingSlots = 64
+	}
+	a := &Allocator{
+		cfg:      cfg,
+		sc:       alloc.NewSizeClasses(),
+		byThread: make(map[int]*client),
+	}
+	if a.sc.NumClasses() > stashSlots {
+		panic("core: stash table smaller than the class count")
+	}
+	// All metadata lives in the dedicated metadata address range.
+	a.pagemapRoot = t.MmapMeta(16)
+	state := t.MmapMeta(1)
+	a.lock = simsync.NewSpinLock(state)
+	a.registerL = simsync.NewSpinLock(state + 8)
+	a.spanSent = state + 64
+	t.Store64(a.spanSent, a.spanSent)
+	t.Store64(a.spanSent+8, a.spanSent)
+	classBytes := uint64(a.sc.NumClasses()) * 32
+	a.classState = t.MmapMeta(int((classBytes + mem.PageSize - 1) >> mem.PageShift))
+	for c := 0; c < a.sc.NumClasses(); c++ {
+		s := a.classSlot(c)
+		t.Store64(s, 0)     // cur
+		t.Store64(s+8, s+8) // avail sentinel next
+		t.Store64(s+16, s+8)
+	}
+	a.growMeta(t)
+	return a
+}
+
+// Name implements alloc.Allocator.
+func (a *Allocator) Name() string {
+	switch {
+	case a.cfg.Offload && a.cfg.Prealloc > 0:
+		return "nextgen-prealloc"
+	case a.cfg.Offload:
+		return "nextgen"
+	case a.cfg.Layout == Aggregated:
+		return "nextgen-inline-agg"
+	default:
+		return "nextgen-inline"
+	}
+}
+
+// Stats implements alloc.Allocator.
+func (a *Allocator) Stats() alloc.Stats { return a.stats }
+
+func (a *Allocator) classSlot(class int) uint64 { return a.classState + uint64(class)*32 }
+
+func (a *Allocator) growMeta(t *sim.Thread) {
+	a.metaBase = t.MmapMeta(32)
+	a.metaOff = 0
+	a.metaLimit = 32 << mem.PageShift
+}
+
+func (a *Allocator) newRec(t *sim.Thread) uint64 {
+	if n := len(a.freeRecs); n > 0 {
+		r := a.freeRecs[n-1]
+		a.freeRecs = a.freeRecs[:n-1]
+		return r
+	}
+	if a.metaOff+slRecBytes > a.metaLimit {
+		a.growMeta(t)
+	}
+	r := a.metaBase + a.metaOff
+	a.metaOff += slRecBytes
+	return r
+}
+
+// --- pagemap (metadata region) ---------------------------------------------
+
+func (a *Allocator) pagemapSet(t *sim.Thread, vaddr, rec uint64) {
+	rel := (vaddr - mem.MmapBase) >> mem.PageShift
+	leafSlot := a.pagemapRoot + (rel>>9)*8
+	leaf := t.Load64(leafSlot)
+	if leaf == 0 {
+		leaf = t.MmapMeta(1)
+		t.Store64(leafSlot, leaf)
+	}
+	t.Store64(leaf+(rel&511)*8, rec)
+}
+
+func (a *Allocator) pagemapGet(t *sim.Thread, vaddr uint64) uint64 {
+	rel := (vaddr - mem.MmapBase) >> mem.PageShift
+	leaf := t.Load64(a.pagemapRoot + (rel>>9)*8)
+	if leaf == 0 {
+		return 0
+	}
+	return t.Load64(leaf + (rel&511)*8)
+}
+
+func (a *Allocator) registerRec(t *sim.Thread, rec uint64) {
+	base := t.Load64(rec + slBase)
+	pages := t.Load64(rec + slPages)
+	for i := uint64(0); i < pages; i++ {
+		a.pagemapSet(t, base+i<<mem.PageShift, rec)
+	}
+}
+
+// --- list helpers (next/prev at 0/8) ----------------------------------------
+
+func listInsert(t *sim.Thread, sentinel, rec uint64) {
+	next := t.Load64(sentinel)
+	t.Store64(rec+slNext, next)
+	t.Store64(rec+slPrev, sentinel)
+	t.Store64(sentinel, rec)
+	t.Store64(next+slPrev, rec)
+}
+
+func listRemove(t *sim.Thread, rec uint64) {
+	next := t.Load64(rec + slNext)
+	prev := t.Load64(rec + slPrev)
+	t.Store64(prev+slNext, next)
+	t.Store64(next+slPrev, prev)
+}
+
+// --- page-span allocator (plain loads/stores; the engine is single-
+// threaded in offload mode, locked in inline mode) ---------------------------
+
+const spanGrowPages = 512 // 2 MiB hugepage-backed span pool
+
+func (a *Allocator) spanAlloc(t *sim.Thread, npages int) uint64 {
+	for {
+		for rec := t.Load64(a.spanSent); rec != a.spanSent; rec = t.Load64(rec + slNext) {
+			t.Exec(2)
+			have := int(t.Load64(rec + slPages))
+			if have < npages {
+				continue
+			}
+			listRemove(t, rec)
+			if have > npages {
+				rem := a.newRec(t)
+				base := t.Load64(rec + slBase)
+				t.Store64(rem+slBase, base+uint64(npages)<<mem.PageShift)
+				t.Store64(rem+slPages, uint64(have-npages))
+				t.Store64(rem+slClass, classFreeSpan)
+				listInsert(t, a.spanSent, rem)
+				t.Store64(rec+slPages, uint64(npages))
+			}
+			a.registerRec(t, rec)
+			return rec
+		}
+		g := spanGrowPages
+		if npages > g {
+			g = (npages + spanGrowPages - 1) &^ (spanGrowPages - 1)
+		}
+		base := t.MmapHuge(g)
+		a.stats.HeapBytes += uint64(g) << mem.PageShift
+		rec := a.newRec(t)
+		t.Store64(rec+slBase, base)
+		t.Store64(rec+slPages, uint64(g))
+		t.Store64(rec+slClass, classFreeSpan)
+		listInsert(t, a.spanSent, rec)
+	}
+}
+
+func (a *Allocator) spanFree(t *sim.Thread, rec uint64) {
+	t.Store64(rec+slClass, classFreeSpan)
+	listInsert(t, a.spanSent, rec)
+}
+
+// --- slab engine -------------------------------------------------------------
+
+// freshSlab carves a slab for class. With the segregated layout the free
+// state is an index stack in the metadata record and user pages stay
+// untouched; with the aggregated layout an intrusive list is threaded
+// through the blocks.
+func (a *Allocator) freshSlab(t *sim.Thread, class int) uint64 {
+	pages := a.sc.SpanPages(class)
+	rec := a.spanAlloc(t, pages)
+	n := a.sc.ObjectsPerSpan(class, pages)
+	if n > 512 {
+		n = 512
+	}
+	t.Store64(rec+slClass, uint64(class))
+	t.Store64(rec+slCapacity, uint64(n))
+	if a.cfg.Layout == Segregated {
+		// Stack of free indices, 4 per word.
+		for i := 0; i < n; i += 4 {
+			var w uint64
+			for j := 0; j < 4 && i+j < n; j++ {
+				w |= uint64(i+j) << (16 * j)
+			}
+			t.Store64(rec+slStack+uint64(i)*2, w)
+		}
+		t.Store64(rec+slTop, uint64(n))
+	} else {
+		base := t.Load64(rec + slBase)
+		size := a.sc.Size(class)
+		var head uint64
+		for i := n - 1; i >= 0; i-- {
+			blk := base + uint64(i)*size
+			t.Store64(blk, head)
+			head = blk
+		}
+		t.Store64(rec+slFreeHead, head)
+		t.Store64(rec+slTop, uint64(n))
+	}
+	return rec
+}
+
+// slabPop removes one free block, returning 0 when the slab is empty.
+func (a *Allocator) slabPop(t *sim.Thread, rec uint64, class int) uint64 {
+	top := t.Load64(rec + slTop)
+	if top == 0 {
+		return 0
+	}
+	t.Store64(rec+slTop, top-1)
+	if a.cfg.Layout == Segregated {
+		t.Exec(2)
+		idx := t.Load16(rec + slStack + (top-1)*2)
+		return t.Load64(rec+slBase) + idx*a.sc.Size(class)
+	}
+	head := t.Load64(rec + slFreeHead)
+	t.Store64(rec+slFreeHead, t.Load64(head)) // intrusive: touches the block
+	return head
+}
+
+// slabPush returns a block; reports the slab's new free count.
+func (a *Allocator) slabPush(t *sim.Thread, rec uint64, class int, addr uint64) uint64 {
+	top := t.Load64(rec + slTop)
+	if a.cfg.Layout == Segregated {
+		t.Exec(3) // index arithmetic
+		idx := (addr - t.Load64(rec+slBase)) / a.sc.Size(class)
+		t.Store16(rec+slStack+top*2, idx)
+	} else {
+		t.Store64(addr, t.Load64(rec+slFreeHead))
+		t.Store64(rec+slFreeHead, addr)
+	}
+	t.Store64(rec+slTop, top+1)
+	return top + 1
+}
+
+// allocClass is the engine's malloc for a size class. No atomics: in
+// offload mode only the server core runs it; in inline mode the caller
+// holds the lock.
+func (a *Allocator) allocClass(t *sim.Thread, class int) uint64 {
+	slot := a.classSlot(class)
+	rec := t.Load64(slot)
+	if rec != 0 {
+		if blk := a.slabPop(t, rec, class); blk != 0 {
+			return blk
+		}
+		t.Store64(slot, 0) // current slab exhausted
+	}
+	// Next nonempty slab from the avail list, else a fresh slab.
+	avail := slot + 8
+	rec = t.Load64(avail)
+	if rec != avail {
+		listRemove(t, rec)
+	} else {
+		rec = a.freshSlab(t, class)
+	}
+	t.Store64(slot, rec)
+	return a.slabPop(t, rec, class)
+}
+
+// freeClass is the engine's free once the slab record is known.
+func (a *Allocator) freeClass(t *sim.Thread, rec uint64, class int, addr uint64) {
+	nfree := a.slabPush(t, rec, class, addr)
+	slot := a.classSlot(class)
+	cur := t.Load64(slot)
+	if rec == cur {
+		return
+	}
+	capacity := t.Load64(rec + slCapacity)
+	switch nfree {
+	case 1:
+		// Was full and unlisted: give it back to the avail list.
+		listInsert(t, slot+8, rec)
+	case capacity:
+		// Fully free and not current: retire the pages.
+		listRemove(t, rec)
+		a.spanFree(t, rec)
+	}
+}
+
+// engineMalloc / engineFree are the inline entry points around the
+// engine (lock in inline mode, bare in server context).
+func (a *Allocator) engineMalloc(t *sim.Thread, size uint64) uint64 {
+	class, ok := a.sc.ClassFor(size)
+	if !ok {
+		pages := int((size + mem.PageSize - 1) >> mem.PageShift)
+		rec := a.spanAlloc(t, pages)
+		t.Store64(rec+slClass, classLarge)
+		return t.Load64(rec + slBase)
+	}
+	return a.allocClass(t, class)
+}
+
+func (a *Allocator) engineFree(t *sim.Thread, addr uint64) {
+	rec := a.pagemapGet(t, addr)
+	classWord := t.Load64(rec + slClass)
+	if classWord == classLarge {
+		a.spanFree(t, rec)
+		return
+	}
+	a.freeClass(t, rec, int(classWord), addr)
+}
+
+// --- public API ----------------------------------------------------------------
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
+	a.stats.MallocCalls++
+	t.Exec(4)
+	if class, ok := a.sc.ClassFor(size); ok {
+		a.stats.LiveBytes += a.sc.Size(class)
+	} else {
+		a.stats.LiveBytes += (size + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	}
+	if !a.cfg.Offload {
+		a.lock.Lock(t)
+		p := a.engineMalloc(t, size)
+		a.lock.Unlock(t)
+		return p
+	}
+	c := a.clientOf(t)
+	// Predictive preallocation: consume a locally stashed block when the
+	// server stocked this class — no round trip at all.
+	if a.cfg.Prealloc > 0 {
+		if class, ok := a.sc.ClassFor(size); ok {
+			slot := stashSlot(c.page, class)
+			r := c.readIdx[class]
+			if t.AtomicLoad64(slot+stashWrite) != r {
+				addr := t.Load64(slot + stashAddrs + (r%stashWindow)*8)
+				c.readIdx[class] = r + 1
+				// Publish the read index lazily (every other pop): the
+				// server only needs a bounded-staleness view, and the
+				// store upgrades a line the server polls.
+				if (r+1)%2 == 0 {
+					t.Store64(slot+stashRead, r+1)
+				}
+				return addr
+			}
+		}
+	}
+	// Synchronous request: push and spin on the response line (the two
+	// flag variables of the paper's prototype collapse onto seq).
+	c.seq++
+	c.mreq.Push(t, opMalloc|size<<8, c.seq)
+	for t.AtomicLoad64(c.page+respSeq) != c.seq {
+		t.Pause(4)
+	}
+	return t.Load64(c.page + respAddr)
+}
+
+// Free implements alloc.Allocator.
+func (a *Allocator) Free(t *sim.Thread, addr uint64) {
+	a.stats.FreeCalls++
+	t.Exec(2)
+	// Live-byte accounting is host-side bookkeeping (the engine knows the
+	// class only after its metadata lookup).
+	if !a.cfg.Offload {
+		a.lock.Lock(t)
+		a.engineFreeCounted(t, addr)
+		a.lock.Unlock(t)
+		return
+	}
+	c := a.clientOf(t)
+	c.seq++
+	c.freq.Push(t, opFree, addr)
+	if !a.cfg.AsyncFree {
+		// Synchronous-free mode: chase the free with a sync barrier so
+		// the client observes completion (the ring is FIFO per client).
+		c.seq++
+		c.freq.Push(t, opSync, c.seq)
+		for t.AtomicLoad64(c.page+respSeq) != c.seq {
+			t.Pause(4)
+		}
+	}
+}
+
+func (a *Allocator) engineFreeCounted(t *sim.Thread, addr uint64) {
+	rec := a.pagemapGet(t, addr)
+	classWord := t.Load64(rec + slClass)
+	if classWord == classLarge {
+		a.stats.LiveBytes -= t.Load64(rec+slPages) << mem.PageShift
+		a.spanFree(t, rec)
+		return
+	}
+	class := int(classWord)
+	a.stats.LiveBytes -= a.sc.Size(class)
+	a.freeClass(t, rec, class, addr)
+}
+
+// Preheat warms the allocator for the given request sizes before the
+// workload starts issuing them — the paper's §3.3.2 FaaS cold-start
+// remedy ("NextGen-Malloc can be extended to monitor inter-process
+// memory heap similarities in FaaS systems"): a new function instance's
+// allocation profile is known from previous instances, so the dedicated
+// core stocks the matching classes ahead of the first request. In
+// offload mode the requests are queued asynchronously and drained with
+// a flush barrier; inline mode pre-carves the slabs directly.
+func (a *Allocator) Preheat(t *sim.Thread, sizes []uint64) {
+	seen := map[int]bool{}
+	for _, size := range sizes {
+		class, ok := a.sc.ClassFor(size)
+		if !ok || seen[class] {
+			continue
+		}
+		seen[class] = true
+		if !a.cfg.Offload {
+			a.lock.Lock(t)
+			blk := a.allocClass(t, class)
+			a.freeClass(t, a.pagemapGet(t, blk), class, blk)
+			a.lock.Unlock(t)
+			continue
+		}
+		c := a.clientOf(t)
+		c.seq++
+		c.freq.Push(t, opPreheat|uint64(class)<<8, 0)
+	}
+	if a.cfg.Offload {
+		a.Flush(t)
+	}
+}
+
+// Flush implements alloc.Flusher: it drains this thread's queued
+// asynchronous frees (a sync barrier through the ring).
+func (a *Allocator) Flush(t *sim.Thread) {
+	if !a.cfg.Offload {
+		return
+	}
+	c := a.clientOf(t)
+	c.seq++
+	c.freq.Push(t, opSync, c.seq)
+	for t.AtomicLoad64(c.page+respSeq) != c.seq {
+		t.Pause(4)
+	}
+}
+
+// clientOf lazily registers the calling thread with the server.
+func (a *Allocator) clientOf(t *sim.Thread) *client {
+	if c, ok := a.byThread[t.ID()]; ok {
+		return c
+	}
+	pages := (freeRingOff + ring.BytesFor(a.cfg.RingSlots) + mem.PageSize - 1) >> mem.PageShift
+	page := t.Mmap(pages)
+	c := &client{
+		threadID: t.ID(),
+		page:     page,
+		mreq:     ring.New(page+mallocRingOff, mallocRingSlots),
+		freq:     ring.New(page+freeRingOff, a.cfg.RingSlots),
+	}
+	a.byThread[t.ID()] = c
+	// Publication to the server's poll set: the host slice append is the
+	// registration; determinism holds because only one simulated thread
+	// runs at a time.
+	a.registerL.Lock(t)
+	a.clients = append(a.clients, c)
+	a.registerL.Unlock(t)
+	return c
+}
+
+// Served reports how many ring operations the server has processed.
+func (a *Allocator) Served() uint64 { return a.served }
+
+// --- server -----------------------------------------------------------------
+
+// Server is the dedicated-core daemon body. Spawn it before sim.Run and
+// attach the allocator once constructed:
+//
+//	srv := core.NewServer()
+//	m.SpawnDaemon("ngm-server", serverCore, srv.Run)
+//	...
+//	a := core.New(t, cfg)
+//	srv.Attach(a)
+type Server struct {
+	a *Allocator
+}
+
+// NewServer returns an empty server awaiting Attach.
+func NewServer() *Server { return &Server{} }
+
+// Attach hands the allocator to the server loop.
+func (s *Server) Attach(a *Allocator) { s.a = a }
+
+// Run is the daemon body: poll every client ring round-robin, service
+// requests with the (atomics-free) slab engine, publish responses.
+func (s *Server) Run(t *sim.Thread) {
+	for {
+		if t.Stopping() {
+			if s.a == nil || s.drain(t) {
+				return
+			}
+		}
+		if s.a == nil {
+			t.Pause(200)
+			continue
+		}
+		if !s.Poll(t) {
+			s.Idle(t)
+			t.Pause(8)
+		}
+	}
+}
+
+// Poll performs one service pass over every client (malloc rings with
+// priority, then a bounded slice of the free backlog) and reports
+// whether any work was found. Exposed so the dedicated core can be
+// shared with other service functions (the paper's "can the room be
+// used for other functions" question).
+func (s *Server) Poll(t *sim.Thread) bool {
+	a := s.a
+	if a == nil {
+		return false
+	}
+	busy := false
+	// Priority pass: synchronous malloc requests first.
+	for _, c := range a.clients {
+		for {
+			w0, w1, ok := c.mreq.TryPop(t)
+			if !ok {
+				break
+			}
+			busy = true
+			s.serve(t, c, w0, w1)
+		}
+	}
+	// Background pass: drain free backlog, re-checking the malloc
+	// ring between frees so a request never waits behind the batch.
+	for _, c := range a.clients {
+		for n := 0; n < 16; n++ {
+			if w0, w1, ok := c.mreq.TryPop(t); ok {
+				busy = true
+				s.serve(t, c, w0, w1)
+			}
+			w0, w1, ok := c.freq.TryPop(t)
+			if !ok {
+				break
+			}
+			busy = true
+			s.serve(t, c, w0, w1)
+		}
+	}
+	return busy
+}
+
+// Idle spends spare core cycles topping up the stashes of recently
+// requested classes (predictive preallocation, §3.3.2).
+func (s *Server) Idle(t *sim.Thread) {
+	a := s.a
+	if a == nil || a.cfg.Prealloc == 0 {
+		return
+	}
+	for _, c := range a.clients {
+		for _, h := range c.hot {
+			if h > 0 {
+				s.topUp(t, c, h-1)
+			}
+		}
+	}
+}
+
+// Drain services everything still queued (shutdown path for shared-room
+// daemons).
+func (s *Server) Drain(t *sim.Thread) {
+	if s.a != nil {
+		s.drain(t)
+	}
+}
+
+// topUp fills a client's per-class stash ring up to the configured
+// depth. SPSC: only the server writes addresses and writeIdx, only the
+// client writes readIdx, so this is safe to run while the client pops.
+func (s *Server) topUp(t *sim.Thread, c *client, class int) {
+	a := s.a
+	slot := stashSlot(c.page, class)
+	w := t.Load64(slot + stashWrite)
+	r := t.Load64(slot + stashRead)
+	depth := uint64(a.cfg.Prealloc)
+	// The client publishes its read index every other pop, so the view
+	// here can lag by one; keep one window slot of slack.
+	if depth > stashWindow-1 {
+		depth = stashWindow - 1
+	}
+	have := w - r
+	if have >= depth {
+		return
+	}
+	for n := have; n < depth; n++ {
+		t.Store64(slot+stashAddrs+(w%stashWindow)*8, a.allocClass(t, class))
+		w++
+	}
+	t.AtomicStore64(slot+stashWrite, w)
+}
+
+// drain services any remaining queued operations; reports completion.
+func (s *Server) drain(t *sim.Thread) bool {
+	for _, c := range s.a.clients {
+		for {
+			w0, w1, ok := c.mreq.TryPop(t)
+			if !ok {
+				break
+			}
+			s.serve(t, c, w0, w1)
+		}
+		for {
+			w0, w1, ok := c.freq.TryPop(t)
+			if !ok {
+				break
+			}
+			s.serve(t, c, w0, w1)
+		}
+	}
+	return true
+}
+
+func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) {
+	a := s.a
+	a.served++
+	switch w0 & 0xff {
+	case opMalloc:
+		size := w0 >> 8
+		addr := a.engineMalloc(t, size)
+		t.Store64(c.page+respAddr, addr)
+		t.AtomicStore64(c.page+respSeq, w1)
+		// The client is already unblocked; restock its stash off the
+		// critical path and remember the class for idle top-ups.
+		if a.cfg.Prealloc > 0 {
+			if class, ok := a.sc.ClassFor(size); ok {
+				s.topUp(t, c, class)
+				c.noteHot(class)
+			}
+		}
+	case opFree:
+		a.engineFreeCounted(t, w1)
+		// Asynchronous: no response. (The client's seq counter advanced,
+		// so a later sync op publishes the newest seq.)
+	case opSync:
+		t.AtomicStore64(c.page+respSeq, w1)
+	case opPreheat:
+		// Stock the class's stash and pre-carve its slab so the first
+		// real allocation after a cold start is a local pop.
+		class := int(w0 >> 8)
+		if a.cfg.Prealloc > 0 {
+			s.topUp(t, c, class)
+		} else {
+			blk := a.allocClass(t, class)
+			a.freeClass(t, a.pagemapGet(t, blk), class, blk)
+		}
+		c.noteHot(class)
+	default:
+		panic(fmt.Sprintf("core: unknown ring op %#x", w0))
+	}
+}

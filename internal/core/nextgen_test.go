@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/alloctest"
+	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/sim"
+)
+
+// factory builds a NextGen variant for the conformance suite.
+func factory(cfg Config, srvSlot **Server) alloctest.Factory {
+	return func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+		a := New(th, cfg)
+		if cfg.Offload && srvSlot != nil && *srvSlot != nil {
+			(*srvSlot).Attach(a)
+		}
+		return a
+	}
+}
+
+func TestConformanceOffload(t *testing.T) {
+	var srv *Server
+	alloctest.Run(t, alloctest.Options{
+		Factory: factory(DefaultConfig(), &srv),
+		Daemon: func(m *sim.Machine) {
+			srv = NewServer()
+			m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+		},
+	})
+}
+
+func TestConformancePrealloc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Prealloc = 12
+	var srv *Server
+	alloctest.Run(t, alloctest.Options{
+		Factory: factory(cfg, &srv),
+		Daemon: func(m *sim.Machine) {
+			srv = NewServer()
+			m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+		},
+	})
+}
+
+func TestConformanceInline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Offload = false
+	alloctest.Run(t, alloctest.Options{Factory: factory(cfg, nil)})
+}
+
+func TestConformanceInlineAggregated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Offload = false
+	cfg.Layout = Aggregated
+	alloctest.Run(t, alloctest.Options{Factory: factory(cfg, nil)})
+}
+
+func TestConformanceSyncFree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AsyncFree = false
+	var srv *Server
+	alloctest.Run(t, alloctest.Options{
+		Factory: factory(cfg, &srv),
+		Daemon: func(m *sim.Machine) {
+			srv = NewServer()
+			m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+		},
+	})
+}
+
+// TestMetadataRegionIsolated: with the segregated layout, no allocator
+// metadata lives in user-visible pages — every metadata mmap lands in
+// the dedicated MetaBase range.
+func TestMetadataRegionIsolated(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		cfg := DefaultConfig()
+		cfg.Offload = false
+		a := New(th, cfg)
+		if a.pagemapRoot < mem.MetaBase || a.pagemapRoot >= mem.MmapBase {
+			t.Errorf("pagemap root %#x outside the metadata region", a.pagemapRoot)
+		}
+		if a.metaBase < mem.MetaBase || a.metaBase >= mem.MmapBase {
+			t.Errorf("slab records %#x outside the metadata region", a.metaBase)
+		}
+		p := a.Malloc(th, 64)
+		if p < mem.MmapBase {
+			t.Errorf("user block %#x not in the user mmap region", p)
+		}
+		// Segregated: the allocator must not have written the block.
+		q := a.Malloc(th, 64)
+		a.Free(th, q)
+		if w := th.Load64(q); w != 0 {
+			t.Errorf("segregated layout wrote %#x into a freed block", w)
+		}
+		a.Free(th, p)
+	})
+	m.Run()
+}
+
+// TestAggregatedWritesBlocks: the aggregated layout, by contrast,
+// threads its free list through the blocks.
+func TestAggregatedWritesBlocks(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		cfg := DefaultConfig()
+		cfg.Offload = false
+		cfg.Layout = Aggregated
+		a := New(th, cfg)
+		p := a.Malloc(th, 64)
+		q := a.Malloc(th, 64)
+		th.Store64(p, 0xfeed)
+		a.Free(th, p)
+		a.Free(th, q)
+		// q's first word now holds the intrusive link to p.
+		if w := th.Load64(q); w != p {
+			t.Errorf("aggregated free list link = %#x, want %#x", w, p)
+		}
+	})
+	m.Run()
+}
+
+// TestAsyncFreeCompletesByFlush: frees queue without blocking and are
+// all applied once Flush returns.
+func TestAsyncFreeCompletesByFlush(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	srv := NewServer()
+	m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th, DefaultConfig())
+		srv.Attach(a)
+		addrs := make([]uint64, 500)
+		for i := range addrs {
+			addrs[i] = a.Malloc(th, 48)
+		}
+		for _, p := range addrs {
+			a.Free(th, p)
+		}
+		a.Flush(th)
+		// After the flush barrier every free was applied: allocating the
+		// same count of the same class must reuse the same blocks.
+		reused := map[uint64]bool{}
+		for _, p := range addrs {
+			reused[p] = true
+		}
+		hits := 0
+		for range addrs {
+			if reused[a.Malloc(th, 48)] {
+				hits++
+			}
+		}
+		if hits < 400 {
+			t.Errorf("only %d/500 blocks reused after Flush; frees not drained", hits)
+		}
+	})
+	m.Run()
+}
+
+// TestServerServesAllOps: every ring operation is accounted.
+func TestServerServesAllOps(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	srv := NewServer()
+	m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+	var a *Allocator
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a = New(th, DefaultConfig())
+		srv.Attach(a)
+		for i := 0; i < 100; i++ {
+			p := a.Malloc(th, 64)
+			a.Free(th, p)
+		}
+		a.Flush(th)
+	})
+	m.Run()
+	// 100 mallocs + 100 frees + 1 sync.
+	if got := a.Served(); got != 201 {
+		t.Errorf("server served %d ops, want 201", got)
+	}
+}
+
+// TestNoAtomicsInEngine: the offloaded engine path performs no atomic
+// RMW operations (paper §3.1.3 "Strategy 2").
+func TestNoAtomicsInEngine(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	serverCore := m.Cores() - 1
+	srv := NewServer()
+	m.SpawnDaemon("server", serverCore, srv.Run)
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := New(th, DefaultConfig())
+		srv.Attach(a)
+		for i := 0; i < 200; i++ {
+			p := a.Malloc(th, uint64(16+(i%20)*16))
+			a.Free(th, p)
+		}
+		a.Flush(th)
+	})
+	m.Run()
+	if got := m.CoreCounters(serverCore).AtomicOps; got != 0 {
+		t.Errorf("server core executed %d atomic RMWs; the engine should need none", got)
+	}
+}
+
+// TestStashHitAvoidsRoundTrip: with preallocation, repeated same-class
+// mallocs mostly bypass the ring.
+func TestStashHitAvoidsRoundTrip(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	srv := NewServer()
+	m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+	var a *Allocator
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		cfg := DefaultConfig()
+		cfg.Prealloc = 12
+		a = New(th, cfg)
+		srv.Attach(a)
+		var addrs []uint64
+		for i := 0; i < 300; i++ {
+			addrs = append(addrs, a.Malloc(th, 64))
+		}
+		for _, p := range addrs {
+			a.Free(th, p)
+		}
+		a.Flush(th)
+	})
+	m.Run()
+	// 300 mallocs: after warmup the stash absorbs most; the ring sees
+	// frees (300) + sync (1) + only the stash-miss mallocs.
+	ringMallocs := a.Served() - 300 - 1
+	if ringMallocs > 100 {
+		t.Errorf("%d of 300 mallocs went through the ring; stash ineffective", ringMallocs)
+	}
+}

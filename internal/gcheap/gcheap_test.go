@@ -1,0 +1,210 @@
+package gcheap
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/sim"
+)
+
+func withHeap(t *testing.T, roots int, fn func(th *sim.Thread, h *Heap)) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("mutator", 0, func(th *sim.Thread) {
+		fn(th, New(th, roots))
+	})
+	m.Run()
+}
+
+func TestAllocAndReadWrite(t *testing.T) {
+	withHeap(t, 4, func(th *sim.Thread, h *Heap) {
+		a := h.Alloc(th, 2, 32)
+		b := h.Alloc(th, 0, 16)
+		h.WriteRef(th, a, 0, b)
+		if h.ReadRef(th, a, 0) != b {
+			t.Error("reference slot lost")
+		}
+		if h.ReadRef(th, a, 1) != 0 {
+			t.Error("fresh slot not nil")
+		}
+		// Payload writes behind the ref slots.
+		th.Store64(a+16, 0x77)
+		if th.Load64(a+16) != 0x77 {
+			t.Error("payload lost")
+		}
+	})
+}
+
+// TestCollectReclaimsGarbage: unreachable objects return to the free
+// stacks; reachable ones survive.
+func TestCollectReclaimsGarbage(t *testing.T) {
+	withHeap(t, 2, func(th *sim.Thread, h *Heap) {
+		// A linked list of 50 objects from root 0, plus 100 orphans.
+		prev := uint64(0)
+		for i := 0; i < 50; i++ {
+			o := h.Alloc(th, 1, 16)
+			h.WriteRef(th, o, 0, prev)
+			prev = o
+		}
+		th.Store64(h.RootAddr(0), prev)
+		for i := 0; i < 100; i++ {
+			h.Alloc(th, 1, 16)
+		}
+		if live := h.LiveObjects(th); live != 150 {
+			t.Fatalf("pre-GC live = %d, want 150", live)
+		}
+		swept := h.Collect(th)
+		if swept != 100 {
+			t.Errorf("swept %d, want 100", swept)
+		}
+		if live := h.LiveObjects(th); live != 50 {
+			t.Errorf("post-GC live = %d, want 50", live)
+		}
+		// The list must still be intact.
+		n := 0
+		for o := th.Load64(h.RootAddr(0)); o != 0; o = h.ReadRef(th, o, 0) {
+			n++
+		}
+		if n != 50 {
+			t.Errorf("list length after GC = %d", n)
+		}
+	})
+}
+
+// TestCollectCycles: cyclic garbage is reclaimed (tracing, not
+// refcounting).
+func TestCollectCycles(t *testing.T) {
+	withHeap(t, 1, func(th *sim.Thread, h *Heap) {
+		a := h.Alloc(th, 1, 0)
+		b := h.Alloc(th, 1, 0)
+		h.WriteRef(th, a, 0, b)
+		h.WriteRef(th, b, 0, a)
+		// No root points at the cycle.
+		if swept := h.Collect(th); swept != 2 {
+			t.Errorf("cycle not reclaimed: swept %d", swept)
+		}
+	})
+}
+
+// TestReuseAfterSweep: swept slots satisfy new allocations without heap
+// growth.
+func TestReuseAfterSweep(t *testing.T) {
+	withHeap(t, 1, func(th *sim.Thread, h *Heap) {
+		seen := map[uint64]bool{}
+		for i := 0; i < 200; i++ {
+			seen[h.Alloc(th, 0, 48)] = true
+		}
+		h.Collect(th) // everything is garbage
+		reused := 0
+		for i := 0; i < 200; i++ {
+			if seen[h.Alloc(th, 0, 48)] {
+				reused++
+			}
+		}
+		if reused != 200 {
+			t.Errorf("only %d/200 slots reused after sweep", reused)
+		}
+	})
+}
+
+// TestDeepGraphMarking: a deep chain exercises the worklist.
+func TestDeepGraphMarking(t *testing.T) {
+	withHeap(t, 1, func(th *sim.Thread, h *Heap) {
+		prev := uint64(0)
+		for i := 0; i < 5000; i++ {
+			o := h.Alloc(th, 1, 0)
+			h.WriteRef(th, o, 0, prev)
+			prev = o
+		}
+		th.Store64(h.RootAddr(0), prev)
+		if swept := h.Collect(th); swept != 0 {
+			t.Errorf("live chain partially swept: %d", swept)
+		}
+		if h.Stats().ObjectsMarked != 5000 {
+			t.Errorf("marked %d, want 5000", h.Stats().ObjectsMarked)
+		}
+	})
+}
+
+// TestSharedSlots: objects with many refs (wide nodes) trace fully.
+func TestWideNodes(t *testing.T) {
+	withHeap(t, 1, func(th *sim.Thread, h *Heap) {
+		root := h.Alloc(th, 16, 0)
+		kids := make([]uint64, 16)
+		for i := range kids {
+			kids[i] = h.Alloc(th, 0, 24)
+			h.WriteRef(th, root, i, kids[i])
+		}
+		th.Store64(h.RootAddr(0), root)
+		h.Alloc(th, 0, 24) // one orphan
+		if swept := h.Collect(th); swept != 1 {
+			t.Errorf("swept %d, want 1", swept)
+		}
+	})
+}
+
+// TestOffloadedCollectEquivalent: the offloaded collector reclaims the
+// same garbage as the inline one and keeps the heap usable.
+func TestOffloadedCollectEquivalent(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	var h *Heap
+	var off *Offloader
+	gcCore := m.Cores() - 1
+	m.SpawnDaemon("gc", gcCore, func(th *sim.Thread) {
+		for off == nil {
+			if th.Stopping() {
+				return
+			}
+			th.Pause(100)
+		}
+		off.Serve(th)
+	})
+	m.Spawn("mutator", 0, func(th *sim.Thread) {
+		h = New(th, 1)
+		off = NewOffloader(th, h)
+		prev := uint64(0)
+		for i := 0; i < 40; i++ {
+			o := h.Alloc(th, 1, 16)
+			h.WriteRef(th, o, 0, prev)
+			prev = o
+		}
+		th.Store64(h.RootAddr(0), prev)
+		for i := 0; i < 60; i++ {
+			h.Alloc(th, 0, 16)
+		}
+		off.Request(th)
+		if live := h.LiveObjects(th); live != 40 {
+			t.Errorf("post-offloaded-GC live = %d, want 40", live)
+		}
+		if h.Stats().PauseCycles == 0 {
+			t.Error("offloaded pause not recorded")
+		}
+		// The heap keeps working after an offloaded collection.
+		p := h.Alloc(th, 0, 16)
+		th.Store64(p+8, 5)
+	})
+	m.Run()
+	if h.Stats().Collections != 1 {
+		t.Errorf("collections = %d", h.Stats().Collections)
+	}
+}
+
+// TestMultiSlabReuseAfterSweep: a shape spanning several slabs must
+// rotate back onto swept slabs instead of growing the heap.
+func TestMultiSlabReuseAfterSweep(t *testing.T) {
+	withHeap(t, 1, func(th *sim.Thread, h *Heap) {
+		// 600 objects of one shape: at least three 256-object slabs.
+		for i := 0; i < 600; i++ {
+			h.Alloc(th, 0, 48)
+		}
+		slabsBefore := len(h.slabs)
+		h.Collect(th) // all garbage
+		for round := 0; round < 4; round++ {
+			for i := 0; i < 600; i++ {
+				h.Alloc(th, 0, 48)
+			}
+			h.Collect(th)
+		}
+		if got := len(h.slabs); got != slabsBefore {
+			t.Errorf("heap grew from %d to %d slabs across sweeps", slabsBefore, got)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package gcheap
+
+import "nextgenmalloc/internal/sim"
+
+// Offloader runs collections on a dedicated core (the paper's §3.3.2
+// proposal). Collection is still stop-the-world — the mutator blocks on
+// a flag line — but all mark/sweep metadata traffic (bitmaps, worklist,
+// free stacks, pagemap) hits the GC core's caches, so the mutator
+// resumes with its own cache and TLB state intact apart from the object
+// reference slots the marker had to read.
+//
+// Shared-line protocol (one line each, like the §4.2 prototype's flag
+// variables):
+//
+//	page+0:  request sequence (mutator writes)
+//	page+64: completion sequence (collector writes)
+type Offloader struct {
+	h    *Heap
+	page uint64
+	seq  uint64
+	done uint64 // collector-side: last request acknowledged
+}
+
+// NewOffloader wires a heap to a GC core; t performs the flag-page mmap.
+func NewOffloader(t *sim.Thread, h *Heap) *Offloader {
+	return &Offloader{h: h, page: t.Mmap(1)}
+}
+
+// Request triggers a collection and blocks until it completes. The spin
+// time is recorded as mutator pause.
+func (o *Offloader) Request(t *sim.Thread) {
+	start := t.Clock()
+	o.seq++
+	t.AtomicStore64(o.page, o.seq)
+	for t.AtomicLoad64(o.page+64) != o.seq {
+		t.Pause(16)
+	}
+	o.h.stats.PauseCycles += t.Clock() - start
+}
+
+// Serve is the GC core's daemon body: poll for requests, collect,
+// acknowledge. It returns when the machine stops.
+func (o *Offloader) Serve(t *sim.Thread) {
+	for !t.Stopping() {
+		if !o.Poll(t) {
+			t.Pause(64)
+		}
+	}
+}
+
+// Poll services one pending collection request if any; it reports
+// whether it did work. Exposed so a shared dedicated core can
+// interleave GC with other service functions.
+func (o *Offloader) Poll(t *sim.Thread) bool {
+	req := t.AtomicLoad64(o.page)
+	if req == o.done {
+		return false
+	}
+	o.h.Collect(t)
+	o.done = req
+	t.AtomicStore64(o.page+64, o.done)
+	return true
+}
+
+// CollectInline runs a collection on the mutator's own core, recording
+// the pause (the baseline the offloaded mode is compared against).
+func (h *Heap) CollectInline(t *sim.Thread) {
+	start := t.Clock()
+	h.Collect(t)
+	h.stats.PauseCycles += t.Clock() - start
+}

@@ -1,0 +1,246 @@
+// Package harness runs one (machine, allocator, workload) experiment and
+// returns the PMU counters the paper's tables report.
+//
+// Protocol: worker thread 0 constructs the allocator and the workload's
+// shared state, publishes a ready flag, and all workers meet at a
+// barrier; each worker then snapshots its core's counters, runs its part,
+// flushes any buffered allocator work, and snapshots again. Reported
+// counters are the deltas, so allocator/workload construction cost is
+// excluded, as `perf` region-of-interest measurement would do.
+package harness
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/allocators/bump"
+	"nextgenmalloc/internal/allocators/jemalloc"
+	"nextgenmalloc/internal/allocators/mimalloc"
+	"nextgenmalloc/internal/allocators/ptmalloc"
+	"nextgenmalloc/internal/allocators/tcmalloc"
+	"nextgenmalloc/internal/core"
+	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/workload"
+)
+
+// Kinds lists every allocator the harness can instantiate.
+var Kinds = []string{
+	"ptmalloc2", "jemalloc", "tcmalloc", "mimalloc", "bump",
+	"nextgen", "nextgen-prealloc", "nextgen-sync",
+	"nextgen-inline", "nextgen-inline-agg", "nextgen-nearmem",
+}
+
+// ClassicKinds are the four allocators of Figure 1 / Table 1, in the
+// paper's column order.
+var ClassicKinds = []string{"ptmalloc2", "jemalloc", "tcmalloc", "mimalloc"}
+
+// Options configures one experiment.
+type Options struct {
+	// Allocator is one of Kinds.
+	Allocator string
+	// Workload drives the run.
+	Workload workload.Workload
+	// Machine overrides the default 16-core configuration when non-nil.
+	Machine *sim.Config
+	// ServerCore pins NextGen's dedicated core (default: last core).
+	ServerCore int
+	// Wrap, when non-nil, decorates the allocator before use (e.g. a
+	// trace recorder).
+	Wrap func(alloc.Allocator) alloc.Allocator
+	// Prepare, when non-nil, runs on worker 0 after workload setup and
+	// before the measurement barrier (e.g. core.Allocator.Preheat).
+	Prepare func(t *sim.Thread, a alloc.Allocator)
+}
+
+// Result carries everything a table needs.
+type Result struct {
+	Allocator string
+	Workload  string
+	// PerThread holds each worker core's counter delta over the measured
+	// region.
+	PerThread []sim.Counters
+	// Total is the sum of the worker deltas (how the paper's per-process
+	// perf totals aggregate across cores).
+	Total sim.Counters
+	// Server is the dedicated allocator core's delta (offload modes).
+	Server sim.Counters
+	// WallCycles is the longest worker delta.
+	WallCycles uint64
+	// AllocStats is the allocator's own view after the run.
+	AllocStats alloc.Stats
+	// Kernel is the simulated kernel's syscall accounting.
+	Kernel mem.KernelStats
+	// Served counts offload-server ring operations (0 otherwise).
+	Served uint64
+}
+
+// MPKI returns (llcLoad, llcStore, dtlbLoad, dtlbStore) misses per
+// kilo-instruction for the total counters.
+func (r Result) MPKI() (llcLoad, llcStore, dtlbLoad, dtlbStore float64) {
+	ins := r.Total.Instructions
+	return sim.MPKI(r.Total.LLCLoadMisses, ins),
+		sim.MPKI(r.Total.LLCStoreMisses, ins),
+		sim.MPKI(r.Total.DTLBLoadMisses, ins),
+		sim.MPKI(r.Total.DTLBStoreMisses, ins)
+}
+
+// needsServer reports whether kind runs the offload daemon.
+func needsServer(kind string) bool {
+	switch kind {
+	case "nextgen", "nextgen-prealloc", "nextgen-sync", "nextgen-nearmem":
+		return true
+	}
+	return false
+}
+
+// nextgenConfig maps a kind to the core.Config variant.
+func nextgenConfig(kind string) core.Config {
+	cfg := core.DefaultConfig()
+	switch kind {
+	case "nextgen-prealloc":
+		cfg.Prealloc = 12
+	case "nextgen-sync":
+		cfg.AsyncFree = false
+	case "nextgen-inline":
+		cfg.Offload = false
+	case "nextgen-inline-agg":
+		cfg.Offload = false
+		cfg.Layout = core.Aggregated
+	}
+	return cfg
+}
+
+// Run executes the experiment.
+func Run(opt Options) Result {
+	known := false
+	for _, k := range Kinds {
+		if k == opt.Allocator {
+			known = true
+			break
+		}
+	}
+	if !known {
+		panic(fmt.Sprintf("harness: unknown allocator %q", opt.Allocator))
+	}
+	w := opt.Workload
+	n := w.Threads()
+	if n <= 0 {
+		panic("harness: workload declares no threads")
+	}
+
+	mcfg := sim.ScaledConfig()
+	if opt.Machine != nil {
+		mcfg = *opt.Machine
+	}
+	serverCore := opt.ServerCore
+	if serverCore == 0 {
+		serverCore = mcfg.Cores - 1
+	}
+	if n > serverCore && needsServer(opt.Allocator) {
+		panic(fmt.Sprintf("harness: %d workers collide with server core %d", n, serverCore))
+	}
+	if n > mcfg.Cores {
+		panic(fmt.Sprintf("harness: %d workers exceed %d cores", n, mcfg.Cores))
+	}
+	if opt.Allocator == "nextgen-nearmem" {
+		if mcfg.CoreOverrides == nil {
+			mcfg.CoreOverrides = map[int]sim.CoreProfile{}
+		}
+		mcfg.CoreOverrides[serverCore] = sim.NearMemoryProfile()
+	}
+
+	m := sim.New(mcfg)
+	// The "loader" maps the control page before the program starts.
+	ctrl, _ := m.Kernel().Mmap(1)
+
+	var srv *core.Server
+	if needsServer(opt.Allocator) {
+		srv = core.NewServer()
+		m.SpawnDaemon("ngm-server", serverCore, srv.Run)
+	}
+
+	res := Result{
+		Allocator: opt.Allocator,
+		Workload:  w.Name(),
+		PerThread: make([]sim.Counters, n),
+	}
+	var a alloc.Allocator
+	var serverStart sim.Counters
+
+	for i := 0; i < n; i++ {
+		part := i
+		m.Spawn(fmt.Sprintf("%s-worker-%d", w.Name(), part), part, func(t *sim.Thread) {
+			if part == 0 {
+				a = makeAllocator(t, opt.Allocator, srv)
+				if opt.Wrap != nil {
+					a = opt.Wrap(a)
+				}
+				w.Setup(t, a)
+				if opt.Prepare != nil {
+					opt.Prepare(t, a)
+				}
+				t.AtomicStore64(ctrl, 1)
+			} else {
+				for t.Load64(ctrl) == 0 {
+					t.Pause(100)
+				}
+			}
+			// Barrier: everyone measures from a common point.
+			t.FetchAdd64(ctrl+64, 1)
+			for t.Load64(ctrl+64) != uint64(n) {
+				t.Pause(50)
+			}
+			if part == 0 && srv != nil {
+				serverStart = t.Machine().CoreCounters(serverCore)
+			}
+			start := t.Counters()
+			w.Run(t, part, a)
+			if f, ok := a.(alloc.Flusher); ok {
+				f.Flush(t)
+			}
+			res.PerThread[part] = t.Counters().Sub(start)
+		})
+	}
+	m.Run()
+
+	for _, d := range res.PerThread {
+		res.Total.Add(d)
+		if d.Cycles > res.WallCycles {
+			res.WallCycles = d.Cycles
+		}
+	}
+	if srv != nil {
+		res.Server = m.CoreCounters(serverCore).Sub(serverStart)
+	}
+	res.AllocStats = a.Stats()
+	res.Kernel = m.Kernel().Stats()
+	if ng, ok := a.(*core.Allocator); ok {
+		res.Served = ng.Served()
+	}
+	return res
+}
+
+// makeAllocator instantiates the requested allocator on thread t.
+func makeAllocator(t *sim.Thread, kind string, srv *core.Server) alloc.Allocator {
+	switch kind {
+	case "ptmalloc2":
+		return ptmalloc.New(t)
+	case "jemalloc":
+		return jemalloc.New(t, 0)
+	case "tcmalloc":
+		return tcmalloc.New(t)
+	case "mimalloc":
+		return mimalloc.New(t)
+	case "bump":
+		return bump.New(t)
+	case "nextgen", "nextgen-prealloc", "nextgen-sync", "nextgen-nearmem",
+		"nextgen-inline", "nextgen-inline-agg":
+		a := core.New(t, nextgenConfig(kind))
+		if srv != nil {
+			srv.Attach(a)
+		}
+		return a
+	}
+	panic(fmt.Sprintf("harness: unknown allocator %q", kind))
+}

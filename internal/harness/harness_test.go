@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/workload"
+)
+
+// TestSmokeAllAllocators runs a small xalanc trace on every allocator
+// kind; it catches gross allocator bugs (page faults panic the sim).
+func TestSmokeAllAllocators(t *testing.T) {
+	for _, kind := range Kinds {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			w := workload.DefaultXalanc(2000)
+			w.NodeSlots = 1500
+			res := Run(Options{Allocator: kind, Workload: w})
+			if res.Total.Instructions == 0 {
+				t.Fatal("no instructions retired")
+			}
+			if res.AllocStats.MallocCalls == 0 {
+				t.Fatal("no mallocs recorded")
+			}
+			t.Logf("%-18s cycles=%d instr=%d llcL=%d llcS=%d tlbL=%d frag=%.2f",
+				kind, res.Total.Cycles, res.Total.Instructions,
+				res.Total.LLCLoadMisses, res.Total.LLCStoreMisses,
+				res.Total.DTLBLoadMisses, res.AllocStats.Fragmentation())
+		})
+	}
+}
+
+// TestSmokeMultithread exercises the cross-thread free paths.
+func TestSmokeMultithread(t *testing.T) {
+	for _, kind := range []string{"ptmalloc2", "jemalloc", "tcmalloc", "mimalloc", "nextgen"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			w := &workload.Xmalloc{NThreads: 4, OpsPerThread: 800, TouchBytes: 64, Seed: 3}
+			res := Run(Options{Allocator: kind, Workload: w})
+			if res.AllocStats.MallocCalls < 4*800 {
+				t.Fatalf("expected >= 3200 mallocs, got %d", res.AllocStats.MallocCalls)
+			}
+			if res.AllocStats.FreeCalls != res.AllocStats.MallocCalls {
+				t.Fatalf("mallocs %d != frees %d", res.AllocStats.MallocCalls, res.AllocStats.FreeCalls)
+			}
+		})
+	}
+}
+
+// TestDeterminism: identical options must give identical counters.
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		w := workload.DefaultXalanc(1500)
+		w.NodeSlots = 1000
+		return Run(Options{Allocator: "nextgen", Workload: w})
+	}
+	a, b := run(), run()
+	if a.Total != b.Total {
+		t.Fatalf("nondeterministic totals:\n%+v\n%+v", a.Total, b.Total)
+	}
+}

@@ -1,0 +1,143 @@
+package mem
+
+import "fmt"
+
+// Virtual address-space layout of the simulated process. The regions are
+// far apart so a stray pointer faults instead of landing in another
+// region.
+const (
+	// BrkBase is where the classic sbrk heap begins (PTMalloc2's main
+	// arena grows here).
+	BrkBase = 0x0000_1000_0000_0000
+	// MmapBase is where anonymous mmap regions are carved, growing up.
+	MmapBase = 0x0000_7000_0000_0000
+	// MetaBase is a distinct range NextGen-Malloc uses for its segregated
+	// metadata region (paper §3.1.2: "the address space of metadata and
+	// user data can be separated").
+	MetaBase = 0x0000_6000_0000_0000
+)
+
+// HugeShift is log2 of the large-page size (2 MiB) used by
+// transparent-hugepage-backed mappings.
+const (
+	HugeShift = 21
+	HugeSize  = 1 << HugeShift
+)
+
+// AddressSpace is a single simulated process's page table plus the
+// bump pointers for its brk and mmap regions.
+type AddressSpace struct {
+	phys    *Physical
+	pt      map[uint64]uint64 // vpn -> pfn
+	huge    map[uint64]bool   // vaddr>>HugeShift -> backed by a 2 MiB page
+	nextPFN uint64
+	brk     uint64
+	mmapTop uint64
+	metaTop uint64
+	mapped  int // pages currently mapped
+	peak    int // high-water mark of mapped pages
+}
+
+// NewAddressSpace returns an address space over phys with empty regions.
+func NewAddressSpace(phys *Physical) *AddressSpace {
+	return &AddressSpace{
+		phys:    phys,
+		pt:      make(map[uint64]uint64),
+		huge:    make(map[uint64]bool),
+		nextPFN: 1, // pfn 0 reserved so paddr 0 is never valid
+		brk:     BrkBase,
+		mmapTop: MmapBase,
+		metaTop: MetaBase,
+	}
+}
+
+// PageShiftAt reports the translation granularity covering vaddr: 21 for
+// hugepage-backed regions, 12 otherwise. The TLB models charge walks at
+// this granularity, which is how hugepage-aware allocators (TCMalloc
+// OSDI'21 [14], jemalloc/mimalloc aligned chunks) achieve their order-of-
+// magnitude dTLB advantage over the glibc heap in the paper's Table 1.
+func (as *AddressSpace) PageShiftAt(vaddr uint64) uint {
+	if as.huge[vaddr>>HugeShift] {
+		return HugeShift
+	}
+	return PageShift
+}
+
+// markHuge tags every 2 MiB region of [vaddr, vaddr+n*PageSize).
+func (as *AddressSpace) markHuge(vaddr uint64, npages int) {
+	end := vaddr + uint64(npages)<<PageShift
+	for r := vaddr >> HugeShift; r < (end+HugeSize-1)>>HugeShift; r++ {
+		as.huge[r] = true
+	}
+}
+
+// Phys returns the backing physical memory.
+func (as *AddressSpace) Phys() *Physical { return as.phys }
+
+// MappedPages reports the number of pages currently mapped.
+func (as *AddressSpace) MappedPages() int { return as.mapped }
+
+// PeakPages reports the high-water mark of mapped pages (the footprint
+// measure used for fragmentation statistics).
+func (as *AddressSpace) PeakPages() int { return as.peak }
+
+// Brk returns the current program break.
+func (as *AddressSpace) Brk() uint64 { return as.brk }
+
+// Translate maps a virtual address to a physical address. The second
+// result is false when the page is not mapped.
+func (as *AddressSpace) Translate(vaddr uint64) (uint64, bool) {
+	pfn, ok := as.pt[vaddr>>PageShift]
+	if !ok {
+		return 0, false
+	}
+	return pfn<<PageShift | vaddr&PageMask, true
+}
+
+// MustTranslate is Translate that panics on a fault; the simulator treats
+// an unmapped access as a fatal bug in the allocator or workload under
+// test, exactly as a segfault would be.
+func (as *AddressSpace) MustTranslate(vaddr uint64) uint64 {
+	paddr, ok := as.Translate(vaddr)
+	if !ok {
+		panic(fmt.Sprintf("mem: page fault at %#x (unmapped)", vaddr))
+	}
+	return paddr
+}
+
+// mapRange installs fresh frames for npages pages starting at vaddr.
+func (as *AddressSpace) mapRange(vaddr uint64, npages int) {
+	if vaddr&PageMask != 0 {
+		panic(fmt.Sprintf("mem: map of unaligned address %#x", vaddr))
+	}
+	for i := 0; i < npages; i++ {
+		vpn := vaddr>>PageShift + uint64(i)
+		if _, dup := as.pt[vpn]; dup {
+			panic(fmt.Sprintf("mem: double map of page %#x", vpn<<PageShift))
+		}
+		as.pt[vpn] = as.nextPFN
+		as.nextPFN++
+	}
+	as.mapped += npages
+	if as.mapped > as.peak {
+		as.peak = as.mapped
+	}
+}
+
+// unmapRange removes npages pages starting at vaddr and releases their
+// frames.
+func (as *AddressSpace) unmapRange(vaddr uint64, npages int) {
+	if vaddr&PageMask != 0 {
+		panic(fmt.Sprintf("mem: unmap of unaligned address %#x", vaddr))
+	}
+	for i := 0; i < npages; i++ {
+		vpn := vaddr>>PageShift + uint64(i)
+		pfn, ok := as.pt[vpn]
+		if !ok {
+			panic(fmt.Sprintf("mem: unmap of unmapped page %#x", vpn<<PageShift))
+		}
+		as.phys.Release(pfn)
+		delete(as.pt, vpn)
+	}
+	as.mapped -= npages
+}

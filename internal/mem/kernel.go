@@ -1,0 +1,130 @@
+package mem
+
+import "fmt"
+
+// SyscallCosts models the cycle cost of crossing into the kernel. The
+// paper (§2.1) motivates user-level allocators precisely by the expense
+// of taking an mmap for every malloc, so the model has to charge for it.
+type SyscallCosts struct {
+	// ModeSwitch is the fixed user->kernel->user round trip cost.
+	ModeSwitch uint64
+	// PerPage is the marginal cost per page mapped or unmapped (page
+	// table manipulation plus demand-zero bookkeeping).
+	PerPage uint64
+}
+
+// DefaultSyscallCosts mirrors a modern Linux syscall (~1.4k cycles round
+// trip with mitigations) plus per-page work.
+func DefaultSyscallCosts() SyscallCosts {
+	return SyscallCosts{ModeSwitch: 1400, PerPage: 250}
+}
+
+// KernelStats counts the system calls the process has issued.
+type KernelStats struct {
+	Mmap   uint64
+	Munmap uint64
+	Brk    uint64
+	Pages  uint64 // pages handed out over the lifetime
+	Cycles uint64 // total cycles spent in the kernel
+}
+
+// Kernel is the simulated OS memory-management interface. It owns the
+// address space layout policy; callers receive virtual addresses.
+type Kernel struct {
+	as    *AddressSpace
+	costs SyscallCosts
+	stats KernelStats
+}
+
+// NewKernel wraps an address space with syscall accounting.
+func NewKernel(as *AddressSpace, costs SyscallCosts) *Kernel {
+	return &Kernel{as: as, costs: costs}
+}
+
+// Stats returns a copy of the syscall counters.
+func (k *Kernel) Stats() KernelStats { return k.stats }
+
+// AddressSpace exposes the underlying address space.
+func (k *Kernel) AddressSpace() *AddressSpace { return k.as }
+
+func (k *Kernel) charge(pages int) uint64 {
+	c := k.costs.ModeSwitch + k.costs.PerPage*uint64(pages)
+	k.stats.Cycles += c
+	return c
+}
+
+// PagesFor converts a byte length to a page count, rounding up.
+func PagesFor(n uint64) int {
+	return int((n + PageSize - 1) >> PageShift)
+}
+
+// Mmap maps npages fresh anonymous pages and returns their base virtual
+// address and the cycle cost of the call.
+func (k *Kernel) Mmap(npages int) (uint64, uint64) {
+	if npages <= 0 {
+		panic("mem: Mmap of zero pages")
+	}
+	base := k.as.mmapTop
+	k.as.mapRange(base, npages)
+	k.as.mmapTop += uint64(npages) << PageShift
+	k.stats.Mmap++
+	k.stats.Pages += uint64(npages)
+	return base, k.charge(npages)
+}
+
+// MmapHuge maps npages fresh anonymous pages backed by 2 MiB pages
+// (madvise(MADV_HUGEPAGE) on an aligned region). The base is 2 MiB
+// aligned; the skipped alignment gap is unmapped address space.
+func (k *Kernel) MmapHuge(npages int) (uint64, uint64) {
+	if npages <= 0 {
+		panic("mem: MmapHuge of zero pages")
+	}
+	// Round the region up to whole 2 MiB pages.
+	npages = (npages + (HugeSize>>PageShift - 1)) &^ (HugeSize>>PageShift - 1)
+	k.as.mmapTop = (k.as.mmapTop + HugeSize - 1) &^ (HugeSize - 1)
+	base := k.as.mmapTop
+	k.as.mapRange(base, npages)
+	k.as.markHuge(base, npages)
+	k.as.mmapTop += uint64(npages) << PageShift
+	k.stats.Mmap++
+	k.stats.Pages += uint64(npages)
+	return base, k.charge(npages)
+}
+
+// MmapMeta maps pages in the dedicated metadata region (used by
+// NextGen-Malloc's segregated metadata; see DESIGN.md).
+func (k *Kernel) MmapMeta(npages int) (uint64, uint64) {
+	if npages <= 0 {
+		panic("mem: MmapMeta of zero pages")
+	}
+	base := k.as.metaTop
+	k.as.mapRange(base, npages)
+	k.as.metaTop += uint64(npages) << PageShift
+	k.stats.Mmap++
+	k.stats.Pages += uint64(npages)
+	return base, k.charge(npages)
+}
+
+// Munmap unmaps npages pages at base and returns the cycle cost.
+func (k *Kernel) Munmap(base uint64, npages int) uint64 {
+	k.as.unmapRange(base, npages)
+	k.stats.Munmap++
+	return k.charge(npages)
+}
+
+// SbrkGrow extends the program break by npages pages, returning the old
+// break (the base of the new region) and the cycle cost.
+func (k *Kernel) SbrkGrow(npages int) (uint64, uint64) {
+	if npages <= 0 {
+		panic("mem: SbrkGrow of zero pages")
+	}
+	old := k.as.brk
+	if old&PageMask != 0 {
+		panic(fmt.Sprintf("mem: unaligned brk %#x", old))
+	}
+	k.as.mapRange(old, npages)
+	k.as.brk += uint64(npages) << PageShift
+	k.stats.Brk++
+	k.stats.Pages += uint64(npages)
+	return old, k.charge(npages)
+}

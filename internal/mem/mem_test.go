@@ -1,0 +1,177 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysicalRoundTrip(t *testing.T) {
+	p := NewPhysical()
+	for _, tc := range []struct {
+		addr uint64
+		size int
+		val  uint64
+	}{
+		{0x1000, 8, 0x0123456789abcdef},
+		{0x1008, 4, 0xdeadbeef},
+		{0x100c, 2, 0xcafe},
+		{0x100e, 1, 0x5a},
+		{0x1ff8, 8, ^uint64(0)},
+	} {
+		p.Store(tc.addr, tc.size, tc.val)
+		if got := p.Load(tc.addr, tc.size); got != tc.val {
+			t.Errorf("Load(%#x,%d) = %#x, want %#x", tc.addr, tc.size, got, tc.val)
+		}
+	}
+}
+
+func TestPhysicalLittleEndian(t *testing.T) {
+	p := NewPhysical()
+	p.Store(0x2000, 8, 0x1122334455667788)
+	if got := p.Load(0x2000, 1); got != 0x88 {
+		t.Errorf("first byte = %#x, want 0x88 (little-endian)", got)
+	}
+	if got := p.Load(0x2004, 4); got != 0x11223344 {
+		t.Errorf("high half = %#x", got)
+	}
+}
+
+func TestPhysicalQuickRoundTrip(t *testing.T) {
+	p := NewPhysical()
+	f := func(page uint16, off uint16, val uint64) bool {
+		addr := uint64(page)<<PageShift | uint64(off&(PageMask-7))&^7
+		p.Store(addr, 8, val)
+		return p.Load(addr, 8) == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageCrossingPanics(t *testing.T) {
+	p := NewPhysical()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on page-crossing access")
+		}
+	}()
+	p.Load(PageSize-4, 8)
+}
+
+func TestAddressSpaceTranslate(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	if _, ok := as.Translate(0x1234); ok {
+		t.Error("unmapped address translated")
+	}
+	k := NewKernel(as, DefaultSyscallCosts())
+	base, _ := k.Mmap(4)
+	for i := uint64(0); i < 4*PageSize; i += PageSize {
+		if _, ok := as.Translate(base + i); !ok {
+			t.Fatalf("mapped page %#x does not translate", base+i)
+		}
+	}
+	if _, ok := as.Translate(base + 4*PageSize); ok {
+		t.Error("page past the mapping translated")
+	}
+	// Distinct pages map to distinct frames.
+	p0, _ := as.Translate(base)
+	p1, _ := as.Translate(base + PageSize)
+	if p0>>PageShift == p1>>PageShift {
+		t.Error("two virtual pages share a frame")
+	}
+}
+
+func TestKernelMunmap(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	k := NewKernel(as, DefaultSyscallCosts())
+	base, _ := k.Mmap(8)
+	before := as.MappedPages()
+	k.Munmap(base, 8)
+	if as.MappedPages() != before-8 {
+		t.Errorf("mapped pages %d, want %d", as.MappedPages(), before-8)
+	}
+	if _, ok := as.Translate(base); ok {
+		t.Error("unmapped page still translates")
+	}
+}
+
+func TestSbrkContiguous(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	k := NewKernel(as, DefaultSyscallCosts())
+	b1, _ := k.SbrkGrow(4)
+	b2, _ := k.SbrkGrow(4)
+	if b2 != b1+4*PageSize {
+		t.Errorf("brk growth not contiguous: %#x then %#x", b1, b2)
+	}
+	if b1 != BrkBase {
+		t.Errorf("first brk at %#x, want %#x", b1, BrkBase)
+	}
+}
+
+func TestMmapHugeAlignment(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	k := NewKernel(as, DefaultSyscallCosts())
+	k.Mmap(3) // misalign the bump pointer
+	base, _ := k.MmapHuge(1)
+	if base%HugeSize != 0 {
+		t.Errorf("huge mapping at %#x not 2 MiB aligned", base)
+	}
+	if as.PageShiftAt(base) != HugeShift {
+		t.Error("huge mapping not marked huge")
+	}
+	if as.PageShiftAt(base+HugeSize-8) != HugeShift {
+		t.Error("tail of huge region not marked huge")
+	}
+	small, _ := k.Mmap(1)
+	if as.PageShiftAt(small) != PageShift {
+		t.Error("4k mapping marked huge")
+	}
+}
+
+func TestMmapHugeRoundsUp(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	k := NewKernel(as, DefaultSyscallCosts())
+	base, _ := k.MmapHuge(513) // just over one huge page
+	// The whole rounded region must be mapped.
+	if _, ok := as.Translate(base + 1023*PageSize); !ok {
+		t.Error("rounded-up huge region not fully mapped")
+	}
+}
+
+func TestKernelStats(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	k := NewKernel(as, SyscallCosts{ModeSwitch: 1000, PerPage: 100})
+	_, cyc := k.Mmap(4)
+	if cyc != 1000+400 {
+		t.Errorf("mmap cost %d, want 1400", cyc)
+	}
+	st := k.Stats()
+	if st.Mmap != 1 || st.Pages != 4 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestPeakPages(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	k := NewKernel(as, DefaultSyscallCosts())
+	b, _ := k.Mmap(10)
+	k.Munmap(b, 10)
+	k.Mmap(2)
+	if as.PeakPages() < 10 {
+		t.Errorf("peak %d, want >= 10", as.PeakPages())
+	}
+	if as.MappedPages() != 2 {
+		t.Errorf("mapped %d, want 2", as.MappedPages())
+	}
+}
+
+func TestDoubleMapPanics(t *testing.T) {
+	as := NewAddressSpace(NewPhysical())
+	as.mapRange(0x10000, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on double map")
+		}
+	}()
+	as.mapRange(0x10000+PageSize, 1)
+}

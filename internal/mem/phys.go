@@ -1,0 +1,107 @@
+// Package mem provides the simulated memory substrate: sparse physical
+// memory, per-process page tables, and a small kernel that models the
+// mmap/brk system calls the paper's user-level allocators sit on.
+//
+// Everything an allocator or workload stores — metadata and user data
+// alike — lives in this simulated memory and is reached through simulated
+// virtual addresses, so the cache and TLB models observe the real access
+// streams of the real data structures.
+package mem
+
+import "fmt"
+
+// PageShift is log2 of the simulated page size (4 KiB, the x86/Arm
+// baseline the paper assumes).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageMask  = PageSize - 1
+)
+
+// Frame is one physical page of backing store.
+type Frame [PageSize]byte
+
+// Physical is a sparse physical memory: frames come into existence the
+// first time they are touched and are always zero-filled, mirroring
+// demand-zero allocation.
+type Physical struct {
+	frames map[uint64]*Frame // pfn -> frame
+}
+
+// NewPhysical returns an empty physical memory.
+func NewPhysical() *Physical {
+	return &Physical{frames: make(map[uint64]*Frame)}
+}
+
+// Frames reports how many physical frames have been touched.
+func (p *Physical) Frames() int { return len(p.frames) }
+
+func (p *Physical) frame(pfn uint64) *Frame {
+	f := p.frames[pfn]
+	if f == nil {
+		f = new(Frame)
+		p.frames[pfn] = f
+	}
+	return f
+}
+
+// Release drops a frame's backing store (used by munmap).
+func (p *Physical) Release(pfn uint64) { delete(p.frames, pfn) }
+
+// checkSpan panics when an access would cross a page boundary; the
+// simulator only issues naturally aligned scalar accesses, so a crossing
+// access is always a bug in the caller.
+func checkSpan(paddr uint64, size int) {
+	if paddr&PageMask > PageSize-uint64(size) {
+		panic(fmt.Sprintf("mem: access at %#x size %d crosses a page boundary", paddr, size))
+	}
+}
+
+// Load reads size bytes (1, 2, 4, or 8) at physical address paddr,
+// little-endian.
+func (p *Physical) Load(paddr uint64, size int) uint64 {
+	checkSpan(paddr, size)
+	f := p.frame(paddr >> PageShift)
+	off := paddr & PageMask
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(f[off+uint64(i)])
+	}
+	return v
+}
+
+// Store writes size bytes (1, 2, 4, or 8) at physical address paddr,
+// little-endian.
+func (p *Physical) Store(paddr uint64, size int, val uint64) {
+	checkSpan(paddr, size)
+	f := p.frame(paddr >> PageShift)
+	off := paddr & PageMask
+	for i := 0; i < size; i++ {
+		f[off+uint64(i)] = byte(val)
+		val >>= 8
+	}
+}
+
+// ReadBytes copies n bytes starting at paddr into dst; the span must not
+// cross a page boundary.
+func (p *Physical) ReadBytes(paddr uint64, dst []byte) {
+	checkSpan(paddr, len(dst))
+	f := p.frame(paddr >> PageShift)
+	copy(dst, f[paddr&PageMask:])
+}
+
+// WriteBytes copies src into physical memory at paddr; the span must not
+// cross a page boundary.
+func (p *Physical) WriteBytes(paddr uint64, src []byte) {
+	checkSpan(paddr, len(src))
+	f := p.frame(paddr >> PageShift)
+	copy(f[paddr&PageMask:], src)
+}
+
+// Zero clears n bytes at paddr within one page.
+func (p *Physical) Zero(paddr uint64, n int) {
+	checkSpan(paddr, n)
+	f := p.frame(paddr >> PageShift)
+	off := paddr & PageMask
+	clear(f[off : off+uint64(n)])
+}

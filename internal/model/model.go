@@ -1,0 +1,119 @@
+// Package model implements the paper's §4.1 analytical cost model for
+// offloading the allocator: the added inter-core synchronization cycles,
+// the average LLC/TLB miss penalty derived from Table 1, and the
+// break-even miss reduction per call.
+package model
+
+// Inputs parameterizes the break-even analysis.
+type Inputs struct {
+	// MallocCalls and FreeCalls are the workload's call counts.
+	MallocCalls uint64
+	FreeCalls   uint64
+	// AtomicCycles is the latency of one atomic RMW (the paper uses 67,
+	// citing [3]).
+	AtomicCycles float64
+	// AtomicsPerCall is how many synchronization points each offloaded
+	// call needs (the §4.2 prototype uses two flag variables at the
+	// beginning and end of each call: 4 atomic operations).
+	AtomicsPerCall float64
+	// MissPenalty is the average cost of one LLC/TLB miss (the paper
+	// states 214 cycles).
+	MissPenalty float64
+}
+
+// Counters is the subset of Table 1 the model consumes.
+type Counters struct {
+	Cycles          float64
+	Instructions    float64
+	LLCLoadMisses   float64
+	LLCStoreMisses  float64
+	DTLBLoadMisses  float64
+	DTLBStoreMisses float64
+}
+
+// TotalMisses sums the four miss counters.
+func (c Counters) TotalMisses() float64 {
+	return c.LLCLoadMisses + c.LLCStoreMisses + c.DTLBLoadMisses + c.DTLBStoreMisses
+}
+
+// PaperInputs returns the exact numbers the paper plugs in for
+// xalancbmk: 138,401,260 mallocs + 141,394,145 frees = 279,759,405
+// calls, 67-cycle atomics, 4 per call, 214-cycle miss penalty.
+func PaperInputs() Inputs {
+	return Inputs{
+		MallocCalls:    138401260,
+		FreeCalls:      141394145,
+		AtomicCycles:   67,
+		AtomicsPerCall: 4,
+		MissPenalty:    214,
+	}
+}
+
+// PaperGlibc returns PTMalloc2's Table 1 row.
+func PaperGlibc() Counters {
+	return Counters{
+		Cycles:          1.177e12,
+		Instructions:    1.282e12,
+		LLCLoadMisses:   4.059e8,
+		LLCStoreMisses:  3.554e8,
+		DTLBLoadMisses:  1.804e9,
+		DTLBStoreMisses: 3.669e7,
+	}
+}
+
+// PaperMimalloc returns Mimalloc's Table 1 row.
+func PaperMimalloc() Counters {
+	return Counters{
+		Cycles:          6.959e11,
+		Instructions:    1.262e12,
+		LLCLoadMisses:   1.477e8,
+		LLCStoreMisses:  1.321e8,
+		DTLBLoadMisses:  1.628e8,
+		DTLBStoreMisses: 2.787e7,
+	}
+}
+
+// Calls returns the total offloaded call count.
+func (in Inputs) Calls() float64 {
+	return float64(in.MallocCalls + in.FreeCalls)
+}
+
+// AddedCycles is the synchronization overhead offloading introduces
+// (the paper: "around 75 billion additional cycles").
+func (in Inputs) AddedCycles() float64 {
+	return in.Calls() * in.AtomicsPerCall * in.AtomicCycles
+}
+
+// BreakEvenMissReduction is the number of LLC/TLB misses each call (and
+// the user code before the next call) must save for offloading to pay
+// for itself (the paper: "at least 1.25").
+func (in Inputs) BreakEvenMissReduction() float64 {
+	return in.AddedCycles() / (in.MissPenalty * in.Calls())
+}
+
+// DerivedMissPenalty computes the average miss penalty implied by two
+// Table 1 rows: the cycle gap divided by the miss gap (the paper derives
+// 214 cycles from the Glibc and Mimalloc rows).
+func DerivedMissPenalty(slow, fast Counters) float64 {
+	return (slow.Cycles - fast.Cycles) / (slow.TotalMisses() - fast.TotalMisses())
+}
+
+// NetGainCycles estimates the end-to-end cycle change from offloading
+// when each call saves missReduction misses: positive numbers mean
+// offloading wins.
+func (in Inputs) NetGainCycles(missReduction float64) float64 {
+	return in.Calls()*missReduction*in.MissPenalty - in.AddedCycles()
+}
+
+// SweepBreakEven evaluates the break-even reduction across a range of
+// atomic costs (the paper notes RMWs range from 67 cycles average to
+// almost 700 worst-case [3, 26]).
+func (in Inputs) SweepBreakEven(atomicCosts []float64) []float64 {
+	out := make([]float64, len(atomicCosts))
+	for i, c := range atomicCosts {
+		tmp := in
+		tmp.AtomicCycles = c
+		out[i] = tmp.BreakEvenMissReduction()
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+// Package report renders experiment results as fixed-width text tables
+// in the layouts the paper uses (counter rows × allocator columns,
+// scientific-notation cells), plus simple ASCII bar series for the
+// figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/sim"
+)
+
+// Sci formats a counter the way the paper's tables do (e.g. 1.177E+12).
+func Sci(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return strings.ToUpper(fmt.Sprintf("%.3e", v))
+}
+
+// Table renders a header row and body rows with aligned columns.
+func Table(title string, header []string, rows [][]string) string {
+	var b strings.Builder
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%s\n", title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i]+2, c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	total := 2 * len(header)
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CounterRows builds the paper's Table 1/3 layout: one row per PMU
+// counter, one column per result.
+func CounterRows(results []harness.Result) [][]string {
+	row := func(name string, get func(sim.Counters) float64) []string {
+		cells := []string{name}
+		for _, r := range results {
+			cells = append(cells, Sci(get(r.Total)))
+		}
+		return cells
+	}
+	mpki := func(name string, get func(sim.Counters) uint64) []string {
+		cells := []string{name}
+		for _, r := range results {
+			cells = append(cells, fmt.Sprintf("%.3f", sim.MPKI(get(r.Total), r.Total.Instructions)))
+		}
+		return cells
+	}
+	return [][]string{
+		row("cycles", func(c sim.Counters) float64 { return float64(c.Cycles) }),
+		row("instructions", func(c sim.Counters) float64 { return float64(c.Instructions) }),
+		row("LLC-load-misses", func(c sim.Counters) float64 { return float64(c.LLCLoadMisses) }),
+		row("LLC-store-misses", func(c sim.Counters) float64 { return float64(c.LLCStoreMisses) }),
+		row("dTLB-load-misses", func(c sim.Counters) float64 { return float64(c.DTLBLoadMisses) }),
+		row("dTLB-store-misses", func(c sim.Counters) float64 { return float64(c.DTLBStoreMisses) }),
+		mpki("LLC-load-MPKI", func(c sim.Counters) uint64 { return c.LLCLoadMisses }),
+		mpki("LLC-store-MPKI", func(c sim.Counters) uint64 { return c.LLCStoreMisses }),
+		mpki("dTLB-load-MPKI", func(c sim.Counters) uint64 { return c.DTLBLoadMisses }),
+		mpki("dTLB-store-MPKI", func(c sim.Counters) uint64 { return c.DTLBStoreMisses }),
+	}
+}
+
+// CounterTable renders results in the paper's counter-table layout.
+func CounterTable(title string, results []harness.Result) string {
+	header := []string{"Allocator"}
+	for _, r := range results {
+		header = append(header, r.Allocator)
+	}
+	return Table(title, header, CounterRows(results))
+}
+
+// Bars renders a normalized horizontal bar chart (Figure 1 style):
+// values are scaled so the minimum is 1.00.
+func Bars(title string, labels []string, values []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	minV := values[0]
+	for _, v := range values {
+		if v < minV {
+			minV = v
+		}
+	}
+	wname := 0
+	for _, l := range labels {
+		if len(l) > wname {
+			wname = len(l)
+		}
+	}
+	for i, v := range values {
+		rel := v / minV
+		n := int(rel * 30)
+		if n > 120 {
+			n = 120
+		}
+		fmt.Fprintf(&b, "%-*s %s %.3fx (%s cycles)\n",
+			wname+1, labels[i], strings.Repeat("#", n), rel, Sci(v))
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/sim"
+)
+
+func TestSci(t *testing.T) {
+	for _, tc := range []struct {
+		v    float64
+		want string
+	}{
+		{1.177e12, "1.177E+12"},
+		{0, "0"},
+		{42, "4.200E+01"},
+	} {
+		if got := Sci(tc.v); got != tc.want {
+			t.Errorf("Sci(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table("T", []string{"a", "bb"}, [][]string{{"x", "1"}, {"longer", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if len(lines[2]) != len(lines[3]) && !strings.HasPrefix(lines[1], "a") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestCounterTable(t *testing.T) {
+	r := harness.Result{
+		Allocator: "x",
+		Total: sim.Counters{
+			Cycles: 1000, Instructions: 2000,
+			LLCLoadMisses: 10, DTLBLoadMisses: 4,
+		},
+	}
+	out := CounterTable("title", []harness.Result{r})
+	for _, want := range []string{"cycles", "dTLB-load-misses", "1.000E+03", "LLC-load-MPKI", "5.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestBarsNormalized(t *testing.T) {
+	out := Bars("F", []string{"a", "b"}, []float64{200, 100})
+	if !strings.Contains(out, "2.000x") || !strings.Contains(out, "1.000x") {
+		t.Errorf("bars not normalized:\n%s", out)
+	}
+}

@@ -1,0 +1,119 @@
+// Package ring implements single-producer single-consumer descriptor
+// rings in simulated shared memory — the transport NextGen-Malloc uses
+// between an application core and the dedicated allocator core.
+//
+// The layout is deliberately cache-conscious: the producer index, the
+// consumer index, and the slot array live on separate cache lines, so
+// the coherence traffic the simulator observes is exactly the line
+// ping-pong a real cross-core ring would generate (the overhead the
+// paper's §3.1.1 weighs against the pollution savings). Each side keeps
+// a shadow copy of the opposite index (the standard SPSC optimization),
+// so the common push touches only the slot line and the tail line, and
+// an empty poll costs a single load that stays cached until the
+// producer actually publishes.
+package ring
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/sim"
+)
+
+// SlotSize is the byte size of one ring slot: two 8-byte words
+// (operation descriptor and payload), mirroring the request_size /
+// response_addr pair of the paper's §4.2 prototype.
+const SlotSize = 16
+
+// headerSize is head line + tail line.
+const headerSize = 2 * sim.LineSize
+
+// SPSC is a single-producer single-consumer ring of 16-byte slots.
+//
+// Word layout:
+//
+//	base + 0:          head (consumer index), own line
+//	base + 64:         tail (producer index), own line
+//	base + 128 + 16*i: slot i {word0, word1}
+//
+// The shadow fields model the index copies a real implementation keeps
+// in registers or producer/consumer-private lines.
+type SPSC struct {
+	base uint64
+	mask uint64
+	size uint64
+
+	prodTail   uint64 // producer's private tail mirror
+	shadowHead uint64 // producer's last-read consumer index
+	consHead   uint64 // consumer's private head mirror
+	shadowTail uint64 // consumer's last-read producer index
+}
+
+// BytesFor returns the mapped bytes needed for a ring with the given
+// slot count.
+func BytesFor(slots int) int {
+	return headerSize + slots*SlotSize
+}
+
+// New places a ring over zeroed simulated memory at base. slots must be
+// a power of two.
+func New(base uint64, slots int) *SPSC {
+	if slots <= 0 || slots&(slots-1) != 0 {
+		panic(fmt.Sprintf("ring: slot count %d is not a power of two", slots))
+	}
+	if base%sim.LineSize != 0 {
+		panic("ring: base must be cache-line aligned")
+	}
+	return &SPSC{base: base, mask: uint64(slots - 1), size: uint64(slots)}
+}
+
+func (r *SPSC) headAddr() uint64         { return r.base }
+func (r *SPSC) tailAddr() uint64         { return r.base + sim.LineSize }
+func (r *SPSC) slotAddr(i uint64) uint64 { return r.base + headerSize + (i&r.mask)*SlotSize }
+
+// TryPush publishes (w0, w1) if the ring has space; it returns false
+// when full. Producer-side only.
+func (r *SPSC) TryPush(t *sim.Thread, w0, w1 uint64) bool {
+	if r.prodTail-r.shadowHead >= r.size {
+		// Looks full: refresh the consumer index.
+		r.shadowHead = t.AtomicLoad64(r.headAddr())
+		if r.prodTail-r.shadowHead >= r.size {
+			return false
+		}
+	}
+	slot := r.slotAddr(r.prodTail)
+	t.Store64(slot, w0)
+	t.Store64(slot+8, w1)
+	// Publish with a release store of the new tail.
+	r.prodTail++
+	t.AtomicStore64(r.tailAddr(), r.prodTail)
+	return true
+}
+
+// Push spins until the push succeeds.
+func (r *SPSC) Push(t *sim.Thread, w0, w1 uint64) {
+	for !r.TryPush(t, w0, w1) {
+		t.Pause(32)
+	}
+}
+
+// TryPop consumes one slot; ok is false when the ring is empty.
+// Consumer-side only.
+func (r *SPSC) TryPop(t *sim.Thread) (w0, w1 uint64, ok bool) {
+	if r.consHead == r.shadowTail {
+		r.shadowTail = t.AtomicLoad64(r.tailAddr())
+		if r.consHead == r.shadowTail {
+			return 0, 0, false
+		}
+	}
+	slot := r.slotAddr(r.consHead)
+	w0 = t.Load64(slot)
+	w1 = t.Load64(slot + 8)
+	r.consHead++
+	t.AtomicStore64(r.headAddr(), r.consHead)
+	return w0, w1, true
+}
+
+// Len returns the occupancy as seen by the consumer.
+func (r *SPSC) Len(t *sim.Thread) int {
+	return int(t.AtomicLoad64(r.tailAddr()) - r.consHead)
+}

@@ -1,0 +1,159 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nextgenmalloc/internal/sim"
+)
+
+func withThread(t *testing.T, fn func(th *sim.Thread)) {
+	m := sim.New(sim.DefaultConfig())
+	m.Spawn("t", 0, fn)
+	m.Run()
+}
+
+func TestFIFO(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 8)
+		for i := uint64(0); i < 5; i++ {
+			if !r.TryPush(th, i, i*10) {
+				t.Fatalf("push %d failed", i)
+			}
+		}
+		for i := uint64(0); i < 5; i++ {
+			w0, w1, ok := r.TryPop(th)
+			if !ok || w0 != i || w1 != i*10 {
+				t.Fatalf("pop %d = (%d,%d,%v)", i, w0, w1, ok)
+			}
+		}
+		if _, _, ok := r.TryPop(th); ok {
+			t.Error("pop on empty ring succeeded")
+		}
+	})
+}
+
+func TestFullness(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 4)
+		for i := uint64(0); i < 4; i++ {
+			if !r.TryPush(th, i, 0) {
+				t.Fatalf("push %d failed", i)
+			}
+		}
+		if r.TryPush(th, 99, 0) {
+			t.Error("push on full ring succeeded")
+		}
+		r.TryPop(th)
+		if !r.TryPush(th, 4, 0) {
+			t.Error("push after pop failed")
+		}
+	})
+}
+
+func TestWraparound(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 4)
+		for round := uint64(0); round < 40; round++ {
+			if !r.TryPush(th, round, round^0xff) {
+				t.Fatalf("push %d failed", round)
+			}
+			w0, w1, ok := r.TryPop(th)
+			if !ok || w0 != round || w1 != round^0xff {
+				t.Fatalf("round %d: got (%d,%d,%v)", round, w0, w1, ok)
+			}
+		}
+	})
+}
+
+// TestQuickModelEquivalence: the ring behaves exactly like a bounded
+// FIFO queue for any sequence of pushes and pops.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []bool, vals []uint16) bool {
+		ok := true
+		withThread(t, func(th *sim.Thread) {
+			r := New(th.Mmap(1), 8)
+			var model []uint64
+			vi := 0
+			for _, isPush := range ops {
+				if isPush {
+					v := uint64(0)
+					if vi < len(vals) {
+						v = uint64(vals[vi])
+						vi++
+					}
+					pushed := r.TryPush(th, v, v+1)
+					if pushed != (len(model) < 8) {
+						ok = false
+						return
+					}
+					if pushed {
+						model = append(model, v)
+					}
+				} else {
+					w0, _, popped := r.TryPop(th)
+					if popped != (len(model) > 0) {
+						ok = false
+						return
+					}
+					if popped {
+						if w0 != model[0] {
+							ok = false
+							return
+						}
+						model = model[1:]
+					}
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCrossCore: producer on one core, consumer on another, all values
+// arrive in order.
+func TestCrossCore(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	page, _ := m.Kernel().Mmap(1)
+	prod := New(page, 16)
+	cons := New(page, 16) // separate shadow state, same memory
+	const n = 2000
+	m.Spawn("producer", 0, func(th *sim.Thread) {
+		for i := uint64(1); i <= n; i++ {
+			prod.Push(th, i, i*3)
+		}
+	})
+	bad := false
+	m.Spawn("consumer", 1, func(th *sim.Thread) {
+		for want := uint64(1); want <= n; {
+			w0, w1, ok := cons.TryPop(th)
+			if !ok {
+				th.Pause(32)
+				continue
+			}
+			if w0 != want || w1 != want*3 {
+				bad = true
+				return
+			}
+			want++
+		}
+	})
+	m.Run()
+	if bad {
+		t.Error("cross-core ring delivered out-of-order or corrupt data")
+	}
+}
+
+func TestBadSlotCountPanics(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for non-power-of-two slots")
+			}
+		}()
+		New(th.Mmap(1), 6)
+	})
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/cache"
+	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/tlb"
+)
+
+// Machine is one simulated multicore computer: a set of cores over a
+// shared cache system and one address space, plus a kernel.
+//
+// Exactly one simulated thread executes at a time (leases are handed out
+// by a deterministic scheduler), so the simulation is single-writer and
+// bit-reproducible for a given seed while still modelling fine-grained
+// interleaving of the threads' memory operations.
+type Machine struct {
+	cfg     Config
+	phys    *mem.Physical
+	as      *mem.AddressSpace
+	kernel  *mem.Kernel
+	caches  *cache.System
+	tlbs    []*tlb.TLB
+	threads []*Thread
+
+	coreBusy     []bool   // a live thread is pinned here
+	coreInstr    []uint64 // retired instructions per core (incl. finished threads)
+	coreClock    []uint64 // committed clock per core (finished threads)
+	coreAtomics  []uint64
+	coreKernelCy []uint64
+
+	running  bool
+	stopping bool
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	phys := mem.NewPhysical()
+	as := mem.NewAddressSpace(phys)
+
+	base := cfg.Profile.Cache
+	perCore := make([]cache.Config, cfg.Cores)
+	tlbs := make([]*tlb.TLB, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		p := cfg.Profile
+		if ov, ok := cfg.CoreOverrides[i]; ok {
+			p = ov
+		}
+		perCore[i] = p.Cache
+		tc := p.TLB
+		if tc.L2Entries == 0 {
+			// A single-level TLB still needs a (degenerate) second level;
+			// give it one entry group that never hits by using the walk
+			// cost for everything past L1.
+			tc.L2Entries = tc.L1Ways // minimal, effectively useless
+			tc.L2Ways = tc.L1Ways
+		}
+		tlbs[i] = tlb.New(tc)
+	}
+
+	m := &Machine{
+		cfg:          cfg,
+		phys:         phys,
+		as:           as,
+		kernel:       mem.NewKernel(as, cfg.Syscall),
+		caches:       cache.NewSystemHetero(base, perCore),
+		tlbs:         tlbs,
+		coreBusy:     make([]bool, cfg.Cores),
+		coreInstr:    make([]uint64, cfg.Cores),
+		coreClock:    make([]uint64, cfg.Cores),
+		coreAtomics:  make([]uint64, cfg.Cores),
+		coreKernelCy: make([]uint64, cfg.Cores),
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Kernel returns the simulated kernel.
+func (m *Machine) Kernel() *mem.Kernel { return m.kernel }
+
+// AddressSpace returns the process address space.
+func (m *Machine) AddressSpace() *mem.AddressSpace { return m.as }
+
+// Cores returns the number of cores.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// Spawn registers a simulated thread pinned to core. All threads must be
+// spawned before Run. A daemon thread (see SpawnDaemon) does not keep
+// the machine alive.
+func (m *Machine) Spawn(name string, core int, fn func(*Thread)) *Thread {
+	return m.spawn(name, core, fn, false)
+}
+
+// SpawnDaemon registers a service thread (e.g. the NextGen allocator
+// core). When every non-daemon thread has finished, the machine flips
+// Stopping; daemons must poll Thread.Stopping and return.
+func (m *Machine) SpawnDaemon(name string, core int, fn func(*Thread)) *Thread {
+	return m.spawn(name, core, fn, true)
+}
+
+func (m *Machine) spawn(name string, core int, fn func(*Thread), daemon bool) *Thread {
+	if m.running {
+		panic("sim: Spawn after Run")
+	}
+	if core < 0 || core >= m.cfg.Cores {
+		panic(fmt.Sprintf("sim: core %d out of range", core))
+	}
+	if m.coreBusy[core] {
+		panic(fmt.Sprintf("sim: core %d already has a thread", core))
+	}
+	m.coreBusy[core] = true
+	t := &Thread{
+		m:      m,
+		id:     len(m.threads),
+		name:   name,
+		core:   core,
+		fn:     fn,
+		daemon: daemon,
+		grant:  make(chan uint64),
+	}
+	m.threads = append(m.threads, t)
+	return t
+}
+
+// Run executes every spawned thread to completion, interleaving them
+// deterministically: the thread with the lowest core clock always runs
+// next, holding a lease until just past the next-lowest clock plus the
+// configured quantum. Run returns the final wall-clock (the maximum core
+// clock reached).
+func (m *Machine) Run() uint64 {
+	if m.running {
+		panic("sim: Run called twice")
+	}
+	m.running = true
+	ret := make(chan *Thread)
+	for _, t := range m.threads {
+		t.ret = ret
+		go t.main()
+	}
+
+	live := make([]*Thread, len(m.threads))
+	copy(live, m.threads)
+	userCount := 0
+	for _, t := range m.threads {
+		if !t.daemon {
+			userCount++
+		}
+	}
+
+	var wall uint64
+	for len(live) > 0 {
+		if userCount == 0 {
+			m.stopping = true
+		}
+		// Pick the runnable thread with the minimum clock (ties by id).
+		min := live[0]
+		for _, t := range live[1:] {
+			if t.clock < min.clock || (t.clock == min.clock && t.id < min.id) {
+				min = t
+			}
+		}
+		// Lease until just past the next-lowest clock.
+		lease := ^uint64(0)
+		for _, t := range live {
+			if t != min && t.clock < lease {
+				lease = t.clock
+			}
+		}
+		if lease != ^uint64(0) {
+			lease += m.cfg.Quantum
+		}
+		min.grant <- lease
+		t := <-ret
+		if t.done {
+			m.retire(t)
+			for i, lt := range live {
+				if lt == t {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+			if !t.daemon {
+				userCount--
+			}
+		}
+		if t.clock > wall {
+			wall = t.clock
+		}
+	}
+	return wall
+}
+
+// retire folds a finished thread's private counters into the per-core
+// totals and frees its core.
+func (m *Machine) retire(t *Thread) {
+	m.coreInstr[t.core] += t.instr
+	if t.clock > m.coreClock[t.core] {
+		m.coreClock[t.core] = t.clock
+	}
+	m.coreAtomics[t.core] += t.atomics
+	m.coreKernelCy[t.core] += t.kernelCycles
+	m.coreBusy[t.core] = false
+}
+
+// Stopping reports whether all non-daemon threads have finished.
+func (m *Machine) Stopping() bool { return m.stopping }
+
+// CoreCounters returns the PMU snapshot for one core. It may be called
+// after Run, or mid-run by the owning thread (live threads' in-flight
+// counts are included).
+func (m *Machine) CoreCounters(core int) Counters {
+	cs := m.caches.Stats(core)
+	ts := m.tlbs[core].Stats()
+	c := Counters{
+		Cycles:          m.coreClock[core],
+		Instructions:    m.coreInstr[core],
+		Loads:           cs.Loads,
+		Stores:          cs.Stores,
+		L1Misses:        cs.L1Misses,
+		L2Misses:        cs.L2Misses,
+		LLCLoadMisses:   cs.LLCLoadMisses,
+		LLCStoreMisses:  cs.LLCStoreMisses,
+		DTLBLoadMisses:  ts.LoadMisses,
+		DTLBStoreMisses: ts.StoreMisses,
+		STLBHits:        ts.STLBHits,
+		AtomicOps:       m.coreAtomics[core],
+		KernelCycles:    m.coreKernelCy[core],
+		Invalidations:   cs.Invalidations,
+		DirtyTransfers:  cs.DirtyTransfers,
+	}
+	// Include live threads still pinned to this core.
+	for _, t := range m.threads {
+		if t.core == core && !t.done {
+			c.Cycles = max(c.Cycles, t.clock)
+			c.Instructions += t.instr
+			c.AtomicOps += t.atomics
+			c.KernelCycles += t.kernelCycles
+		}
+	}
+	return c
+}
+
+// TotalCounters sums the counters of every core that executed anything;
+// Cycles is the sum of active-core cycles (how perf's task-clock-based
+// totals behave in the paper's tables).
+func (m *Machine) TotalCounters() Counters {
+	var sum Counters
+	for core := 0; core < m.cfg.Cores; core++ {
+		c := m.CoreCounters(core)
+		if c.Instructions == 0 {
+			continue
+		}
+		sum.Add(c)
+	}
+	return sum
+}

@@ -1,0 +1,291 @@
+package sim
+
+import (
+	"testing"
+)
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	return cfg
+}
+
+func TestExecAdvancesClockAndInstructions(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("t", 0, func(th *Thread) {
+		th.Exec(100)
+		if th.Clock() != 100 || th.Instructions() != 100 {
+			t.Errorf("clock=%d instr=%d, want 100/100", th.Clock(), th.Instructions())
+		}
+	})
+	m.Run()
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("t", 0, func(th *Thread) {
+		base := th.Mmap(1)
+		th.Store64(base, 0xdeadbeefcafef00d)
+		if got := th.Load64(base); got != 0xdeadbeefcafef00d {
+			t.Errorf("Load64 = %#x", got)
+		}
+		th.Store16(base+8, 0x1234)
+		if got := th.Load16(base + 8); got != 0x1234 {
+			t.Errorf("Load16 = %#x", got)
+		}
+	})
+	m.Run()
+}
+
+func TestUnalignedAccessPanics(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("t", 0, func(th *Thread) {
+		base := th.Mmap(1)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on unaligned access")
+			}
+		}()
+		th.Load64(base + 3)
+	})
+	m.Run()
+}
+
+func TestAtomicCost(t *testing.T) {
+	cfg := testCfg()
+	m := New(cfg)
+	m.Spawn("t", 0, func(th *Thread) {
+		base := th.Mmap(1)
+		th.Load64(base) // warm the line
+		before := th.Clock()
+		if !th.CAS64(base, 0, 7) {
+			t.Error("CAS on zeroed word failed")
+		}
+		// L1 write hit (4, after upgrade from the read's E state: silent)
+		// plus the configured atomic extra.
+		want := 4 + cfg.AtomicExtraCycles
+		if got := th.Clock() - before; got != want {
+			t.Errorf("atomic cost %d, want %d", got, want)
+		}
+		if th.Load64(base) != 7 {
+			t.Error("CAS did not store")
+		}
+		if th.CAS64(base, 0, 9) {
+			t.Error("CAS with wrong expected value succeeded")
+		}
+		if th.FetchAdd64(base, 3) != 7 || th.Load64(base) != 10 {
+			t.Error("FetchAdd64 wrong")
+		}
+		if th.Swap64(base, 1) != 10 || th.Load64(base) != 1 {
+			t.Error("Swap64 wrong")
+		}
+	})
+	m.Run()
+}
+
+func TestInterleavingIsDeterministic(t *testing.T) {
+	runOnce := func() [2]uint64 {
+		m := New(testCfg())
+		shared, _ := m.Kernel().Mmap(1)
+		var order [2]uint64
+		for i := 0; i < 2; i++ {
+			part := i
+			m.Spawn("t", part, func(th *Thread) {
+				for k := 0; k < 1000; k++ {
+					th.FetchAdd64(shared, 1)
+					th.Exec(7 * (part + 1))
+				}
+				order[part] = th.Clock()
+			})
+		}
+		m.Run()
+		return order
+	}
+	a, b := runOnce(), runOnce()
+	if a != b {
+		t.Errorf("nondeterministic interleaving: %v vs %v", a, b)
+	}
+}
+
+func TestSharedCounterSumsCorrectly(t *testing.T) {
+	m := New(testCfg())
+	shared, _ := m.Kernel().Mmap(1)
+	const n, per = 4, 500
+	for i := 0; i < n; i++ {
+		m.Spawn("t", i, func(th *Thread) {
+			for k := 0; k < per; k++ {
+				th.FetchAdd64(shared, 1)
+			}
+		})
+	}
+	m.Run()
+	// Read back via physical memory.
+	paddr, _ := m.AddressSpace().Translate(shared)
+	if got := m.AddressSpace().Phys().Load(paddr, 8); got != n*per {
+		t.Errorf("shared counter = %d, want %d", got, n*per)
+	}
+}
+
+func TestDaemonStopsWithMachine(t *testing.T) {
+	m := New(testCfg())
+	polls := 0
+	m.SpawnDaemon("d", 3, func(th *Thread) {
+		for !th.Stopping() {
+			polls++
+			th.Pause(50)
+		}
+	})
+	m.Spawn("t", 0, func(th *Thread) { th.Exec(5000) })
+	m.Run()
+	if polls == 0 {
+		t.Error("daemon never ran")
+	}
+}
+
+func TestCountersAttribution(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("t", 2, func(th *Thread) {
+		base := th.Mmap(4)
+		for i := uint64(0); i < 64; i++ {
+			th.Store64(base+i*64, i) // one store per line
+		}
+	})
+	m.Run()
+	c2 := m.CoreCounters(2)
+	if c2.Stores != 64 {
+		t.Errorf("core 2 stores = %d, want 64", c2.Stores)
+	}
+	if c0 := m.CoreCounters(0); c0.Instructions != 0 {
+		t.Errorf("idle core 0 retired %d instructions", c0.Instructions)
+	}
+	tot := m.TotalCounters()
+	if tot.Stores != 64 {
+		t.Errorf("total stores = %d", tot.Stores)
+	}
+}
+
+func TestBlockReadWrite(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("t", 0, func(th *Thread) {
+		base := th.Mmap(1)
+		th.BlockWrite(base, 100, 0x11)
+		sum := th.BlockRead(base, 100)
+		if sum == 0 {
+			t.Error("BlockRead of written region returned 0")
+		}
+		// Odd sizes must not touch past the end.
+		th.BlockWrite(base+4000, 96, 0xff)
+	})
+	m.Run()
+}
+
+func TestCountersSubAdd(t *testing.T) {
+	a := Counters{Cycles: 100, Instructions: 50, LLCLoadMisses: 7}
+	b := Counters{Cycles: 40, Instructions: 20, LLCLoadMisses: 3}
+	d := a.Sub(b)
+	if d.Cycles != 60 || d.Instructions != 30 || d.LLCLoadMisses != 4 {
+		t.Errorf("Sub wrong: %+v", d)
+	}
+	var s Counters
+	s.Add(a)
+	s.Add(b)
+	if s.Cycles != 140 {
+		t.Errorf("Add wrong: %+v", s)
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if got := MPKI(500, 1000000); got != 0.5 {
+		t.Errorf("MPKI = %v", got)
+	}
+	if got := MPKI(5, 0); got != 0 {
+		t.Errorf("MPKI with zero instructions = %v", got)
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("a", 0, func(*Thread) {})
+	for _, fn := range []func(){
+		func() { m.Spawn("b", 0, func(*Thread) {}) },  // occupied core
+		func() { m.Spawn("c", 99, func(*Thread) {}) }, // bad core
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestHugepageTranslation: accesses within one 2 MiB mapping share a
+// single TLB entry, so only the first access walks.
+func TestHugepageTranslation(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("t", 0, func(th *Thread) {
+		base := th.MmapHuge(512)
+		for i := uint64(0); i < 32; i++ {
+			th.Load64(base + i*65536) // 32 spots across the 2 MiB page
+		}
+	})
+	m.Run()
+	c := m.CoreCounters(0)
+	if c.DTLBLoadMisses != 1 {
+		t.Errorf("dTLB misses = %d, want 1 (single huge entry)", c.DTLBLoadMisses)
+	}
+}
+
+// TestFourKMappingWalksPerPage: the same pattern on 4 KiB pages walks
+// once per page.
+func TestFourKMappingWalksPerPage(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("t", 0, func(th *Thread) {
+		base := th.Mmap(512)
+		for i := uint64(0); i < 32; i++ {
+			th.Load64(base + i*65536) // 32 distinct 4 KiB pages
+		}
+	})
+	m.Run()
+	if c := m.CoreCounters(0); c.DTLBLoadMisses != 32 {
+		t.Errorf("dTLB misses = %d, want 32", c.DTLBLoadMisses)
+	}
+}
+
+// TestKernelCyclesCharged: syscalls advance the caller's clock by the
+// kernel's reported cost.
+func TestKernelCyclesCharged(t *testing.T) {
+	cfg := testCfg()
+	m := New(cfg)
+	m.Spawn("t", 0, func(th *Thread) {
+		before := th.Clock()
+		th.Mmap(4)
+		want := cfg.Syscall.ModeSwitch + 4*cfg.Syscall.PerPage
+		if got := th.Clock() - before; got != want {
+			t.Errorf("mmap cost %d, want %d", got, want)
+		}
+	})
+	m.Run()
+	if c := m.CoreCounters(0); c.KernelCycles == 0 {
+		t.Error("kernel cycles not attributed")
+	}
+}
+
+// TestMunmapInvalidatesTLB: a stale translation never survives munmap.
+func TestMunmapInvalidatesTLB(t *testing.T) {
+	m := New(testCfg())
+	m.Spawn("t", 0, func(th *Thread) {
+		base := th.Mmap(1)
+		th.Store64(base, 1)
+		th.Munmap(base, 1)
+		defer func() {
+			if recover() == nil {
+				t.Error("access to unmapped page did not fault")
+			}
+		}()
+		th.Load64(base)
+	})
+	m.Run()
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/cache"
+)
+
+// Thread is one simulated hardware thread, pinned 1:1 to a core. All
+// simulated work — compute, loads, stores, atomics, system calls — is
+// issued through its methods, each of which advances the core clock and
+// the PMU counters.
+//
+// Thread methods must only be called from the function passed to
+// Machine.Spawn, on the goroutine the machine created for it.
+type Thread struct {
+	m      *Machine
+	id     int
+	name   string
+	core   int
+	fn     func(*Thread)
+	daemon bool
+
+	clock        uint64
+	instr        uint64
+	atomics      uint64
+	kernelCycles uint64
+
+	grant chan uint64 // lease grants from the scheduler
+	ret   chan *Thread
+	lease uint64
+	done  bool
+}
+
+// ID returns the thread's id (its spawn order).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Core returns the core the thread is pinned to.
+func (t *Thread) Core() int { return t.core }
+
+// Clock returns the thread's current cycle count.
+func (t *Thread) Clock() uint64 { return t.clock }
+
+// Instructions returns the thread's retired instruction count.
+func (t *Thread) Instructions() uint64 { return t.instr }
+
+// Machine returns the owning machine.
+func (t *Thread) Machine() *Machine { return t.m }
+
+// Stopping reports whether the machine is shutting down (all non-daemon
+// threads finished); daemon loops must poll this and return.
+func (t *Thread) Stopping() bool { return t.m.stopping }
+
+// main is the goroutine body: wait for the first lease, run, hand back.
+// The handback is deferred so the scheduler is released even if the body
+// exits via runtime.Goexit (e.g. a test helper's FailNow).
+func (t *Thread) main() {
+	t.lease = <-t.grant
+	defer func() {
+		t.done = true
+		t.ret <- t
+	}()
+	t.fn(t)
+}
+
+// step is called before every simulated operation; it yields the lease
+// back to the scheduler once the clock has passed the lease end.
+func (t *Thread) step() {
+	if t.clock <= t.lease {
+		return
+	}
+	t.ret <- t
+	t.lease = <-t.grant
+}
+
+// Exec retires n ALU instructions (1 cycle each — the in-order,
+// IPC-1 model the paper's arithmetic uses).
+func (t *Thread) Exec(n int) {
+	if n <= 0 {
+		return
+	}
+	t.step()
+	t.instr += uint64(n)
+	t.clock += uint64(n)
+}
+
+// access performs the TLB walk and cache access for one scalar memory
+// operation and returns the physical address.
+func (t *Thread) access(vaddr uint64, size int, isStore bool) uint64 {
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		panic(fmt.Sprintf("sim: unsupported access size %d", size))
+	}
+	if vaddr%uint64(size) != 0 {
+		panic(fmt.Sprintf("sim: unaligned %d-byte access at %#x by %s", size, vaddr, t.name))
+	}
+	t.step()
+	t.instr++
+	cyc := t.m.tlbs[t.core].Access(vaddr, isStore, t.m.as.PageShiftAt(vaddr))
+	paddr := t.m.as.MustTranslate(vaddr)
+	cyc += t.m.caches.Access(t.core, paddr, isStore)
+	t.clock += cyc
+	return paddr
+}
+
+// Load reads size bytes (1/2/4/8) at vaddr, little-endian.
+func (t *Thread) Load(vaddr uint64, size int) uint64 {
+	paddr := t.access(vaddr, size, false)
+	return t.m.phys.Load(paddr, size)
+}
+
+// Store writes size bytes (1/2/4/8) at vaddr, little-endian.
+func (t *Thread) Store(vaddr uint64, size int, val uint64) {
+	paddr := t.access(vaddr, size, true)
+	t.m.phys.Store(paddr, size, val)
+}
+
+// Load8/16/32/64 and Store8/16/32/64 are sized conveniences.
+func (t *Thread) Load8(a uint64) uint64  { return t.Load(a, 1) }
+func (t *Thread) Load16(a uint64) uint64 { return t.Load(a, 2) }
+func (t *Thread) Load32(a uint64) uint64 { return t.Load(a, 4) }
+func (t *Thread) Load64(a uint64) uint64 { return t.Load(a, 8) }
+
+func (t *Thread) Store8(a, v uint64)  { t.Store(a, 1, v) }
+func (t *Thread) Store16(a, v uint64) { t.Store(a, 2, v) }
+func (t *Thread) Store32(a, v uint64) { t.Store(a, 4, v) }
+func (t *Thread) Store64(a, v uint64) { t.Store(a, 8, v) }
+
+// atomic performs the locked-RMW access pattern: an exclusive (write)
+// access plus the serialization cost the paper cites as 67 cycles [3].
+func (t *Thread) atomic(vaddr uint64) uint64 {
+	paddr := t.access(vaddr, 8, true)
+	t.clock += t.m.cfg.AtomicExtraCycles
+	t.atomics++
+	return paddr
+}
+
+// CAS64 is an atomic compare-and-swap on a 64-bit word, returning whether
+// the swap happened.
+func (t *Thread) CAS64(vaddr, old, new uint64) bool {
+	paddr := t.atomic(vaddr)
+	cur := t.m.phys.Load(paddr, 8)
+	if cur != old {
+		return false
+	}
+	t.m.phys.Store(paddr, 8, new)
+	return true
+}
+
+// FetchAdd64 atomically adds delta to the 64-bit word at vaddr and
+// returns the previous value.
+func (t *Thread) FetchAdd64(vaddr, delta uint64) uint64 {
+	paddr := t.atomic(vaddr)
+	cur := t.m.phys.Load(paddr, 8)
+	t.m.phys.Store(paddr, 8, cur+delta)
+	return cur
+}
+
+// Swap64 atomically exchanges the word at vaddr with v.
+func (t *Thread) Swap64(vaddr, v uint64) uint64 {
+	paddr := t.atomic(vaddr)
+	cur := t.m.phys.Load(paddr, 8)
+	t.m.phys.Store(paddr, 8, v)
+	return cur
+}
+
+// AtomicLoad64 is an acquire load (plain load plus a light fence on this
+// memory model).
+func (t *Thread) AtomicLoad64(vaddr uint64) uint64 {
+	return t.Load64(vaddr)
+}
+
+// AtomicStore64 is a release store.
+func (t *Thread) AtomicStore64(vaddr, v uint64) {
+	t.Store64(vaddr, v)
+}
+
+// Fence retires a full memory barrier.
+func (t *Thread) Fence() {
+	t.step()
+	t.instr++
+	t.clock += t.m.cfg.FenceCycles
+}
+
+// Pause models a spin-wait hint (cheap stall without an instruction
+// fetch storm).
+func (t *Thread) Pause(cycles int) {
+	t.step()
+	t.clock += uint64(cycles)
+}
+
+// BlockWrite touches n bytes starting at vaddr with stores, one per
+// 8-byte word (vectorized: one instruction per word, cache access per
+// word). Used for user-data writes and memset-like work.
+func (t *Thread) BlockWrite(vaddr uint64, n int, pattern uint64) {
+	for off := 0; off < n; off += 8 {
+		sz := 8
+		if n-off < 8 {
+			sz = n - off
+			for sz&(sz-1) != 0 {
+				sz-- // round down to a power of two
+			}
+		}
+		t.Store(vaddr+uint64(off), sz, pattern)
+	}
+}
+
+// BlockRead touches n bytes starting at vaddr with loads and returns a
+// checksum (so the compiler-level fiction of "the program uses the
+// data" holds in the simulation too).
+func (t *Thread) BlockRead(vaddr uint64, n int) uint64 {
+	var sum uint64
+	for off := 0; off < n; off += 8 {
+		sz := 8
+		if n-off < 8 {
+			sz = n - off
+			for sz&(sz-1) != 0 {
+				sz--
+			}
+		}
+		sum += t.Load(vaddr+uint64(off), sz)
+	}
+	return sum
+}
+
+// --- System calls -------------------------------------------------------
+
+// Mmap maps npages anonymous pages, charging the kernel-crossing cost.
+func (t *Thread) Mmap(npages int) uint64 {
+	t.step()
+	base, cyc := t.m.kernel.Mmap(npages)
+	t.instr++
+	t.clock += cyc
+	t.kernelCycles += cyc
+	return base
+}
+
+// MmapHuge maps npages anonymous pages on 2 MiB hugepages (rounded up),
+// the mapping hugepage-aware allocators use for their chunk pools.
+func (t *Thread) MmapHuge(npages int) uint64 {
+	t.step()
+	base, cyc := t.m.kernel.MmapHuge(npages)
+	t.instr++
+	t.clock += cyc
+	t.kernelCycles += cyc
+	return base
+}
+
+// MmapMeta maps npages pages in the dedicated metadata region.
+func (t *Thread) MmapMeta(npages int) uint64 {
+	t.step()
+	base, cyc := t.m.kernel.MmapMeta(npages)
+	t.instr++
+	t.clock += cyc
+	t.kernelCycles += cyc
+	return base
+}
+
+// Munmap unmaps npages pages at base.
+func (t *Thread) Munmap(base uint64, npages int) {
+	t.step()
+	cyc := t.m.kernel.Munmap(base, npages)
+	t.instr++
+	t.clock += cyc
+	t.kernelCycles += cyc
+	t.m.tlbs[t.core].Invalidate()
+}
+
+// Sbrk grows the program break by npages pages and returns the old break.
+func (t *Thread) Sbrk(npages int) uint64 {
+	t.step()
+	base, cyc := t.m.kernel.SbrkGrow(npages)
+	t.instr++
+	t.clock += cyc
+	t.kernelCycles += cyc
+	return base
+}
+
+// Counters returns this thread's core counters as of now (usable
+// mid-run by the owning thread).
+func (t *Thread) Counters() Counters {
+	return t.m.CoreCounters(t.core)
+}
+
+// LineSize re-exports the cache line size for layout computations.
+const LineSize = cache.LineSize

@@ -1,0 +1,84 @@
+package simsync
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/sim"
+)
+
+// TestSpinLockMutualExclusion: N threads increment a shared counter with
+// plain (non-atomic) load/store under the lock; the total is only
+// correct if the lock really excludes.
+func TestSpinLockMutualExclusion(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 4
+	cfg.Quantum = 16 // interleave aggressively
+	m := sim.New(cfg)
+	page, _ := m.Kernel().Mmap(1)
+	lock := NewSpinLock(page)
+	counter := page + 64
+	const n, per = 4, 400
+	for i := 0; i < n; i++ {
+		m.Spawn("t", i, func(th *sim.Thread) {
+			for k := 0; k < per; k++ {
+				lock.Lock(th)
+				v := th.Load64(counter)
+				th.Exec(3) // widen the race window
+				th.Store64(counter, v+1)
+				lock.Unlock(th)
+			}
+		})
+	}
+	m.Run()
+	paddr, _ := m.AddressSpace().Translate(counter)
+	if got := m.AddressSpace().Phys().Load(paddr, 8); got != n*per {
+		t.Errorf("counter = %d, want %d (lock failed to exclude)", got, n*per)
+	}
+}
+
+func TestSpinLockTryLock(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		page := th.Mmap(1)
+		l := NewSpinLock(page)
+		if !l.TryLock(th) {
+			t.Error("TryLock on free lock failed")
+		}
+		if l.TryLock(th) {
+			t.Error("TryLock on held lock succeeded")
+		}
+		l.Unlock(th)
+		if !l.TryLock(th) {
+			t.Error("TryLock after unlock failed")
+		}
+	})
+	m.Run()
+}
+
+// TestTicketLockFIFOAndExclusion: same counter check for the ticket lock.
+func TestTicketLockExclusion(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.Cores = 4
+	cfg.Quantum = 16
+	m := sim.New(cfg)
+	page, _ := m.Kernel().Mmap(1)
+	lock := NewTicketLock(page)
+	counter := page + 128
+	const n, per = 3, 300
+	for i := 0; i < n; i++ {
+		m.Spawn("t", i, func(th *sim.Thread) {
+			for k := 0; k < per; k++ {
+				lock.Lock(th)
+				v := th.Load64(counter)
+				th.Exec(2)
+				th.Store64(counter, v+1)
+				lock.Unlock(th)
+			}
+		})
+	}
+	m.Run()
+	paddr, _ := m.AddressSpace().Translate(counter)
+	if got := m.AddressSpace().Phys().Load(paddr, 8); got != n*per {
+		t.Errorf("counter = %d, want %d", got, n*per)
+	}
+}

@@ -1,0 +1,106 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config {
+	return Config{L1Entries: 8, L1Ways: 2, L2Entries: 16, L2Ways: 4, STLBHitCycles: 9, WalkCycles: 120}
+}
+
+func TestMissThenHit(t *testing.T) {
+	tl := New(small())
+	if cyc := tl.Access(0x1000, false, 12); cyc != 120 {
+		t.Errorf("cold access cost %d, want walk 120", cyc)
+	}
+	if cyc := tl.Access(0x1008, false, 12); cyc != 0 {
+		t.Errorf("same-page access cost %d, want 0", cyc)
+	}
+	st := tl.Stats()
+	if st.LoadMisses != 1 || st.LoadHits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestStoreCounters(t *testing.T) {
+	tl := New(small())
+	tl.Access(0x2000, true, 12)
+	st := tl.Stats()
+	if st.StoreMisses != 1 || st.LoadMisses != 0 {
+		t.Errorf("store walk landed in the wrong counter: %+v", st)
+	}
+}
+
+func TestSTLBAbsorbsL1Evictions(t *testing.T) {
+	tl := New(small())
+	// Touch more pages than L1 holds but fewer than the STLB holds.
+	for p := uint64(0); p < 12; p++ {
+		tl.Access(p<<12, false, 12)
+	}
+	// Revisit the first page: L1 evicted it, the STLB should hit.
+	cyc := tl.Access(0, false, 12)
+	if cyc != 9 {
+		t.Errorf("revisit cost %d, want STLB hit 9", cyc)
+	}
+	if tl.Stats().STLBHits != 1 {
+		t.Errorf("STLB hits = %d", tl.Stats().STLBHits)
+	}
+}
+
+func TestFullMissAfterBothLevelsEvict(t *testing.T) {
+	tl := New(small())
+	for p := uint64(0); p < 64; p++ {
+		tl.Access(p<<12, false, 12)
+	}
+	tl.Access(0, false, 12)
+	if tl.Stats().LoadMisses < 2 {
+		t.Error("expected a second full walk after eviction")
+	}
+}
+
+func TestHugePagesDontAlias(t *testing.T) {
+	tl := New(small())
+	// A 2 MiB page at 0 and a 4 KiB page whose vpn would collide.
+	tl.Access(0x100000, false, 21) // huge: vpn 0
+	cyc := tl.Access(0x0, false, 12)
+	if cyc != 120 {
+		t.Errorf("4k page aliased with huge entry: cost %d", cyc)
+	}
+}
+
+func TestHugeReach(t *testing.T) {
+	tl := New(small())
+	tl.Access(0, false, 21)
+	// Anywhere within the same 2 MiB: hit.
+	if cyc := tl.Access(0x1fff00, false, 21); cyc != 0 {
+		t.Errorf("within-huge-page access cost %d", cyc)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tl := New(small())
+	tl.Access(0x3000, false, 12)
+	tl.Invalidate()
+	if cyc := tl.Access(0x3000, false, 12); cyc != 120 {
+		t.Errorf("post-invalidate access cost %d, want 120", cyc)
+	}
+}
+
+// TestQuickHitAfterMiss: any address misses at most once when accessed
+// twice in a row.
+func TestQuickHitAfterMiss(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		tl := New(DefaultConfig())
+		for _, a := range addrs {
+			tl.Access(uint64(a), false, 12)
+			if tl.Access(uint64(a), false, 12) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package trace records and replays allocation traces: the sequence of
+// malloc sizes and the matching of frees to prior mallocs, independent
+// of the addresses any particular allocator returned. Replaying one
+// workload's trace against every allocator gives an apples-to-apples
+// comparison of placement and metadata behaviour for identical request
+// streams.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// Op kinds.
+const (
+	OpMalloc = byte(1)
+	OpFree   = byte(2)
+)
+
+// Op is one allocation event. Malloc ops carry the request size; free
+// ops carry the index (malloc ordinal) of the allocation they release.
+type Op struct {
+	Kind byte
+	Arg  uint64
+}
+
+// Trace is an ordered allocation event stream.
+type Trace struct {
+	Ops []Op
+}
+
+// Mallocs counts malloc events.
+func (tr *Trace) Mallocs() int {
+	n := 0
+	for _, op := range tr.Ops {
+		if op.Kind == OpMalloc {
+			n++
+		}
+	}
+	return n
+}
+
+// Recorder wraps an allocator and captures the request stream flowing
+// through it.
+type Recorder struct {
+	inner alloc.Allocator
+	trace Trace
+	index map[uint64]uint64 // live addr -> malloc ordinal
+	next  uint64
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner alloc.Allocator) *Recorder {
+	return &Recorder{inner: inner, index: make(map[uint64]uint64)}
+}
+
+// Name implements alloc.Allocator.
+func (r *Recorder) Name() string { return r.inner.Name() + "+trace" }
+
+// Malloc implements alloc.Allocator.
+func (r *Recorder) Malloc(t *sim.Thread, size uint64) uint64 {
+	addr := r.inner.Malloc(t, size)
+	r.trace.Ops = append(r.trace.Ops, Op{Kind: OpMalloc, Arg: size})
+	r.index[addr] = r.next
+	r.next++
+	return addr
+}
+
+// Free implements alloc.Allocator.
+func (r *Recorder) Free(t *sim.Thread, addr uint64) {
+	ord, ok := r.index[addr]
+	if !ok {
+		panic(fmt.Sprintf("trace: free of unrecorded address %#x", addr))
+	}
+	delete(r.index, addr)
+	r.trace.Ops = append(r.trace.Ops, Op{Kind: OpFree, Arg: ord})
+	r.inner.Free(t, addr)
+}
+
+// Stats implements alloc.Allocator.
+func (r *Recorder) Stats() alloc.Stats { return r.inner.Stats() }
+
+// Flush implements alloc.Flusher when the inner allocator does.
+func (r *Recorder) Flush(t *sim.Thread) {
+	if f, ok := r.inner.(alloc.Flusher); ok {
+		f.Flush(t)
+	}
+}
+
+// Trace returns the recorded stream.
+func (r *Recorder) Trace() *Trace { return &r.trace }
+
+// Replay drives allocator a with the recorded stream on thread t and
+// frees any allocations that remain live at the end.
+func Replay(t *sim.Thread, a alloc.Allocator, tr *Trace) {
+	addrs := make(map[uint64]uint64, 1024) // ordinal -> addr
+	var ord uint64
+	for _, op := range tr.Ops {
+		switch op.Kind {
+		case OpMalloc:
+			addrs[ord] = a.Malloc(t, op.Arg)
+			ord++
+		case OpFree:
+			addr, ok := addrs[op.Arg]
+			if !ok {
+				panic(fmt.Sprintf("trace: replay frees unknown ordinal %d", op.Arg))
+			}
+			delete(addrs, op.Arg)
+			a.Free(t, addr)
+		default:
+			panic(fmt.Sprintf("trace: bad op kind %d", op.Kind))
+		}
+	}
+	// Free the leftovers in ordinal order so replays stay deterministic.
+	leftover := make([]uint64, 0, len(addrs))
+	for o := range addrs {
+		leftover = append(leftover, o)
+	}
+	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
+	for _, o := range leftover {
+		a.Free(t, addrs[o])
+	}
+}
+
+// magic identifies the binary encoding (version 1).
+var magic = [4]byte{'N', 'G', 'T', 1}
+
+// Encode writes the trace in the compact binary format.
+func (tr *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64 + 1]byte
+	n := binary.PutUvarint(buf[:], uint64(len(tr.Ops)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, op := range tr.Ops {
+		buf[0] = op.Kind
+		n := binary.PutUvarint(buf[1:], op.Arg)
+		if _, err := bw.Write(buf[:n+1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace written by Encode.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %v", m)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad count: %w", err)
+	}
+	tr := &Trace{Ops: make([]Op, 0, count)}
+	for i := uint64(0); i < count; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d: %w", i, err)
+		}
+		if kind != OpMalloc && kind != OpFree {
+			return nil, fmt.Errorf("trace: op %d: bad kind %d", i, kind)
+		}
+		arg, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: op %d arg: %w", i, err)
+		}
+		tr.Ops = append(tr.Ops, Op{Kind: kind, Arg: arg})
+	}
+	return tr, nil
+}

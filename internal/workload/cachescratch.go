@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// CacheScratch reimplements Hoard/mimalloc-bench cache-scratch, cited by
+// the paper (§1) among the workloads whose performance varies >10x with
+// the allocator. A parent thread allocates one small object per worker;
+// each worker frees its object, then repeatedly allocates a same-size
+// object and writes it many times. An allocator that recycles the
+// parent's memory across threads induces *passive false sharing*: two
+// workers' hot objects share a cache line and every write ping-pongs it.
+type CacheScratch struct {
+	NThreads int
+	// ObjSize is the object size (8 bytes in the original: many fit one
+	// cache line).
+	ObjSize uint64
+	// Rounds is the number of allocate/scratch/free rounds per worker.
+	Rounds int
+	// Inner is the number of write passes per round.
+	Inner int
+
+	handoff uint64 // sim array of parent-allocated object addresses
+}
+
+// Name implements Workload.
+func (c *CacheScratch) Name() string { return "cache-scratch" }
+
+// Threads implements Workload.
+func (c *CacheScratch) Threads() int { return c.NThreads }
+
+// Setup implements Workload: the parent's allocations neighbour each
+// other, so naive reuse spreads one line across threads.
+func (c *CacheScratch) Setup(t *sim.Thread, a alloc.Allocator) {
+	c.handoff = t.Mmap(1)
+	for i := 0; i < c.NThreads; i++ {
+		p := a.Malloc(t, c.ObjSize)
+		t.BlockWrite(p, int(c.ObjSize), 7)
+		t.Store64(c.handoff+uint64(i)*8, p)
+	}
+}
+
+// Run implements Workload.
+func (c *CacheScratch) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	// Free the parent's object from this thread (cross-thread free).
+	p := t.Load64(c.handoff + uint64(part)*8)
+	a.Free(t, p)
+	for r := 0; r < c.Rounds; r++ {
+		obj := a.Malloc(t, c.ObjSize)
+		for k := 0; k < c.Inner; k++ {
+			t.BlockWrite(obj, int(c.ObjSize), uint64(k))
+		}
+		a.Free(t, obj)
+	}
+}
+
+// CacheThrash is cache-scratch's sibling with *active* false sharing:
+// the workers keep writing the object the parent allocated, so if the
+// parent's per-thread objects were packed into one line the line
+// ping-pongs for the whole run regardless of later allocator behaviour.
+type CacheThrash struct {
+	NThreads int
+	ObjSize  uint64
+	Rounds   int
+	Inner    int
+
+	handoff uint64
+}
+
+// Name implements Workload.
+func (c *CacheThrash) Name() string { return "cache-thrash" }
+
+// Threads implements Workload.
+func (c *CacheThrash) Threads() int { return c.NThreads }
+
+// Setup implements Workload.
+func (c *CacheThrash) Setup(t *sim.Thread, a alloc.Allocator) {
+	c.handoff = t.Mmap(1)
+	for i := 0; i < c.NThreads; i++ {
+		p := a.Malloc(t, c.ObjSize)
+		t.BlockWrite(p, int(c.ObjSize), 7)
+		t.Store64(c.handoff+uint64(i)*8, p)
+	}
+}
+
+// Run implements Workload.
+func (c *CacheThrash) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	obj := t.Load64(c.handoff + uint64(part)*8)
+	for r := 0; r < c.Rounds; r++ {
+		for k := 0; k < c.Inner; k++ {
+			t.BlockWrite(obj, int(c.ObjSize), uint64(k))
+		}
+		t.Exec(4)
+	}
+	a.Free(t, obj)
+}

@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// FaaS models a serverless function worker (paper §3.3.2): a stream of
+// invocations, each of which allocates the function's runtime objects
+// (a known, repeating profile — request buffer, JSON nodes, response),
+// does its work, and frees everything at the end. The interesting
+// metric is the *cold start*: the first invocation pays for slab
+// carving, stash warmup, and cold metadata — unless the allocator was
+// preheated with the profile (core.Allocator.Preheat).
+type FaaS struct {
+	// Invocations is the request count.
+	Invocations int
+	// Profile is the per-invocation allocation size sequence.
+	Profile []uint64
+	// ComputePerAlloc is handler work per allocated object.
+	ComputePerAlloc int
+	// Seed fixes the run.
+	Seed uint64
+
+	// InvocationCycles records each invocation's duration (host-side
+	// measurement output, filled during Run).
+	InvocationCycles []uint64
+
+	scratch uint64 // sim array for the live objects of one invocation
+}
+
+// DefaultFaaSProfile is a JSON-ish handler: request buffer, a parse
+// tree of small nodes, a few strings, a response buffer.
+func DefaultFaaSProfile() []uint64 {
+	p := []uint64{2048, 512}
+	for i := 0; i < 24; i++ {
+		p = append(p, uint64(32+(i%5)*16))
+	}
+	for i := 0; i < 6; i++ {
+		p = append(p, uint64(96+(i%3)*64))
+	}
+	return append(p, 1024)
+}
+
+// Name implements Workload.
+func (f *FaaS) Name() string { return "faas" }
+
+// Threads implements Workload.
+func (f *FaaS) Threads() int { return 1 }
+
+// Setup implements Workload.
+func (f *FaaS) Setup(t *sim.Thread, a alloc.Allocator) {
+	f.scratch = t.Mmap((len(f.Profile)*8 + 4095) >> 12)
+	f.InvocationCycles = make([]uint64, 0, f.Invocations)
+}
+
+// Run implements Workload.
+func (f *FaaS) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	if part != 0 {
+		return
+	}
+	for inv := 0; inv < f.Invocations; inv++ {
+		start := t.Clock()
+		// Handler: allocate the profile, initialize, work, respond.
+		for i, size := range f.Profile {
+			p := a.Malloc(t, size)
+			t.BlockWrite(p, min(int(size), 64), uint64(inv))
+			t.Store64(f.scratch+uint64(i)*8, p)
+			t.Exec(f.ComputePerAlloc)
+		}
+		// Teardown: the invocation's objects all die.
+		for i := range f.Profile {
+			a.Free(t, t.Load64(f.scratch+uint64(i)*8))
+		}
+		f.InvocationCycles = append(f.InvocationCycles, t.Clock()-start)
+	}
+}
+
+// ColdStart returns the first invocation's cycles.
+func (f *FaaS) ColdStart() uint64 {
+	if len(f.InvocationCycles) == 0 {
+		return 0
+	}
+	return f.InvocationCycles[0]
+}
+
+// SteadyState returns the mean cycles of the second half of the run.
+func (f *FaaS) SteadyState() uint64 {
+	n := len(f.InvocationCycles)
+	if n < 2 {
+		return 0
+	}
+	var sum uint64
+	for _, c := range f.InvocationCycles[n/2:] {
+		sum += c
+	}
+	return sum / uint64(n-n/2)
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// Larson models the Larson server benchmark: each worker owns an array
+// of object slots and repeatedly replaces a random slot (free the old
+// object, allocate a new one of random size, initialize it), the classic
+// sustained-churn pattern of a long-running server.
+type Larson struct {
+	NThreads         int
+	SlotsPerThread   int
+	RoundsPerThread  int
+	MinSize, MaxSize uint64
+	Seed             uint64
+
+	slots uint64 // sim array: NThreads × SlotsPerThread × {addr, size}
+}
+
+// Name implements Workload.
+func (l *Larson) Name() string { return "larson" }
+
+// Threads implements Workload.
+func (l *Larson) Threads() int { return l.NThreads }
+
+// Setup implements Workload.
+func (l *Larson) Setup(t *sim.Thread, a alloc.Allocator) {
+	pages := (l.NThreads*l.SlotsPerThread*16 + 4095) >> 12
+	l.slots = t.MmapHuge(pages)
+}
+
+func (l *Larson) slot(part, i int) uint64 {
+	return l.slots + uint64(part*l.SlotsPerThread+i)*16
+}
+
+// Run implements Workload.
+func (l *Larson) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	rng := NewRNG(l.Seed + uint64(part)*0x51a4)
+	span := l.MaxSize - l.MinSize + 1
+	for r := 0; r < l.RoundsPerThread; r++ {
+		s := l.slot(part, rng.IntN(t, l.SlotsPerThread))
+		if old := t.Load64(s); old != 0 {
+			a.Free(t, old)
+		}
+		size := l.MinSize + rng.Next(t)%span
+		p := a.Malloc(t, size)
+		t.BlockWrite(p, min(int(size), 64), uint64(r))
+		t.Store64(s, p)
+		t.Store64(s+8, size)
+		t.Exec(12)
+	}
+	// Teardown: release the surviving objects.
+	for i := 0; i < l.SlotsPerThread; i++ {
+		s := l.slot(part, i)
+		if p := t.Load64(s); p != 0 {
+			a.Free(t, p)
+			t.Store64(s, 0)
+		}
+	}
+}
+
+// Churn is the generic random-replacement driver used by the ablation
+// experiments: per-thread slot churn with a configurable size range and
+// optional payload touches, with none of xalanc's compute or traversal.
+type Churn struct {
+	NThreads   int
+	Slots      int // per thread
+	Rounds     int // per thread
+	MinSize    uint64
+	MaxSize    uint64
+	TouchBytes int
+	Seed       uint64
+
+	table uint64
+}
+
+// Name implements Workload.
+func (c *Churn) Name() string { return "churn" }
+
+// Threads implements Workload.
+func (c *Churn) Threads() int { return c.NThreads }
+
+// Setup implements Workload.
+func (c *Churn) Setup(t *sim.Thread, a alloc.Allocator) {
+	pages := (c.NThreads*c.Slots*16 + 4095) >> 12
+	c.table = t.MmapHuge(pages)
+}
+
+// Run implements Workload.
+func (c *Churn) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	rng := NewRNG(c.Seed + uint64(part)*0xc0ffee)
+	span := c.MaxSize - c.MinSize + 1
+	base := c.table + uint64(part*c.Slots)*16
+	for r := 0; r < c.Rounds; r++ {
+		s := base + uint64(rng.IntN(t, c.Slots))*16
+		if old := t.Load64(s); old != 0 {
+			a.Free(t, old)
+		}
+		size := c.MinSize + rng.Next(t)%span
+		p := a.Malloc(t, size)
+		if c.TouchBytes > 0 {
+			t.BlockWrite(p, min(int(size), c.TouchBytes), uint64(r))
+		}
+		t.Store64(s, p)
+		t.Store64(s+8, size)
+	}
+}

@@ -1,0 +1,90 @@
+package workload
+
+import (
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// Sh6bench reimplements MicroQuill's sh6bench (shipped in
+// mimalloc-bench alongside the paper's xmalloc): repeated passes that
+// allocate a batch of blocks, free a random half of the batch in place,
+// keep the survivors across passes in a retention pool, and
+// periodically drain the pool — a mix of LIFO, FIFO, and random free
+// order that punishes allocators whose reuse policy assumes one of
+// them.
+type Sh6bench struct {
+	NThreads  int
+	Passes    int
+	BatchSize int
+	MinSize   uint64
+	MaxSize   uint64
+	// RetainPasses is how many passes survivors live before draining.
+	RetainPasses int
+	Seed         uint64
+
+	pool uint64 // sim array: per-thread retention slots
+}
+
+// Name implements Workload.
+func (s *Sh6bench) Name() string { return "sh6bench" }
+
+// Threads implements Workload.
+func (s *Sh6bench) Threads() int { return s.NThreads }
+
+// poolSlots is the per-thread retention capacity.
+func (s *Sh6bench) poolSlots() int { return s.BatchSize * s.RetainPasses }
+
+// Setup implements Workload.
+func (s *Sh6bench) Setup(t *sim.Thread, a alloc.Allocator) {
+	s.pool = t.MmapHuge((s.NThreads*s.poolSlots()*8 + 4095) >> 12)
+}
+
+// Run implements Workload.
+func (s *Sh6bench) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	rng := NewRNG(s.Seed + uint64(part)*0x5b6b)
+	span := s.MaxSize - s.MinSize + 1
+	base := s.pool + uint64(part*s.poolSlots())*8
+	poolLen := 0
+	batch := make([]uint64, s.BatchSize) // host scratch for this pass
+
+	for pass := 0; pass < s.Passes; pass++ {
+		// Allocate the pass's batch and touch each block.
+		for i := range batch {
+			size := s.MinSize + rng.Next(t)%span
+			batch[i] = a.Malloc(t, size)
+			t.Store64(batch[i], uint64(pass))
+		}
+		// Free a random half immediately, in random order.
+		for freed := 0; freed < s.BatchSize/2; {
+			i := rng.IntN(t, s.BatchSize)
+			if batch[i] != 0 {
+				a.Free(t, batch[i])
+				batch[i] = 0
+				freed++
+			}
+		}
+		// Survivors join the retention pool (stored in program data).
+		for _, p := range batch {
+			if p == 0 {
+				continue
+			}
+			if poolLen < s.poolSlots() {
+				t.Store64(base+uint64(poolLen)*8, p)
+				poolLen++
+			} else {
+				a.Free(t, p)
+			}
+		}
+		// Periodic drain: the oldest survivors go FIFO.
+		if (pass+1)%s.RetainPasses == 0 {
+			for i := 0; i < poolLen; i++ {
+				a.Free(t, t.Load64(base+uint64(i)*8))
+			}
+			poolLen = 0
+		}
+		t.Exec(64)
+	}
+	for i := 0; i < poolLen; i++ {
+		a.Free(t, t.Load64(base+uint64(i)*8))
+	}
+}

@@ -1,0 +1,95 @@
+// Package workload provides the deterministic allocation-intensive
+// drivers used by the paper's evaluation: a synthetic stand-in for SPEC
+// CPU2017 xalancbmk, plus reimplementations of the mimalloc-bench /
+// Hoard microbenchmarks it cites (xmalloc, cache-scratch, cache-thrash,
+// larson) and a generic churn driver for the ablations.
+//
+// Workloads perform *all* of their own data accesses — node tables,
+// payload writes, pointer chases, inter-thread queues — through the
+// simulator, so application-side cache and TLB behaviour responds to
+// allocator placement decisions exactly as the paper argues it does.
+package workload
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// Workload is one benchmark program.
+//
+// Thread 0 calls Setup once (after the allocator exists) to build shared
+// state; every thread then calls Run with its part index. Implementations
+// must be deterministic for a fixed Params.
+type Workload interface {
+	Name() string
+	Threads() int
+	Setup(t *sim.Thread, a alloc.Allocator)
+	Run(t *sim.Thread, part int, a alloc.Allocator)
+}
+
+// RNG is SplitMix64, advanced with a charged ALU instruction so random
+// draws are not free compute.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds an RNG (seed 0 is remapped).
+func NewRNG(seed uint64) RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return RNG{s: seed}
+}
+
+// Next returns the next 64-bit draw.
+func (r *RNG) Next(t *sim.Thread) uint64 {
+	t.Exec(2)
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ z>>30) * 0xbf58476d1ce4e5b9
+	z = (z ^ z>>27) * 0x94d049bb133111eb
+	return z ^ z>>31
+}
+
+// IntN returns a draw in [0, n).
+func (r *RNG) IntN(t *sim.Thread, n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: IntN(%d)", n))
+	}
+	return int(r.Next(t) % uint64(n))
+}
+
+// SizeDist is a weighted size distribution.
+type SizeDist struct {
+	weights []int // cumulative
+	lo, hi  []uint64
+	total   int
+}
+
+// NewSizeDist builds a distribution from (weight, lo, hi) triples; draws
+// are uniform within the chosen bucket.
+func NewSizeDist(buckets ...[3]uint64) *SizeDist {
+	d := &SizeDist{}
+	for _, b := range buckets {
+		d.total += int(b[0])
+		d.weights = append(d.weights, d.total)
+		d.lo = append(d.lo, b[1])
+		d.hi = append(d.hi, b[2])
+	}
+	return d
+}
+
+// Draw samples one size.
+func (d *SizeDist) Draw(t *sim.Thread, r *RNG) uint64 {
+	w := r.IntN(t, d.total)
+	for i, cum := range d.weights {
+		if w < cum {
+			span := d.hi[i] - d.lo[i]
+			if span == 0 {
+				return d.lo[i]
+			}
+			return d.lo[i] + r.Next(t)%(span+1)
+		}
+	}
+	return d.lo[len(d.lo)-1]
+}

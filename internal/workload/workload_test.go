@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/allocators/bump"
+	"nextgenmalloc/internal/sim"
+)
+
+// runWorkload executes w against a bump allocator and returns its stats.
+func runWorkload(w Workload) alloc.Stats {
+	m := sim.New(sim.ScaledConfig())
+	ready, _ := m.Kernel().Mmap(1)
+	var a alloc.Allocator
+	n := w.Threads()
+	for i := 0; i < n; i++ {
+		part := i
+		m.Spawn("w", part, func(t *sim.Thread) {
+			if part == 0 {
+				a = bump.New(t)
+				w.Setup(t, a)
+				t.AtomicStore64(ready, 1)
+			} else {
+				for t.Load64(ready) == 0 {
+					t.Pause(100)
+				}
+			}
+			t.FetchAdd64(ready+64, 1)
+			for t.Load64(ready+64) != uint64(n) {
+				t.Pause(50)
+			}
+			w.Run(t, part, a)
+		})
+	}
+	m.Run()
+	return a.Stats()
+}
+
+func TestRNGDeterministic(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		a := NewRNG(42)
+		b := NewRNG(42)
+		for i := 0; i < 100; i++ {
+			if a.Next(th) != b.Next(th) {
+				t.Fatal("same-seed RNGs diverged")
+			}
+		}
+		c := NewRNG(43)
+		same := 0
+		for i := 0; i < 100; i++ {
+			if a.Next(th) == c.Next(th) {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Errorf("different seeds matched %d/100 draws", same)
+		}
+	})
+	m.Run()
+}
+
+func TestSizeDistBounds(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		d := NewSizeDist([3]uint64{1, 16, 64}, [3]uint64{3, 128, 512})
+		rng := NewRNG(7)
+		low, high := 0, 0
+		for i := 0; i < 2000; i++ {
+			s := d.Draw(th, &rng)
+			switch {
+			case s >= 16 && s <= 64:
+				low++
+			case s >= 128 && s <= 512:
+				high++
+			default:
+				t.Fatalf("draw %d outside both buckets", s)
+			}
+		}
+		// Weight 3:1 toward the large bucket.
+		if high < 2*low {
+			t.Errorf("bucket weights off: low=%d high=%d", low, high)
+		}
+	})
+	m.Run()
+}
+
+func TestQuickSizeDistInBuckets(t *testing.T) {
+	f := func(seed uint64) bool {
+		ok := true
+		m := sim.New(sim.ScaledConfig())
+		m.Spawn("t", 0, func(th *sim.Thread) {
+			d := NewSizeDist([3]uint64{2, 8, 32}, [3]uint64{1, 100, 100})
+			rng := NewRNG(seed)
+			for i := 0; i < 200; i++ {
+				s := d.Draw(th, &rng)
+				if !(s >= 8 && s <= 32 || s == 100) {
+					ok = false
+					return
+				}
+			}
+		})
+		m.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXalancCallCounts(t *testing.T) {
+	w := DefaultXalanc(8000)
+	st := runWorkload(w)
+	// Build phase allocates NodeSlots nodes; the transform phase does
+	// ~Ops replacements, each a free+malloc pair once slots are full.
+	wantMallocs := uint64(w.NodeSlots) + uint64(w.Ops/w.Burst*w.Burst)
+	if st.MallocCalls != wantMallocs {
+		t.Errorf("mallocs = %d, want %d", st.MallocCalls, wantMallocs)
+	}
+	if st.FreeCalls == 0 || st.FreeCalls > st.MallocCalls {
+		t.Errorf("frees = %d out of range", st.FreeCalls)
+	}
+	// malloc:free stays near 1:1 in steady state (paper: 138M vs 141M).
+	if ratio := float64(st.MallocCalls) / float64(st.FreeCalls+uint64(w.NodeSlots)); ratio > 1.05 || ratio < 0.95 {
+		t.Errorf("malloc:free+live ratio = %.3f", ratio)
+	}
+}
+
+func TestXalancDeterministic(t *testing.T) {
+	a := runWorkload(DefaultXalanc(4000))
+	b := runWorkload(DefaultXalanc(4000))
+	if a != b {
+		t.Errorf("same-seed xalanc stats differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestXmallocAllFreed(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		w := &Xmalloc{NThreads: n, OpsPerThread: 2000, TouchBytes: 64, Seed: 3}
+		st := runWorkload(w)
+		want := uint64(n * 2000)
+		if st.MallocCalls != want {
+			t.Errorf("threads=%d: mallocs %d, want %d", n, st.MallocCalls, want)
+		}
+		if st.FreeCalls != want {
+			t.Errorf("threads=%d: frees %d, want %d (cycle must drain)", n, st.FreeCalls, want)
+		}
+	}
+}
+
+func TestLarsonDrains(t *testing.T) {
+	w := &Larson{NThreads: 2, SlotsPerThread: 256, RoundsPerThread: 3000, MinSize: 16, MaxSize: 256, Seed: 1}
+	st := runWorkload(w)
+	if st.MallocCalls != 6000 {
+		t.Errorf("mallocs %d, want 6000", st.MallocCalls)
+	}
+	if st.FreeCalls != st.MallocCalls {
+		t.Errorf("teardown leaked: %d mallocs vs %d frees", st.MallocCalls, st.FreeCalls)
+	}
+}
+
+func TestCacheScratchCounts(t *testing.T) {
+	w := &CacheScratch{NThreads: 3, ObjSize: 8, Rounds: 100, Inner: 10}
+	st := runWorkload(w)
+	// Parent allocates 3; each worker does Rounds allocations.
+	want := uint64(3 + 3*100)
+	if st.MallocCalls != want || st.FreeCalls != want {
+		t.Errorf("calls %d/%d, want %d/%d", st.MallocCalls, st.FreeCalls, want, want)
+	}
+}
+
+func TestCacheThrashCounts(t *testing.T) {
+	w := &CacheThrash{NThreads: 2, ObjSize: 8, Rounds: 50, Inner: 10}
+	st := runWorkload(w)
+	if st.MallocCalls != 2 || st.FreeCalls != 2 {
+		t.Errorf("calls %d/%d, want 2/2", st.MallocCalls, st.FreeCalls)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	mk := func() Workload {
+		return &Churn{NThreads: 2, Slots: 500, Rounds: 2000, MinSize: 16, MaxSize: 128, TouchBytes: 32, Seed: 11}
+	}
+	if a, b := runWorkload(mk()), runWorkload(mk()); a != b {
+		t.Error("churn not deterministic")
+	}
+}
+
+func TestSh6benchBalanced(t *testing.T) {
+	w := &Sh6bench{NThreads: 2, Passes: 40, BatchSize: 50, MinSize: 16, MaxSize: 256, RetainPasses: 4, Seed: 5}
+	st := runWorkload(w)
+	want := uint64(2 * 40 * 50)
+	if st.MallocCalls != want {
+		t.Errorf("mallocs %d, want %d", st.MallocCalls, want)
+	}
+	if st.FreeCalls != st.MallocCalls {
+		t.Errorf("leaked: %d mallocs vs %d frees", st.MallocCalls, st.FreeCalls)
+	}
+}
+
+func TestSh6benchDeterministic(t *testing.T) {
+	mk := func() Workload {
+		return &Sh6bench{NThreads: 1, Passes: 30, BatchSize: 40, MinSize: 16, MaxSize: 128, RetainPasses: 3, Seed: 9}
+	}
+	if a, b := runWorkload(mk()), runWorkload(mk()); a != b {
+		t.Error("sh6bench not deterministic")
+	}
+}
+
+func TestFaaSColdVsSteady(t *testing.T) {
+	w := &FaaS{Invocations: 30, Profile: DefaultFaaSProfile(), ComputePerAlloc: 10, Seed: 1}
+	st := runWorkload(w)
+	want := uint64(30 * len(w.Profile))
+	if st.MallocCalls != want || st.FreeCalls != want {
+		t.Errorf("calls %d/%d, want %d", st.MallocCalls, st.FreeCalls, want)
+	}
+	if len(w.InvocationCycles) != 30 {
+		t.Fatalf("recorded %d invocations", len(w.InvocationCycles))
+	}
+	if w.ColdStart() <= w.SteadyState() {
+		t.Errorf("cold start (%d) should exceed steady state (%d)", w.ColdStart(), w.SteadyState())
+	}
+}

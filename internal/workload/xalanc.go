@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// Xalanc is the synthetic stand-in for SPEC CPU2017 523.xalancbmk, the
+// paper's headline workload (Figure 1, Tables 1 and 3): an XML
+// transformer that churns small DOM-node and string allocations while
+// spending the great majority of its time in non-allocator work — yet
+// whose end-to-end time swings by up to 72% with the allocator, because
+// that other work's cache/TLB behaviour depends on where the allocator
+// put the data.
+//
+// Structure: a node table (the "DOM") of NodeSlots entries. Nodes are
+// born and die in *clusters* of siblings (Burst consecutive slots with
+// correlated sizes — elements, attributes, text runs), and the
+// transformation passes traverse clusters sequentially. An allocator
+// that keeps siblings on few pages (size-class slabs) gives the
+// traversal locality; one that scatters them across the heap (boundary
+// tags + first-fit reuse) makes every sibling visit a fresh page — the
+// pollution/locality channel the paper measures.
+type Xalanc struct {
+	// Ops is the number of node replacements in the transform phase.
+	Ops int
+	// NodeSlots is the live-set size (working set ≈ NodeSlots × mean
+	// object size; sized to stress the LLC and STLB like the original).
+	NodeSlots int
+	// Burst is the sibling-cluster size (replaced and traversed together).
+	Burst int
+	// ComputePerOp is the ALU work per replacement (sets the paper's
+	// "only 2% of time in malloc/free" share).
+	ComputePerOp int
+	// ChaseEvery runs a transformation pass every N bursts.
+	ChaseEvery int
+	// ChaseClusters is the number of clusters visited per pass.
+	ChaseClusters int
+	// TouchBytes caps how much of each new node is written.
+	TouchBytes int
+	// Seed fixes the run.
+	Seed uint64
+
+	table uint64 // sim array: NodeSlots × {addr, size}
+	kinds []*SizeDist
+}
+
+// DefaultXalanc mirrors the allocation statistics the paper reports at a
+// simulation-friendly scale (pair with sim.ScaledConfig so the live set
+// stresses the LLC and STLB the way the original stresses full-size
+// ones).
+func DefaultXalanc(ops int) *Xalanc {
+	slots := ops / 2
+	if slots > 100000 {
+		slots = 100000
+	}
+	if slots < 20000 {
+		slots = 20000
+	}
+	return &Xalanc{
+		Ops:           ops,
+		NodeSlots:     slots,
+		Burst:         16,
+		ComputePerOp:  120,
+		ChaseEvery:    4,
+		ChaseClusters: 6,
+		TouchBytes:    96,
+		Seed:          1,
+	}
+}
+
+// Name implements Workload.
+func (x *Xalanc) Name() string { return "xalanc" }
+
+// Threads implements Workload: xalancbmk is single-threaded.
+func (x *Xalanc) Threads() int { return 1 }
+
+// Setup implements Workload.
+func (x *Xalanc) Setup(t *sim.Thread, a alloc.Allocator) {
+	// Sibling clusters draw correlated sizes: element nodes, attribute
+	// strings, token buffers, and occasional text segments.
+	x.kinds = []*SizeDist{
+		NewSizeDist([3]uint64{1, 24, 48}),    // element headers
+		NewSizeDist([3]uint64{1, 16, 64}),    // attributes
+		NewSizeDist([3]uint64{1, 48, 160}),   // strings
+		NewSizeDist([3]uint64{1, 128, 512}),  // text runs
+		NewSizeDist([3]uint64{1, 512, 2048}), // rare buffers
+	}
+	pages := (x.NodeSlots*16 + 4095) >> 12
+	x.table = t.MmapHuge(pages) // large arrays are THP-backed
+}
+
+func (x *Xalanc) slotAddr(i int) uint64 { return x.table + uint64(i)*16 }
+
+// kindFor picks the cluster's size distribution: mostly nodes and
+// strings, occasionally heavier text.
+func (x *Xalanc) kindFor(t *sim.Thread, rng *RNG) *SizeDist {
+	k := rng.IntN(t, 16)
+	switch {
+	case k < 5:
+		return x.kinds[0]
+	case k < 9:
+		return x.kinds[1]
+	case k < 13:
+		return x.kinds[2]
+	case k < 15:
+		return x.kinds[3]
+	default:
+		return x.kinds[4]
+	}
+}
+
+// replaceCluster frees and reallocates the Burst slots starting at slot
+// index base with sizes drawn from one kind (siblings are alike).
+func (x *Xalanc) replaceCluster(t *sim.Thread, a alloc.Allocator, rng *RNG, base int) {
+	// Tear down the whole subtree first (readers release a finished
+	// result tree in one sweep), then rebuild it.
+	for j := 0; j < x.Burst && base+j < x.NodeSlots; j++ {
+		slot := x.slotAddr(base + j)
+		if addr := t.Load64(slot); addr != 0 {
+			size := t.Load64(slot + 8)
+			// The transformer reads a node before discarding it.
+			t.BlockRead(addr, min(int(size), 16))
+			a.Free(t, addr)
+		}
+	}
+	kind := x.kindFor(t, rng)
+	for j := 0; j < x.Burst && base+j < x.NodeSlots; j++ {
+		slot := x.slotAddr(base + j)
+		size := kind.Draw(t, rng)
+		p := a.Malloc(t, size)
+		t.BlockWrite(p, min(int(size), x.TouchBytes), 0xA110C)
+		t.Store64(slot, p)
+		t.Store64(slot+8, size)
+		t.Exec(x.ComputePerOp)
+	}
+}
+
+// chase performs one transformation pass: visit ChaseClusters random
+// clusters and read their nodes in sibling order.
+func (x *Xalanc) chase(t *sim.Thread, rng *RNG) {
+	for c := 0; c < x.ChaseClusters; c++ {
+		base := rng.IntN(t, x.NodeSlots/x.Burst) * x.Burst
+		for j := 0; j < x.Burst && base+j < x.NodeSlots; j++ {
+			s := x.slotAddr(base + j)
+			node := t.Load64(s)
+			if node != 0 {
+				sz := t.Load64(s + 8)
+				t.BlockRead(node, min(int(sz), 48))
+			}
+			t.Exec(6) // per-node transform arithmetic
+		}
+	}
+}
+
+// Run implements Workload.
+func (x *Xalanc) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	if part != 0 {
+		return
+	}
+	rng := NewRNG(x.Seed)
+	// Build phase: parse the document, populating the DOM cluster by
+	// cluster (xalancbmk allocates its tree before transforming it).
+	for base := 0; base < x.NodeSlots; base += x.Burst {
+		kind := x.kindFor(t, &rng)
+		for j := 0; j < x.Burst && base+j < x.NodeSlots; j++ {
+			slot := x.slotAddr(base + j)
+			size := kind.Draw(t, &rng)
+			p := a.Malloc(t, size)
+			t.BlockWrite(p, min(int(size), x.TouchBytes), 0xD0C)
+			t.Store64(slot, p)
+			t.Store64(slot+8, size)
+			t.Exec(x.ComputePerOp / 4)
+		}
+	}
+	// Transform phase: clustered replacement, traversal, and compute.
+	bursts := x.Ops / x.Burst
+	clusters := x.NodeSlots / x.Burst
+	for i := 0; i < bursts; i++ {
+		base := rng.IntN(t, clusters) * x.Burst
+		x.replaceCluster(t, a, &rng, base)
+		if x.ChaseEvery > 0 && i%x.ChaseEvery == 0 {
+			x.chase(t, &rng)
+		}
+	}
+}

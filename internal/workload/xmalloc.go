@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/ring"
+	"nextgenmalloc/internal/sim"
+)
+
+// Xmalloc reimplements Lever & Boreham's xmalloc-test (the paper's
+// footnote 2): every thread allocates blocks that a *different* thread
+// deallocates. The cross-thread frees drag allocator metadata and block
+// lines between cores — the mechanism behind Table 2's >10x LLC-miss
+// growth from 1 to 8 threads.
+//
+// Thread i produces into ring i and consumes (frees) from ring i-1, so
+// the threads form a cycle; with one thread it degenerates to
+// self-free, matching the original benchmark.
+type Xmalloc struct {
+	// NThreads is the worker count (Table 2 uses 1, 2, 4, 8).
+	NThreads int
+	// OpsPerThread is the number of blocks each thread allocates.
+	OpsPerThread int
+	// TouchBytes is how much of each block the producer writes.
+	TouchBytes int
+	// Seed fixes the run.
+	Seed uint64
+
+	ringsBase uint64
+	doneBase  uint64
+	rings     []*ring.SPSC
+	dist      *SizeDist
+}
+
+const xmallocRingSlots = 256
+
+// Name implements Workload.
+func (x *Xmalloc) Name() string { return "xmalloc" }
+
+// Threads implements Workload.
+func (x *Xmalloc) Threads() int { return x.NThreads }
+
+// Setup implements Workload.
+func (x *Xmalloc) Setup(t *sim.Thread, a alloc.Allocator) {
+	x.dist = NewSizeDist(
+		[3]uint64{70, 32, 128},
+		[3]uint64{25, 128, 512},
+		[3]uint64{5, 512, 2048},
+	)
+	per := uint64(ring.BytesFor(xmallocRingSlots)+sim.LineSize-1) &^ (sim.LineSize - 1)
+	pages := int((per*uint64(x.NThreads) + 4095) >> 12)
+	x.ringsBase = t.Mmap(pages)
+	x.rings = make([]*ring.SPSC, x.NThreads)
+	for i := 0; i < x.NThreads; i++ {
+		x.rings[i] = ring.New(x.ringsBase+uint64(i)*per, xmallocRingSlots)
+	}
+	// One done-flag cache line per producer.
+	x.doneBase = t.Mmap(int((uint64(x.NThreads)*sim.LineSize + 4095) >> 12))
+}
+
+func (x *Xmalloc) doneFlag(i int) uint64 { return x.doneBase + uint64(i)*sim.LineSize }
+
+// Run implements Workload.
+func (x *Xmalloc) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	rng := NewRNG(x.Seed + uint64(part)*0x9e37)
+	prod := x.rings[part]
+	prev := (part + x.NThreads - 1) % x.NThreads
+	cons := x.rings[prev]
+	produced, freed := 0, 0
+	for produced < x.OpsPerThread {
+		size := x.dist.Draw(t, &rng)
+		p := a.Malloc(t, size)
+		t.BlockWrite(p, min(int(size), x.TouchBytes), uint64(part)+1)
+		// Hand the block to the neighbour (may spin when it is behind).
+		for !prod.TryPush(t, p, size) {
+			// Drain our own consumer side while waiting to avoid a
+			// cycle-wide stall.
+			if addr, _, ok := cons.TryPop(t); ok {
+				a.Free(t, addr)
+				freed++
+			} else {
+				t.Pause(64)
+			}
+		}
+		produced++
+		// Opportunistically free one incoming block per allocation.
+		if addr, _, ok := cons.TryPop(t); ok {
+			a.Free(t, addr)
+			freed++
+		}
+		t.Exec(8)
+	}
+	t.Store64(x.doneFlag(part), 1)
+	// Drain until the upstream producer is done and its ring is empty.
+	for {
+		if addr, _, ok := cons.TryPop(t); ok {
+			a.Free(t, addr)
+			freed++
+			continue
+		}
+		if t.Load64(x.doneFlag(prev)) != 0 {
+			// The producer is finished; one final pop settles any push
+			// that landed between our pop and the flag read.
+			if addr, _, ok := cons.TryPop(t); ok {
+				a.Free(t, addr)
+				freed++
+				continue
+			}
+			break
+		}
+		t.Pause(64)
+	}
+	_ = freed
+}
