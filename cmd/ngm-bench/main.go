@@ -3,11 +3,17 @@
 //
 // Usage:
 //
-//	ngm-bench [-scale quick|full] [experiment ...]
+//	ngm-bench [-scale quick|full] [-parallel N] [experiment ...]
 //
 // With no experiment arguments it runs everything. Experiments:
 // figure1, table1, table2, table3, model, ablate-layout, ablate-core,
-// ablate-prealloc, sensitivity.
+// ablate-prealloc, sensitivity (and more; see -list).
+//
+// Independent experiments — and the independent simulated machines
+// inside each one — are fanned out across up to -parallel host cores.
+// Every machine is bit-deterministic in isolation, so the results and
+// the output order are identical at any parallelism level; only the
+// wall time changes.
 package main
 
 import (
@@ -15,15 +21,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nextgenmalloc/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "also write raw results (PMU counters per run) as JSON to this file")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulated machines running concurrently (1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a host heap profile to this file at exit")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -34,7 +49,7 @@ func main() {
 		scale = experiments.Full
 	default:
 		fmt.Fprintf(os.Stderr, "ngm-bench: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		return 2
 	}
 
 	runners := map[string]func() experiments.Outcome{
@@ -63,38 +78,127 @@ func main() {
 		for _, id := range order {
 			fmt.Println(id)
 		}
-		return
+		return 0
 	}
 
 	ids := flag.Args()
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		ids = order
 	}
-	var outcomes []experiments.Outcome
+	// Validate every id before running anything: a typo late in the list
+	// must not throw away minutes of completed experiments.
 	for _, id := range ids {
-		run, ok := runners[id]
-		if !ok {
+		if _, ok := runners[id]; !ok {
 			fmt.Fprintf(os.Stderr, "ngm-bench: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+			return 2
 		}
-		start := time.Now()
-		out := run()
-		outcomes = append(outcomes, out)
-		fmt.Printf("=== %s (scale=%s) ===\n%s\n[%s elapsed]\n\n", out.ID, scale.Name, out.Text, time.Since(start).Round(time.Millisecond))
 	}
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
+
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "ngm-bench: -parallel must be >= 1\n")
+		return 2
+	}
+	experiments.SetParallelism(*parallel)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(outcomes); err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: encode: %v\n", err)
-			os.Exit(1)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			return 1
 		}
-		f.Close()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ngm-bench: close %s: %v\n", *cpuProfile, err)
+			}
+		}()
+	}
+
+	outcomes := runExperiments(ids, runners, scale, *parallel)
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, outcomes); err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			return 1
+		}
 		fmt.Printf("raw results written to %s\n", *jsonPath)
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: close %s: %v\n", *memProfile, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// runExperiments executes the selected experiments and prints each
+// outcome in selection order. At -parallel 1 the loop streams: each
+// experiment prints as soon as it finishes. Above 1 all experiments
+// launch at once (their machine fan-out is bounded by the shared
+// semaphore in internal/experiments), completions are announced on
+// stderr, and stdout still renders strictly in order.
+func runExperiments(ids []string, runners map[string]func() experiments.Outcome, scale experiments.Scale, parallel int) []experiments.Outcome {
+	outcomes := make([]experiments.Outcome, len(ids))
+	elapsed := make([]time.Duration, len(ids))
+	if parallel == 1 {
+		for i, id := range ids {
+			start := time.Now()
+			outcomes[i] = runners[id]()
+			elapsed[i] = time.Since(start)
+			printOutcome(outcomes[i], scale, elapsed[i])
+		}
+		return outcomes
+	}
+	done := make([]chan struct{}, len(ids))
+	for i := range ids {
+		done[i] = make(chan struct{})
+	}
+	for i, id := range ids {
+		go func(i int, id string) {
+			defer close(done[i])
+			start := time.Now()
+			outcomes[i] = runners[id]()
+			elapsed[i] = time.Since(start)
+			fmt.Fprintf(os.Stderr, "ngm-bench: %s done (%s)\n", id, elapsed[i].Round(time.Millisecond))
+		}(i, id)
+	}
+	for i := range ids {
+		<-done[i]
+		printOutcome(outcomes[i], scale, elapsed[i])
+	}
+	return outcomes
+}
+
+func printOutcome(out experiments.Outcome, scale experiments.Scale, d time.Duration) {
+	fmt.Printf("=== %s (scale=%s) ===\n%s\n[%s elapsed]\n\n", out.ID, scale.Name, out.Text, d.Round(time.Millisecond))
+}
+
+func writeJSON(path string, outcomes []experiments.Outcome) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(outcomes); err != nil {
+		f.Close()
+		return fmt.Errorf("encode: %w", err)
+	}
+	return f.Close()
 }

@@ -32,19 +32,32 @@ type line struct {
 	tag   uint64 // full line address (addr >> LineShift)
 	state byte   // MESI state (private caches); LLC uses valid/dirty below
 	valid bool
-	dirty bool // LLC only: line differs from memory
-	used  uint64
+	dirty bool  // LLC only: line differs from memory
+	idx   int32 // this line's fixed index in its array (set once at build)
 	// Directory fields (LLC only).
 	sharers uint64 // bitmask of cores whose private caches may hold the line
 	owner   int8   // core holding the line Modified, or -1
 }
 
 // cacheArray is one set-associative tag array with LRU replacement.
+//
+// Host-side layout notes (the model is unchanged): the valid tags and
+// the LRU stamps live in dense parallel []uint64 slices (tags store
+// tag+1; 0 marks an invalid way) so the way scans in find and victim
+// touch 8 bytes per way instead of a full line struct, and each set
+// remembers its most-recently-hit way so the dominant repeat-hit
+// pattern resolves without scanning at all. Every mutation of a way's
+// identity goes through fill/invalidate to keep tags[] and lines[] in
+// lockstep.
 type cacheArray struct {
-	sets  int
-	ways  int
-	lines []line
-	tick  uint64
+	sets    int
+	ways    int
+	setMask uint64   // sets-1 when sets is a power of two, else 0
+	tags    []uint64 // tag+1 per way, 0 when invalid
+	used    []uint64 // LRU stamp per way
+	lines   []line
+	mru     []uint16 // per-set index of the last way that hit
+	tick    uint64
 }
 
 func newArray(sizeBytes, ways int) *cacheArray {
@@ -52,18 +65,63 @@ func newArray(sizeBytes, ways int) *cacheArray {
 	if nlines%ways != 0 {
 		panic(fmt.Sprintf("cache: %d lines not divisible by %d ways", nlines, ways))
 	}
-	return &cacheArray{sets: nlines / ways, ways: ways, lines: make([]line, nlines)}
+	sets := nlines / ways
+	c := &cacheArray{
+		sets:  sets,
+		ways:  ways,
+		tags:  make([]uint64, nlines),
+		used:  make([]uint64, nlines),
+		lines: make([]line, nlines),
+		mru:   make([]uint16, sets),
+	}
+	for i := range c.lines {
+		c.lines[i].idx = int32(i)
+	}
+	if sets&(sets-1) == 0 {
+		c.setMask = uint64(sets - 1)
+	}
+	return c
 }
 
-func (c *cacheArray) setBase(tag uint64) int { return int(tag%uint64(c.sets)) * c.ways }
+// set maps a tag to its set index; power-of-two geometries (all shipped
+// configs) use a mask instead of a divide.
+func (c *cacheArray) set(tag uint64) int {
+	if c.setMask != 0 || c.sets == 1 {
+		return int(tag & c.setMask)
+	}
+	return int(tag % uint64(c.sets))
+}
+
+func (c *cacheArray) setBase(tag uint64) int { return c.set(tag) * c.ways }
+
+// findMRU probes only the set's MRU way — the overwhelmingly common hit
+// location — and returns nil on anything else. Pure lookup (no LRU
+// side effects, identical to a find that hits the MRU way); small
+// enough to inline into the per-access hot path.
+func (c *cacheArray) findMRU(tag uint64) *line {
+	if c.setMask == 0 && c.sets > 1 {
+		return nil // non-power-of-two geometry: take the full probe
+	}
+	base := int(tag&c.setMask) * c.ways
+	if m := base + int(c.mru[tag&c.setMask]); c.tags[m] == tag+1 {
+		return &c.lines[m]
+	}
+	return nil
+}
 
 // find returns the line holding tag, or nil. It does not touch LRU.
 func (c *cacheArray) find(tag uint64) *line {
-	base := c.setBase(tag)
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == tag {
-			return l
+	set := c.set(tag)
+	base := set * c.ways
+	want := tag + 1
+	tags := c.tags[base : base+c.ways]
+	if m := int(c.mru[set]); tags[m] == want {
+		return &c.lines[base+m]
+	}
+	for i, tg := range tags {
+		if tg == want {
+			c.mru[set] = uint16(i)
+			return &c.lines[base+i]
 		}
 	}
 	return nil
@@ -72,32 +130,53 @@ func (c *cacheArray) find(tag uint64) *line {
 // touch refreshes LRU state for a line.
 func (c *cacheArray) touch(l *line) {
 	c.tick++
-	l.used = c.tick
+	c.used[l.idx] = c.tick
 }
 
-// victim returns the line to fill for tag: an invalid way if any,
-// otherwise the LRU way. The caller must handle eviction of the returned
-// line if it is valid.
-func (c *cacheArray) victim(tag uint64) *line {
+// victim returns the index of the line to fill for tag: an invalid way
+// if any, otherwise the LRU way. The caller must handle eviction of the
+// line if it is valid, then install the new identity via fill.
+func (c *cacheArray) victim(tag uint64) int {
 	base := c.setBase(tag)
-	v := &c.lines[base]
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if !l.valid {
-			return l
+	tags := c.tags[base : base+c.ways]
+	used := c.used[base : base+c.ways]
+	vi := 0
+	for i, tg := range tags {
+		if tg == 0 {
+			return base + i
 		}
-		if l.used < v.used {
-			v = l
+		if used[i] < used[vi] {
+			vi = i
 		}
 	}
-	return v
+	return base + vi
+}
+
+// fill installs a fresh line identity at index i (obtained from victim)
+// and returns the line for further field setup.
+func (c *cacheArray) fill(i int, tag uint64, state byte) *line {
+	c.tags[i] = tag + 1
+	c.used[i] = 0
+	l := &c.lines[i]
+	*l = line{tag: tag, state: state, valid: true, idx: int32(i)}
+	return l
+}
+
+// drop invalidates the line at index i.
+func (c *cacheArray) drop(i int) {
+	c.tags[i] = 0
+	c.lines[i].valid = false
 }
 
 // invalidate drops tag if present, returning whether it was Modified.
 func (c *cacheArray) invalidate(tag uint64) (present, wasModified bool) {
-	if l := c.find(tag); l != nil {
-		l.valid = false
-		return true, l.state == Modified
+	base := c.set(tag) * c.ways
+	want := tag + 1
+	for i, tg := range c.tags[base : base+c.ways] {
+		if tg == want {
+			c.drop(base + i)
+			return true, c.lines[base+i].state == Modified
+		}
 	}
 	return false, false
 }
@@ -154,6 +233,10 @@ type CoreStats struct {
 type coreCaches struct {
 	l1 *cacheArray
 	l2 *cacheArray // nil when disabled
+	// mru points at the L1 line this core touched last. It may go stale
+	// (evicted, reused for another tag, invalidated by a remote core);
+	// every consumer revalidates tag and state before trusting it.
+	mru *line
 }
 
 // System is the full hierarchy shared by all cores of a machine.
@@ -239,35 +322,99 @@ func (s *System) backInvalidate(le *line) bool {
 // fillPrivate installs tag into core c's L1 (and L2 when present) with
 // the given MESI state, handling inclusive evictions. It returns extra
 // cycles charged for evictions that had to write back.
-func (s *System) fillPrivate(c int, tag uint64, state byte) uint64 {
+//
+// Callers always know whether L2 already holds the line (they probed it
+// on the way down) and that L1 does not (an L1 hit never reaches here),
+// so the line is passed in rather than re-found: l2line is core c's L2
+// copy of tag, or nil when L2 missed or is disabled.
+func (s *System) fillPrivate(c int, tag uint64, state byte, l2line *line) uint64 {
 	cc := s.cores[c]
 	var extra uint64
 	if cc.l2 != nil {
-		if l2line := cc.l2.find(tag); l2line == nil {
-			v := cc.l2.victim(tag)
-			if v.valid {
+		if l2line == nil {
+			vi := cc.l2.victim(tag)
+			if v := &cc.l2.lines[vi]; v.valid {
 				extra += s.evictPrivate(c, v)
 			}
-			*v = line{tag: tag, state: state, valid: true}
-			cc.l2.touch(v)
+			cc.l2.touch(cc.l2.fill(vi, tag, state))
 		} else {
 			l2line.state = state
 			cc.l2.touch(l2line)
 		}
 	}
-	if l1line := cc.l1.find(tag); l1line == nil {
-		v := cc.l1.victim(tag)
-		if v.valid {
-			extra += s.evictL1(c, v)
-		}
-		*v = line{tag: tag, state: state, valid: true}
-		cc.l1.touch(v)
-	} else {
-		l1line.state = state
-		cc.l1.touch(l1line)
+	vi := cc.l1.victim(tag)
+	if v := &cc.l1.lines[vi]; v.valid {
+		extra += s.evictL1(c, v)
 	}
+	v := cc.l1.fill(vi, tag, state)
+	cc.l1.touch(v)
+	cc.mru = v
 	return extra
 }
+
+// SameLineFast attempts the model update for an access the caller
+// believes lands on the line core c touched last. It succeeds only when
+// the line is still L1-resident under the same tag and in a state that
+// requires no coherence action (any state for a read; Modified or
+// Exclusive for a write). On success it applies the exact side effects
+// the full Access path would — demand counter, LRU touch, E->M upgrade —
+// and returns (L1HitCycles, true); otherwise it changes nothing and the
+// caller must take Access.
+func (s *System) SameLineFast(c int, tag uint64, isWrite bool) (uint64, bool) {
+	cc := s.cores[c]
+	l := cc.mru
+	if l == nil || !l.valid || l.tag != tag {
+		return 0, false
+	}
+	if isWrite {
+		switch l.state {
+		case Modified:
+		case Exclusive:
+			l.state = Modified
+		default: // Shared needs a directory upgrade: full path.
+			return 0, false
+		}
+		s.stats[c].Stores++
+	} else {
+		s.stats[c].Loads++
+	}
+	cc.l1.touch(l)
+	return s.cfg.L1HitCycles, true
+}
+
+// SameLineBatch retires k back-to-back accesses to one line in a single
+// step: the line must be core c's MRU line, L1-resident, and (for
+// writes) owned. On success the demand counters advance by k, the LRU
+// tick advances by k with the line stamped at the final tick, and an
+// Exclusive line upgrades to Modified once — the exact state k
+// successive L1-hit accesses would leave. Returns the per-access hit
+// cycles.
+func (s *System) SameLineBatch(c int, tag uint64, isWrite bool, k uint64) (uint64, bool) {
+	cc := s.cores[c]
+	l := cc.mru
+	if l == nil || !l.valid || l.tag != tag {
+		return 0, false
+	}
+	if isWrite {
+		switch l.state {
+		case Modified:
+		case Exclusive:
+			l.state = Modified
+		default: // Shared needs a directory upgrade: full path.
+			return 0, false
+		}
+		s.stats[c].Stores += k
+	} else {
+		s.stats[c].Loads += k
+	}
+	cc.l1.tick += k
+	cc.l1.used[l.idx] = cc.l1.tick
+	return s.cfg.L1HitCycles, true
+}
+
+// L1HitCycles exposes the configured L1 hit latency (for callers that
+// pre-compute how many hits fit inside a scheduling lease).
+func (s *System) L1HitCycles() uint64 { return s.cfg.L1HitCycles }
 
 // evictL1 handles an L1 eviction: a Modified line merges into L2 (or the
 // LLC when there is no L2). The sharer bit survives while the line is
@@ -276,7 +423,7 @@ func (s *System) evictL1(c int, v *line) uint64 {
 	cc := s.cores[c]
 	if v.state != Modified {
 		if cc.l2 == nil || cc.l2.find(v.tag) == nil {
-			s.dropSharer(c, v.tag)
+			s.releaseLine(c, v.tag, false)
 		}
 		return 0
 	}
@@ -287,8 +434,7 @@ func (s *System) evictL1(c int, v *line) uint64 {
 		}
 	}
 	// No L2 copy: dirty data returns to the LLC.
-	s.absorbDirty(c, v.tag)
-	s.dropSharer(c, v.tag)
+	s.releaseLine(c, v.tag, true)
 	return 0
 }
 
@@ -300,28 +446,19 @@ func (s *System) evictPrivate(c int, v *line) uint64 {
 	if present, m := cc.l1.invalidate(v.tag); present && m {
 		dirty = true
 	}
-	if dirty {
-		s.absorbDirty(c, v.tag)
-	}
-	s.dropSharer(c, v.tag)
+	s.releaseLine(c, v.tag, dirty)
 	return 0
 }
 
-// absorbDirty marks the LLC copy of tag dirty and clears core c's
-// ownership.
-func (s *System) absorbDirty(c int, tag uint64) {
+// releaseLine records in the directory that core c no longer holds tag
+// in any private level: the sharer bit and any ownership claim clear,
+// and dirty data (if any) is absorbed into the LLC copy. One LLC probe
+// covers what the write-back and the sharer drop each need.
+func (s *System) releaseLine(c int, tag uint64, dirty bool) {
 	if le := s.llc.find(tag); le != nil {
-		le.dirty = true
-		if le.owner == int8(c) {
-			le.owner = -1
+		if dirty {
+			le.dirty = true
 		}
-	}
-}
-
-// dropSharer clears core c's sharer bit once the line has left both of
-// its private levels.
-func (s *System) dropSharer(c int, tag uint64) {
-	if le := s.llc.find(tag); le != nil {
 		le.sharers &^= uint64(1) << uint(c)
 		if le.owner == int8(c) {
 			le.owner = -1
@@ -380,7 +517,12 @@ func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
 	cc := s.cores[c]
 
 	// L1 fast path.
-	if l := cc.l1.find(tag); l != nil {
+	l := cc.l1.findMRU(tag)
+	if l == nil {
+		l = cc.l1.find(tag)
+	}
+	if l != nil {
+		cc.mru = l
 		cc.l1.touch(l)
 		if !isWrite {
 			return s.cfg.L1HitCycles
@@ -417,7 +559,7 @@ func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
 				state = Modified
 				l.state = Modified
 			}
-			cyc += s.fillPrivate(c, tag, state)
+			cyc += s.fillPrivate(c, tag, state, l)
 			return s.cfg.L2HitCycles + cyc
 		}
 		st.L2Misses++
@@ -487,7 +629,7 @@ func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
 			state = Shared
 		}
 		le.sharers |= myBit
-		cycles += s.fillPrivate(c, tag, state)
+		cycles += s.fillPrivate(c, tag, state, nil)
 		return cycles
 	}
 
@@ -497,15 +639,16 @@ func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
 	} else {
 		st.LLCLoadMisses++
 	}
-	v := s.llc.victim(tag)
-	if v.valid {
+	vi := s.llc.victim(tag)
+	if v := &s.llc.lines[vi]; v.valid {
 		if s.backInvalidate(v) {
 			v.dirty = true
 		}
 		// Dirty victim writes back to memory; the latency overlaps the
 		// fill in modern parts, so no extra stall is charged.
 	}
-	*v = line{tag: tag, valid: true, owner: -1}
+	v := s.llc.fill(vi, tag, 0)
+	v.owner = -1
 	s.llc.touch(v)
 	state := Exclusive
 	if isWrite {
@@ -513,7 +656,7 @@ func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
 		v.owner = int8(c)
 	}
 	v.sharers = uint64(1) << uint(c)
-	cycles := s.memCycles[c] + s.fillPrivate(c, tag, state)
+	cycles := s.memCycles[c] + s.fillPrivate(c, tag, state, nil)
 	return cycles
 }
 

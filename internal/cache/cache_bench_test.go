@@ -1,0 +1,53 @@
+package cache
+
+import "testing"
+
+// Host benchmarks for System.Access, the per-memory-op model call.
+
+// BenchmarkAccessL1Hit hits the same line forever — the dominant case in
+// real runs (L1 hit rates are >95% for every workload in EXPERIMENTS.md).
+func BenchmarkAccessL1Hit(b *testing.B) {
+	s := NewSystem(DefaultConfig(), 4)
+	s.Access(0, 0x1000, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Access(0, 0x1000, false)
+	}
+}
+
+// BenchmarkAccessL1HitWrite is the store twin (line held Modified).
+func BenchmarkAccessL1HitWrite(b *testing.B) {
+	s := NewSystem(DefaultConfig(), 4)
+	s.Access(0, 0x1000, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Access(0, 0x1000, true)
+	}
+}
+
+// BenchmarkAccessL1Resident cycles through an L1-resident working set,
+// exercising the set scan without misses.
+func BenchmarkAccessL1Resident(b *testing.B) {
+	s := NewSystem(DefaultConfig(), 4)
+	const lines = 64 // 4 KiB footprint, far inside the 32 KiB L1
+	for l := 0; l < lines; l++ {
+		s.Access(0, uint64(l)<<LineShift, false)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Access(0, uint64(i%lines)<<LineShift, false)
+	}
+}
+
+// BenchmarkAccessStream streams a set larger than the LLC: the full
+// miss path with evictions.
+func BenchmarkAccessStream(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.LLCSize = 1 << 20
+	s := NewSystem(cfg, 4)
+	span := uint64(4<<20) >> LineShift
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Access(0, (uint64(i)%span)<<LineShift, i&1 == 0)
+	}
+}

@@ -41,11 +41,9 @@ type Outcome struct {
 }
 
 func runSet(w func() workload.Workload, kinds []string) []harness.Result {
-	results := make([]harness.Result, 0, len(kinds))
-	for _, kind := range kinds {
-		results = append(results, harness.Run(harness.Options{Allocator: kind, Workload: w()}))
-	}
-	return results
+	return runAll(len(kinds), func(i int) harness.Result {
+		return harness.Run(harness.Options{Allocator: kinds[i], Workload: w()})
+	})
 }
 
 // Figure1 reproduces the execution-time sensitivity bars: xalanc across
@@ -81,12 +79,13 @@ func Table1(s Scale) Outcome {
 // Table2 reproduces the xmalloc thread-scaling study on TCMalloc
 // (paper: LLC misses grow >10x from 1 to 8 threads).
 func Table2(s Scale) Outcome {
-	var results []harness.Result
+	threads := []int{1, 2, 4, 8}
+	results := runAll(len(threads), func(i int) harness.Result {
+		w := &workload.Xmalloc{NThreads: threads[i], OpsPerThread: s.XmallocOps, TouchBytes: 128, Seed: 3}
+		return harness.Run(harness.Options{Allocator: "tcmalloc", Workload: w})
+	})
 	header := []string{"# of threads"}
-	for _, n := range []int{1, 2, 4, 8} {
-		w := &workload.Xmalloc{NThreads: n, OpsPerThread: s.XmallocOps, TouchBytes: 128, Seed: 3}
-		r := harness.Run(harness.Options{Allocator: "tcmalloc", Workload: w})
-		results = append(results, r)
+	for _, n := range threads {
 		header = append(header, fmt.Sprintf("%d", n))
 	}
 	rows := report.CounterRows(results)
@@ -194,22 +193,24 @@ func AblatePrealloc(s Scale) Outcome {
 // microbenchmarks (xmalloc, cache-scratch) swing >10x with the
 // allocator.
 func Sensitivity(s Scale) Outcome {
+	wnames := []string{"xmalloc", "cache-scratch"}
+	nk := len(harness.ClassicKinds)
+	all := runAll(len(wnames)*nk, func(i int) harness.Result {
+		var w workload.Workload
+		if wnames[i/nk] == "xmalloc" {
+			w = &workload.Xmalloc{NThreads: 4, OpsPerThread: s.XmallocOps, TouchBytes: 128, Seed: 3}
+		} else {
+			w = &workload.CacheScratch{NThreads: 4, ObjSize: 8, Rounds: s.ScratchRounds, Inner: 50}
+		}
+		return harness.Run(harness.Options{Allocator: harness.ClassicKinds[i%nk], Workload: w})
+	})
 	var b strings.Builder
-	var all []harness.Result
-	for _, wname := range []string{"xmalloc", "cache-scratch"} {
-		labels := make([]string, 0, len(harness.ClassicKinds))
-		values := make([]float64, 0, len(harness.ClassicKinds))
-		for _, kind := range harness.ClassicKinds {
-			var w workload.Workload
-			if wname == "xmalloc" {
-				w = &workload.Xmalloc{NThreads: 4, OpsPerThread: s.XmallocOps, TouchBytes: 128, Seed: 3}
-			} else {
-				w = &workload.CacheScratch{NThreads: 4, ObjSize: 8, Rounds: s.ScratchRounds, Inner: 50}
-			}
-			r := harness.Run(harness.Options{Allocator: kind, Workload: w})
-			all = append(all, r)
+	for wi, wname := range wnames {
+		labels := make([]string, 0, nk)
+		values := make([]float64, 0, nk)
+		for ki, kind := range harness.ClassicKinds {
 			labels = append(labels, kind)
-			values = append(values, float64(r.WallCycles))
+			values = append(values, float64(all[wi*nk+ki].WallCycles))
 		}
 		b.WriteString(report.Bars(fmt.Sprintf("Sensitivity: %s wall cycles by allocator", wname), labels, values))
 		b.WriteByte('\n')

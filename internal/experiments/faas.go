@@ -33,8 +33,8 @@ func AblateFaaS(s Scale) Outcome {
 		{"nextgen preheated", "nextgen-prealloc", true},
 	}
 	header := []string{"configuration", "cold-start cycles", "steady-state cycles", "cold/steady"}
-	var rows [][]string
-	for _, c := range cfgs {
+	rows := runAll(len(cfgs), func(i int) []string {
+		c := cfgs[i]
 		w := &workload.FaaS{
 			Invocations:     invocations,
 			Profile:         profile,
@@ -51,13 +51,13 @@ func AblateFaaS(s Scale) Outcome {
 		}
 		harness.Run(opt)
 		cold, steady := w.ColdStart(), w.SteadyState()
-		rows = append(rows, []string{
+		return []string{
 			c.label,
 			report.Sci(float64(cold)),
 			report.Sci(float64(steady)),
 			fmt.Sprintf("%.2fx", float64(cold)/float64(steady)),
-		})
-	}
+		}
+	})
 	text := report.Table("Ablation: FaaS cold start with allocator preheating (§3.3.2)", header, rows)
 	return Outcome{ID: "ablate-faas", Text: text}
 }

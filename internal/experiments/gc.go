@@ -116,8 +116,10 @@ func AblateGC(s Scale) Outcome {
 	if shortTrees < 32 {
 		shortTrees = 32
 	}
-	inline := runGCBench(false, shortTrees, 9)
-	offl := runGCBench(true, shortTrees, 9)
+	both := runAll(2, func(i int) gcResult {
+		return runGCBench(i == 1, shortTrees, 9)
+	})
+	inline, offl := both[0], both[1]
 
 	header := []string{"mode", "app cycles", "app L1-miss", "app L2-miss", "app LLC-miss", "pause cycles", "collections"}
 	row := func(r gcResult) []string {

@@ -88,8 +88,16 @@ func AblateGPU(s Scale) Outcome {
 		batches = 40
 	}
 	const bufBytes = 16 << 10
-	syncCyc, syncStats := runGPUPipeline(false, batches, bufBytes)
-	asyncCyc, asyncStats := runGPUPipeline(true, batches, bufBytes)
+	type pipeResult struct {
+		cycles uint64
+		stats  gpu.Stats
+	}
+	both := runAll(2, func(i int) pipeResult {
+		c, st := runGPUPipeline(i == 1, batches, bufBytes)
+		return pipeResult{c, st}
+	})
+	syncCyc, syncStats := both[0].cycles, both[0].stats
+	asyncCyc, asyncStats := both[1].cycles, both[1].stats
 
 	header := []string{"mode", "CPU cycles", "cycles/batch", "bytes copied"}
 	rows := [][]string{

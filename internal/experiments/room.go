@@ -114,8 +114,17 @@ func AblateRoom(s Scale) Outcome {
 	if rounds < 100 {
 		rounds = 100
 	}
-	twoCyc, twoCores, twoPause := runSharedRoom(false, rounds)
-	oneCyc, oneCores, onePause := runSharedRoom(true, rounds)
+	type roomResult struct {
+		cycles uint64
+		cores  int
+		pause  uint64
+	}
+	both := runAll(2, func(i int) roomResult {
+		c, n, p := runSharedRoom(i == 1, rounds)
+		return roomResult{c, n, p}
+	})
+	twoCyc, twoCores, twoPause := both[0].cycles, both[0].cores, both[0].pause
+	oneCyc, oneCores, onePause := both[1].cycles, both[1].cores, both[1].pause
 
 	header := []string{"placement", "service cores", "app cycles", "GC pause cycles"}
 	rows := [][]string{

@@ -23,15 +23,23 @@ func AblateScaling(s Scale) Outcome {
 	header := []string{"threads", "mimalloc wall", "nextgen-prealloc wall", "nextgen/mimalloc", "server ops/kcycle"}
 	var rows [][]string
 	var crossover int
-	for _, n := range []int{1, 2, 4, 8} {
-		mk := func() workload.Workload {
-			return &workload.Churn{
+	threads := []int{1, 2, 4, 8}
+	kinds := []string{"mimalloc", "nextgen-prealloc"}
+	// Flattened (thread count x allocator) grid; each cell is one
+	// independent machine.
+	grid := runAll(len(threads)*len(kinds), func(i int) harness.Result {
+		n := threads[i/len(kinds)]
+		return harness.Run(harness.Options{
+			Allocator: kinds[i%len(kinds)],
+			Workload: &workload.Churn{
 				NThreads: n, Slots: 4000, Rounds: rounds / n,
 				MinSize: 16, MaxSize: 256, TouchBytes: 32, Seed: 17,
-			}
-		}
-		mi := harness.Run(harness.Options{Allocator: "mimalloc", Workload: mk()})
-		ng := harness.Run(harness.Options{Allocator: "nextgen-prealloc", Workload: mk()})
+			},
+		})
+	})
+	for ti, n := range threads {
+		mi := grid[ti*len(kinds)]
+		ng := grid[ti*len(kinds)+1]
 		ratio := float64(ng.WallCycles) / float64(mi.WallCycles)
 		if crossover == 0 && ratio > 1 {
 			crossover = n

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/workload"
+)
+
+// The golden-counter equivalence test pins the simulated PMU counters of
+// every allocator on two quick workloads to the values produced by the
+// seed engine. Host-side performance work (page-directory lookup, micro
+// TLBs, MRU ways, parallel fan-out) must never change what the model
+// computes, only how fast the host computes it; any drift here is a
+// model change and fails the test.
+//
+// Regenerate (only when the *model* intentionally changes) with:
+//
+//	go test ./internal/harness -run TestGoldenCounters -update
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_counters.json from the current engine")
+
+const goldenPath = "testdata/golden_counters.json"
+
+type goldenEntry struct {
+	Allocator  string
+	Workload   string
+	Total      sim.Counters
+	PerThread  []sim.Counters
+	Server     sim.Counters
+	WallCycles uint64
+	Served     uint64
+}
+
+// goldenWorkloads returns the two quick drivers, freshly constructed per
+// run so no state leaks between allocators.
+func goldenWorkloads() []func() workload.Workload {
+	return []func() workload.Workload{
+		func() workload.Workload { return workload.DefaultXalanc(6000) },
+		func() workload.Workload {
+			return &workload.Xmalloc{NThreads: 2, OpsPerThread: 2000, TouchBytes: 128, Seed: 3}
+		},
+	}
+}
+
+func collectGolden() []goldenEntry {
+	var entries []goldenEntry
+	for _, mk := range goldenWorkloads() {
+		for _, kind := range Kinds {
+			res := Run(Options{Allocator: kind, Workload: mk()})
+			entries = append(entries, goldenEntry{
+				Allocator:  res.Allocator,
+				Workload:   res.Workload,
+				Total:      res.Total,
+				PerThread:  res.PerThread,
+				Server:     res.Server,
+				WallCycles: res.WallCycles,
+				Served:     res.Served,
+			})
+		}
+	}
+	return entries
+}
+
+func TestGoldenCounters(t *testing.T) {
+	got := collectGolden()
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenPath)
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden file (regenerate with -update): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parse golden file: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, golden file has %d (regenerate with -update?)", len(got), len(want))
+	}
+	for i, w := range want {
+		g := got[i]
+		if g.Allocator != w.Allocator || g.Workload != w.Workload {
+			t.Fatalf("entry %d: got %s/%s, want %s/%s", i, g.Allocator, g.Workload, w.Allocator, w.Workload)
+		}
+		if g.Total != w.Total {
+			t.Errorf("%s/%s: Total counters drifted\n got: %+v\nwant: %+v", w.Allocator, w.Workload, g.Total, w.Total)
+		}
+		if g.Server != w.Server {
+			t.Errorf("%s/%s: Server counters drifted\n got: %+v\nwant: %+v", w.Allocator, w.Workload, g.Server, w.Server)
+		}
+		if g.WallCycles != w.WallCycles {
+			t.Errorf("%s/%s: WallCycles drifted: got %d want %d", w.Allocator, w.Workload, g.WallCycles, w.WallCycles)
+		}
+		if g.Served != w.Served {
+			t.Errorf("%s/%s: Served drifted: got %d want %d", w.Allocator, w.Workload, g.Served, w.Served)
+		}
+		if len(g.PerThread) != len(w.PerThread) {
+			t.Errorf("%s/%s: PerThread length %d want %d", w.Allocator, w.Workload, len(g.PerThread), len(w.PerThread))
+			continue
+		}
+		for j := range w.PerThread {
+			if g.PerThread[j] != w.PerThread[j] {
+				t.Errorf("%s/%s: thread %d counters drifted\n got: %+v\nwant: %+v",
+					w.Allocator, w.Workload, j, g.PerThread[j], w.PerThread[j])
+			}
+		}
+	}
+}

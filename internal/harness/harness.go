@@ -43,8 +43,13 @@ type Options struct {
 	Workload workload.Workload
 	// Machine overrides the default 16-core configuration when non-nil.
 	Machine *sim.Config
-	// ServerCore pins NextGen's dedicated core (default: last core).
+	// ServerCore pins NextGen's dedicated core. It is only honoured when
+	// PinServerCore is set; otherwise the last core is used. (A bare int
+	// can't express "pin to core 0" — the zero value must keep meaning
+	// "default".)
 	ServerCore int
+	// PinServerCore makes ServerCore authoritative, including core 0.
+	PinServerCore bool
 	// Wrap, when non-nil, decorates the allocator before use (e.g. a
 	// trace recorder).
 	Wrap func(alloc.Allocator) alloc.Allocator
@@ -134,14 +139,18 @@ func Run(opt Options) Result {
 		mcfg = *opt.Machine
 	}
 	serverCore := opt.ServerCore
-	if serverCore == 0 {
+	if !opt.PinServerCore {
 		serverCore = mcfg.Cores - 1
 	}
-	if n > serverCore && needsServer(opt.Allocator) {
-		panic(fmt.Sprintf("harness: %d workers collide with server core %d", n, serverCore))
+	if serverCore < 0 || serverCore >= mcfg.Cores {
+		panic(fmt.Sprintf("harness: server core %d out of range [0,%d)", serverCore, mcfg.Cores))
 	}
-	if n > mcfg.Cores {
-		panic(fmt.Sprintf("harness: %d workers exceed %d cores", n, mcfg.Cores))
+	avail := mcfg.Cores
+	if needsServer(opt.Allocator) {
+		avail-- // the server core is reserved; workers are placed around it
+	}
+	if n > avail {
+		panic(fmt.Sprintf("harness: %d workers collide with server core %d (%d cores)", n, serverCore, mcfg.Cores))
 	}
 	if opt.Allocator == "nextgen-nearmem" {
 		if mcfg.CoreOverrides == nil {
@@ -168,9 +177,19 @@ func Run(opt Options) Result {
 	var a alloc.Allocator
 	var serverStart sim.Counters
 
+	// Workers occupy cores in order, stepping over the server's core when
+	// one is reserved (with the default last-core server this is the
+	// identity mapping the original assignment used).
+	workerCore := func(part int) int {
+		if srv != nil && part >= serverCore {
+			return part + 1
+		}
+		return part
+	}
+
 	for i := 0; i < n; i++ {
 		part := i
-		m.Spawn(fmt.Sprintf("%s-worker-%d", w.Name(), part), part, func(t *sim.Thread) {
+		m.Spawn(fmt.Sprintf("%s-worker-%d", w.Name(), part), workerCore(part), func(t *sim.Thread) {
 			if part == 0 {
 				a = makeAllocator(t, opt.Allocator, srv)
 				if opt.Wrap != nil {

@@ -36,6 +36,11 @@ type AddressSpace struct {
 	metaTop uint64
 	mapped  int // pages currently mapped
 	peak    int // high-water mark of mapped pages
+	// epoch advances whenever a translation is destroyed (munmap). Host-
+	// side translation caches (the per-thread micro-TLB in internal/sim)
+	// key their validity on it; mapping new pages never invalidates
+	// because the simulator hands out fresh virtual addresses only.
+	epoch uint64
 }
 
 // NewAddressSpace returns an address space over phys with empty regions.
@@ -83,6 +88,11 @@ func (as *AddressSpace) PeakPages() int { return as.peak }
 
 // Brk returns the current program break.
 func (as *AddressSpace) Brk() uint64 { return as.brk }
+
+// Epoch returns the address-space generation; it changes whenever an
+// existing translation may have been destroyed, so cached (vaddr ->
+// frame) mappings tagged with an older epoch must be re-walked.
+func (as *AddressSpace) Epoch() uint64 { return as.epoch }
 
 // Translate maps a virtual address to a physical address. The second
 // result is false when the page is not mapped.
@@ -140,4 +150,5 @@ func (as *AddressSpace) unmapRange(vaddr uint64, npages int) {
 		delete(as.pt, vpn)
 	}
 	as.mapped -= npages
+	as.epoch++
 }

@@ -8,7 +8,10 @@
 // streams of the real data structures.
 package mem
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // PageShift is log2 of the simulated page size (4 KiB, the x86/Arm
 // baseline the paper assumes).
@@ -21,32 +24,119 @@ const (
 // Frame is one physical page of backing store.
 type Frame [PageSize]byte
 
+// Load reads size bytes (1, 2, 4, or 8) at off within the frame,
+// little-endian. The caller guarantees the access stays inside the page.
+func (f *Frame) Load(off uint64, size int) uint64 {
+	switch size {
+	case 8:
+		return binary.LittleEndian.Uint64(f[off:])
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(f[off:]))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(f[off:]))
+	case 1:
+		return uint64(f[off])
+	}
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(f[off+uint64(i)])
+	}
+	return v
+}
+
+// Store writes size bytes (1, 2, 4, or 8) at off within the frame,
+// little-endian. The caller guarantees the access stays inside the page.
+func (f *Frame) Store(off uint64, size int, val uint64) {
+	switch size {
+	case 8:
+		binary.LittleEndian.PutUint64(f[off:], val)
+	case 4:
+		binary.LittleEndian.PutUint32(f[off:], uint32(val))
+	case 2:
+		binary.LittleEndian.PutUint16(f[off:], uint16(val))
+	case 1:
+		f[off] = byte(val)
+	default:
+		for i := 0; i < size; i++ {
+			f[off+uint64(i)] = byte(val)
+			val >>= 8
+		}
+	}
+}
+
+// dirShift sizes one page-directory chunk: 512 frames = 2 MiB of
+// simulated memory per chunk. Frame numbers are handed out densely by
+// the address space (see AddressSpace.nextPFN), so the directory is a
+// compact two-level array rather than a hash map — the per-access map
+// lookup was the single hottest host operation in the seed engine.
+const (
+	dirShift = 9
+	dirSize  = 1 << dirShift
+	dirMask  = dirSize - 1
+)
+
 // Physical is a sparse physical memory: frames come into existence the
 // first time they are touched and are always zero-filled, mirroring
 // demand-zero allocation.
 type Physical struct {
-	frames map[uint64]*Frame // pfn -> frame
+	dir    [][]*Frame // two-level page directory: dir[pfn>>dirShift][pfn&dirMask]
+	frames int        // live frame count
+
+	// MRU translation cache: the last frame touched. mruPFN is pfn+1 so
+	// the zero value never matches (pfn 0 is reserved anyway).
+	mruPFN   uint64
+	mruFrame *Frame
 }
 
 // NewPhysical returns an empty physical memory.
 func NewPhysical() *Physical {
-	return &Physical{frames: make(map[uint64]*Frame)}
+	return &Physical{}
 }
 
 // Frames reports how many physical frames have been touched.
-func (p *Physical) Frames() int { return len(p.frames) }
+func (p *Physical) Frames() int { return p.frames }
 
 func (p *Physical) frame(pfn uint64) *Frame {
-	f := p.frames[pfn]
+	if pfn+1 == p.mruPFN {
+		return p.mruFrame
+	}
+	c := pfn >> dirShift
+	for uint64(len(p.dir)) <= c {
+		p.dir = append(p.dir, nil)
+	}
+	chunk := p.dir[c]
+	if chunk == nil {
+		chunk = make([]*Frame, dirSize)
+		p.dir[c] = chunk
+	}
+	f := chunk[pfn&dirMask]
 	if f == nil {
 		f = new(Frame)
-		p.frames[pfn] = f
+		chunk[pfn&dirMask] = f
+		p.frames++
 	}
+	p.mruPFN, p.mruFrame = pfn+1, f
 	return f
 }
 
+// FrameFor returns the backing frame of the page containing paddr,
+// materializing it on first touch (demand-zero). Callers that cache the
+// pointer must drop it when the page may have been released.
+func (p *Physical) FrameFor(paddr uint64) *Frame {
+	return p.frame(paddr >> PageShift)
+}
+
 // Release drops a frame's backing store (used by munmap).
-func (p *Physical) Release(pfn uint64) { delete(p.frames, pfn) }
+func (p *Physical) Release(pfn uint64) {
+	c := pfn >> dirShift
+	if c < uint64(len(p.dir)) && p.dir[c] != nil && p.dir[c][pfn&dirMask] != nil {
+		p.dir[c][pfn&dirMask] = nil
+		p.frames--
+	}
+	if pfn+1 == p.mruPFN {
+		p.mruPFN, p.mruFrame = 0, nil
+	}
+}
 
 // checkSpan panics when an access would cross a page boundary; the
 // simulator only issues naturally aligned scalar accesses, so a crossing
@@ -61,25 +151,14 @@ func checkSpan(paddr uint64, size int) {
 // little-endian.
 func (p *Physical) Load(paddr uint64, size int) uint64 {
 	checkSpan(paddr, size)
-	f := p.frame(paddr >> PageShift)
-	off := paddr & PageMask
-	var v uint64
-	for i := size - 1; i >= 0; i-- {
-		v = v<<8 | uint64(f[off+uint64(i)])
-	}
-	return v
+	return p.frame(paddr >> PageShift).Load(paddr&PageMask, size)
 }
 
 // Store writes size bytes (1, 2, 4, or 8) at physical address paddr,
 // little-endian.
 func (p *Physical) Store(paddr uint64, size int, val uint64) {
 	checkSpan(paddr, size)
-	f := p.frame(paddr >> PageShift)
-	off := paddr & PageMask
-	for i := 0; i < size; i++ {
-		f[off+uint64(i)] = byte(val)
-		val >>= 8
-	}
+	p.frame(paddr >> PageShift).Store(paddr&PageMask, size, val)
 }
 
 // ReadBytes copies n bytes starting at paddr into dst; the span must not

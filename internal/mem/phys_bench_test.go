@@ -1,0 +1,58 @@
+package mem
+
+import "testing"
+
+// Host benchmarks for the physical-memory hot path: every simulated load
+// and store lands here, so ns/op on these directly scales full runs.
+
+func benchPhysical(npages int) *Physical {
+	p := NewPhysical()
+	for pfn := uint64(1); pfn <= uint64(npages); pfn++ {
+		p.frame(pfn)
+	}
+	return p
+}
+
+// BenchmarkPhysicalLoad64Same hammers one word — the MRU-frame case.
+func BenchmarkPhysicalLoad64Same(b *testing.B) {
+	p := benchPhysical(64)
+	addr := uint64(1)<<PageShift + 128
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Load(addr, 8)
+	}
+}
+
+// BenchmarkPhysicalLoad64Stride walks a 64-page working set, one load
+// per cache line — the page-directory case.
+func BenchmarkPhysicalLoad64Stride(b *testing.B) {
+	p := benchPhysical(64)
+	span := uint64(64) << PageShift
+	b.ReportAllocs()
+	var addr uint64
+	for i := 0; i < b.N; i++ {
+		p.Load(uint64(1)<<PageShift+addr, 8)
+		addr = (addr + 64) % span
+	}
+}
+
+// BenchmarkPhysicalStore64Stride is the store twin.
+func BenchmarkPhysicalStore64Stride(b *testing.B) {
+	p := benchPhysical(64)
+	span := uint64(64) << PageShift
+	b.ReportAllocs()
+	var addr uint64
+	for i := 0; i < b.N; i++ {
+		p.Store(uint64(1)<<PageShift+addr, 8, uint64(i))
+		addr = (addr + 64) % span
+	}
+}
+
+// BenchmarkPhysicalLoad8 measures the sub-word path.
+func BenchmarkPhysicalLoad8(b *testing.B) {
+	p := benchPhysical(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Load(uint64(1)<<PageShift+uint64(i&PageMask&^7), 1)
+	}
+}

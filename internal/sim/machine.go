@@ -122,7 +122,8 @@ func (m *Machine) spawn(name string, core int, fn func(*Thread), daemon bool) *T
 		core:   core,
 		fn:     fn,
 		daemon: daemon,
-		grant:  make(chan uint64),
+		tlb:    m.tlbs[core],
+		caches: m.caches,
 	}
 	m.threads = append(m.threads, t)
 	return t
@@ -133,15 +134,21 @@ func (m *Machine) spawn(name string, core int, fn func(*Thread), daemon bool) *T
 // next, holding a lease until just past the next-lowest clock plus the
 // configured quantum. Run returns the final wall-clock (the maximum core
 // clock reached).
+//
+// Threads run as coroutines (iter.Pull), so a lease handoff is a direct
+// stack switch that never enters the Go runtime scheduler — an order of
+// magnitude cheaper on the host than the channel park/unpark a
+// goroutine-per-thread design pays, with the exact same deterministic
+// decision sequence. A side effect is that a panic in simulated code
+// now unwinds through Run on the caller's goroutine instead of killing
+// a detached goroutine.
 func (m *Machine) Run() uint64 {
 	if m.running {
 		panic("sim: Run called twice")
 	}
 	m.running = true
-	ret := make(chan *Thread)
 	for _, t := range m.threads {
-		t.ret = ret
-		go t.main()
+		t.start()
 	}
 
 	live := make([]*Thread, len(m.threads))
@@ -158,26 +165,30 @@ func (m *Machine) Run() uint64 {
 		if userCount == 0 {
 			m.stopping = true
 		}
-		// Pick the runnable thread with the minimum clock (ties by id).
+		// Pick the runnable thread with the minimum clock (ties by id)
+		// and the lease base (lowest clock among the others) in one
+		// pass: when a new minimum displaces the old one, the old
+		// minimum becomes a candidate for the runner-up slot.
 		min := live[0]
+		lease := ^uint64(0)
 		for _, t := range live[1:] {
 			if t.clock < min.clock || (t.clock == min.clock && t.id < min.id) {
+				if min.clock < lease {
+					lease = min.clock
+				}
 				min = t
-			}
-		}
-		// Lease until just past the next-lowest clock.
-		lease := ^uint64(0)
-		for _, t := range live {
-			if t != min && t.clock < lease {
+			} else if t.clock < lease {
 				lease = t.clock
 			}
 		}
+		// Lease until just past the next-lowest clock.
 		if lease != ^uint64(0) {
 			lease += m.cfg.Quantum
 		}
-		min.grant <- lease
-		t := <-ret
-		if t.done {
+		t := min
+		t.lease = lease
+		if _, more := t.next(); !more {
+			t.done = true
 			m.retire(t)
 			for i, lt := range live {
 				if lt == t {

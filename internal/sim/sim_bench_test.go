@@ -1,0 +1,87 @@
+package sim
+
+import "testing"
+
+// Host benchmarks for the Thread memory-op path: TLB model + translation
+// + cache model + backing store, the full per-access cost of the engine.
+
+// benchThread runs body inside a 1-thread machine with npages mapped and
+// returns the base address of the mapping.
+func benchThread(b *testing.B, npages int, body func(t *Thread, base uint64)) {
+	cfg := DefaultConfig()
+	cfg.Cores = 1
+	m := New(cfg)
+	base, _ := m.Kernel().Mmap(npages)
+	m.Spawn("bench", 0, func(t *Thread) {
+		body(t, base)
+	})
+	m.Run()
+}
+
+// BenchmarkThreadLoad64Same is the absolute fast path: same word, L1 and
+// TLB resident.
+func BenchmarkThreadLoad64Same(b *testing.B) {
+	benchThread(b, 4, func(t *Thread, base uint64) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Load64(base)
+		}
+	})
+}
+
+// BenchmarkThreadLoad64Walk strides across 64 pages at one load per
+// line, exercising the TLB and translation machinery.
+func BenchmarkThreadLoad64Walk(b *testing.B) {
+	const npages = 64
+	benchThread(b, npages, func(t *Thread, base uint64) {
+		span := uint64(npages) << 12
+		b.ReportAllocs()
+		b.ResetTimer()
+		var off uint64
+		for i := 0; i < b.N; i++ {
+			t.Load64(base + off)
+			off = (off + 64) % span
+		}
+	})
+}
+
+// BenchmarkThreadStore64Stride is the store twin.
+func BenchmarkThreadStore64Stride(b *testing.B) {
+	const npages = 64
+	benchThread(b, npages, func(t *Thread, base uint64) {
+		span := uint64(npages) << 12
+		b.ReportAllocs()
+		b.ResetTimer()
+		var off uint64
+		for i := 0; i < b.N; i++ {
+			t.Store64(base+off, uint64(i))
+			off = (off + 64) % span
+		}
+	})
+}
+
+// BenchmarkThreadBlockWrite measures the memset-like path workloads use
+// to touch allocated objects (256 B per op).
+func BenchmarkThreadBlockWrite(b *testing.B) {
+	benchThread(b, 4, func(t *Thread, base uint64) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.BlockWrite(base, 256, uint64(i))
+		}
+	})
+}
+
+// BenchmarkThreadBlockRead is the checksum-read twin.
+func BenchmarkThreadBlockRead(b *testing.B) {
+	benchThread(b, 4, func(t *Thread, base uint64) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			sink += t.BlockRead(base, 256)
+		}
+		_ = sink
+	})
+}

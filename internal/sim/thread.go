@@ -2,9 +2,34 @@ package sim
 
 import (
 	"fmt"
+	"iter"
 
 	"nextgenmalloc/internal/cache"
+	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/tlb"
 )
+
+// The micro-TLB is a host-side memoization of the software page walk
+// (mem.AddressSpace.PageShiftAt + MustTranslate, two hash-map lookups in
+// the seed engine) plus the frame pointer of the backing page. It is
+// invisible to the simulated machine: the hardware TLB model is still
+// consulted on every access and all PMU counters are unchanged. Entries
+// are validated against the address-space epoch, which advances on every
+// munmap, so a cached frame can never outlive its mapping.
+const (
+	mtlbBits = 7
+	mtlbSize = 1 << mtlbBits
+	mtlbMask = mtlbSize - 1
+)
+
+// mtlbEntry caches one page translation. vpn is stored +1 so the zero
+// value never matches a real page.
+type mtlbEntry struct {
+	vpn   uint64
+	frame *mem.Frame
+	base  uint64 // physical page base
+	shift uint8  // translation granularity for the hardware TLB model
+}
 
 // Thread is one simulated hardware thread, pinned 1:1 to a core. All
 // simulated work — compute, loads, stores, atomics, system calls — is
@@ -20,16 +45,35 @@ type Thread struct {
 	core   int
 	fn     func(*Thread)
 	daemon bool
+	tlb    *tlb.TLB      // this core's TLB (== m.tlbs[core])
+	caches *cache.System // the shared hierarchy (== m.caches)
 
 	clock        uint64
 	instr        uint64
 	atomics      uint64
 	kernelCycles uint64
 
-	grant chan uint64 // lease grants from the scheduler
-	ret   chan *Thread
+	// Coroutine plumbing: yield suspends the thread back to the
+	// scheduler loop in Machine.Run; next resumes it with a fresh lease
+	// already stored in t.lease. See Thread.start.
+	yield func(struct{}) bool
+	next  func() (struct{}, bool)
 	lease uint64
 	done  bool
+
+	mtlb      [mtlbSize]mtlbEntry
+	mtlbEpoch uint64
+
+	// lastLine is the line tag of this thread's previous memory access,
+	// +1 so the zero value never matches. Only when the next access lands
+	// on the same line is the O(1) SameLineFast probe worth attempting;
+	// everything else goes straight to the full hierarchy walk.
+	lastLine uint64
+	// lastE memoizes the micro-TLB slot the previous scalar access
+	// resolved through. The slot's vpn field self-validates: it changes
+	// if the slot is reused for another page and zeroes when an epoch
+	// flush clears the array, so a stale pointer can never mistranslate.
+	lastE *mtlbEntry
 }
 
 // ID returns the thread's id (its spawn order).
@@ -54,26 +98,24 @@ func (t *Thread) Machine() *Machine { return t.m }
 // threads finished); daemon loops must poll this and return.
 func (t *Thread) Stopping() bool { return t.m.stopping }
 
-// main is the goroutine body: wait for the first lease, run, hand back.
-// The handback is deferred so the scheduler is released even if the body
-// exits via runtime.Goexit (e.g. a test helper's FailNow).
-func (t *Thread) main() {
-	t.lease = <-t.grant
-	defer func() {
-		t.done = true
-		t.ret <- t
-	}()
-	t.fn(t)
+// start arms the thread's coroutine. The body does not run until the
+// scheduler's first next() call, and every suspension point is an
+// explicit yield in step — control transfer is a direct coroutine
+// switch, not a channel rendezvous through the runtime scheduler.
+func (t *Thread) start() {
+	t.next, _ = iter.Pull(func(yield func(struct{}) bool) {
+		t.yield = yield
+		t.fn(t)
+	})
 }
 
-// step is called before every simulated operation; it yields the lease
-// back to the scheduler once the clock has passed the lease end.
+// step is called before every simulated operation; it suspends the
+// thread back to the scheduler once the clock has passed the lease end.
 func (t *Thread) step() {
 	if t.clock <= t.lease {
 		return
 	}
-	t.ret <- t
-	t.lease = <-t.grant
+	t.yield(struct{}{})
 }
 
 // Exec retires n ALU instructions (1 cycle each — the in-order,
@@ -87,34 +129,81 @@ func (t *Thread) Exec(n int) {
 	t.clock += uint64(n)
 }
 
+// translate resolves vaddr through the per-thread micro-TLB, falling
+// back to the software page walk on a miss. The returned entry is owned
+// by the micro-TLB and valid until the next munmap.
+func (t *Thread) translate(vaddr uint64) *mtlbEntry {
+	if ep := t.m.as.Epoch(); ep != t.mtlbEpoch {
+		t.mtlb = [mtlbSize]mtlbEntry{}
+		t.mtlbEpoch = ep
+	}
+	vpn := vaddr >> mem.PageShift
+	e := &t.mtlb[vpn&mtlbMask]
+	if e.vpn != vpn+1 {
+		shift := t.m.as.PageShiftAt(vaddr)
+		paddr := t.m.as.MustTranslate(vaddr)
+		*e = mtlbEntry{
+			vpn:   vpn + 1,
+			frame: t.m.phys.FrameFor(paddr),
+			base:  paddr &^ uint64(mem.PageMask),
+			shift: uint8(shift),
+		}
+	}
+	return e
+}
+
 // access performs the TLB walk and cache access for one scalar memory
-// operation and returns the physical address.
-func (t *Thread) access(vaddr uint64, size int, isStore bool) uint64 {
+// operation and returns the translation entry (physical base + frame).
+func (t *Thread) access(vaddr uint64, size int, isStore bool) *mtlbEntry {
 	if size != 1 && size != 2 && size != 4 && size != 8 {
 		panic(fmt.Sprintf("sim: unsupported access size %d", size))
 	}
-	if vaddr%uint64(size) != 0 {
+	if vaddr&uint64(size-1) != 0 {
 		panic(fmt.Sprintf("sim: unaligned %d-byte access at %#x by %s", size, vaddr, t.name))
 	}
 	t.step()
 	t.instr++
-	cyc := t.m.tlbs[t.core].Access(vaddr, isStore, t.m.as.PageShiftAt(vaddr))
-	paddr := t.m.as.MustTranslate(vaddr)
-	cyc += t.m.caches.Access(t.core, paddr, isStore)
+	e := t.lastE
+	if e == nil || vaddr>>mem.PageShift != e.vpn-1 || t.mtlbEpoch != t.m.as.Epoch() {
+		e = t.translate(vaddr)
+		t.lastE = e
+	}
+	paddr := e.base | vaddr&mem.PageMask
+	tag := paddr >> cache.LineShift
+	// Repeat hits on the thread's most recent line (the dominant access
+	// pattern) resolve without walking either the TLB model or the cache
+	// hierarchy; the model updates are identical to the full paths' hit
+	// cases. Same line implies same page, so a TLB MRU hit is the
+	// expected outcome; each helper backs off without side effects when
+	// its precondition fails and the full path runs instead.
+	var cyc uint64
+	if tag+1 == t.lastLine {
+		if !t.tlb.HitMRU(vaddr, isStore, uint(e.shift)) {
+			cyc = t.tlb.Access(vaddr, isStore, uint(e.shift))
+		}
+		if hit, ok := t.caches.SameLineFast(t.core, tag, isStore); ok {
+			t.clock += cyc + hit
+			return e
+		}
+	} else {
+		t.lastLine = tag + 1
+		cyc = t.tlb.Access(vaddr, isStore, uint(e.shift))
+	}
+	cyc += t.caches.Access(t.core, paddr, isStore)
 	t.clock += cyc
-	return paddr
+	return e
 }
 
 // Load reads size bytes (1/2/4/8) at vaddr, little-endian.
 func (t *Thread) Load(vaddr uint64, size int) uint64 {
-	paddr := t.access(vaddr, size, false)
-	return t.m.phys.Load(paddr, size)
+	e := t.access(vaddr, size, false)
+	return e.frame.Load(vaddr&mem.PageMask, size)
 }
 
 // Store writes size bytes (1/2/4/8) at vaddr, little-endian.
 func (t *Thread) Store(vaddr uint64, size int, val uint64) {
-	paddr := t.access(vaddr, size, true)
-	t.m.phys.Store(paddr, size, val)
+	e := t.access(vaddr, size, true)
+	e.frame.Store(vaddr&mem.PageMask, size, val)
 }
 
 // Load8/16/32/64 and Store8/16/32/64 are sized conveniences.
@@ -130,39 +219,41 @@ func (t *Thread) Store64(a, v uint64) { t.Store(a, 8, v) }
 
 // atomic performs the locked-RMW access pattern: an exclusive (write)
 // access plus the serialization cost the paper cites as 67 cycles [3].
-func (t *Thread) atomic(vaddr uint64) uint64 {
-	paddr := t.access(vaddr, 8, true)
+func (t *Thread) atomic(vaddr uint64) *mtlbEntry {
+	e := t.access(vaddr, 8, true)
 	t.clock += t.m.cfg.AtomicExtraCycles
 	t.atomics++
-	return paddr
+	return e
 }
 
 // CAS64 is an atomic compare-and-swap on a 64-bit word, returning whether
 // the swap happened.
 func (t *Thread) CAS64(vaddr, old, new uint64) bool {
-	paddr := t.atomic(vaddr)
-	cur := t.m.phys.Load(paddr, 8)
-	if cur != old {
+	e := t.atomic(vaddr)
+	off := vaddr & mem.PageMask
+	if e.frame.Load(off, 8) != old {
 		return false
 	}
-	t.m.phys.Store(paddr, 8, new)
+	e.frame.Store(off, 8, new)
 	return true
 }
 
 // FetchAdd64 atomically adds delta to the 64-bit word at vaddr and
 // returns the previous value.
 func (t *Thread) FetchAdd64(vaddr, delta uint64) uint64 {
-	paddr := t.atomic(vaddr)
-	cur := t.m.phys.Load(paddr, 8)
-	t.m.phys.Store(paddr, 8, cur+delta)
+	e := t.atomic(vaddr)
+	off := vaddr & mem.PageMask
+	cur := e.frame.Load(off, 8)
+	e.frame.Store(off, 8, cur+delta)
 	return cur
 }
 
 // Swap64 atomically exchanges the word at vaddr with v.
 func (t *Thread) Swap64(vaddr, v uint64) uint64 {
-	paddr := t.atomic(vaddr)
-	cur := t.m.phys.Load(paddr, 8)
-	t.m.phys.Store(paddr, 8, v)
+	e := t.atomic(vaddr)
+	off := vaddr & mem.PageMask
+	cur := e.frame.Load(off, 8)
+	e.frame.Store(off, 8, v)
 	return cur
 }
 
@@ -191,19 +282,115 @@ func (t *Thread) Pause(cycles int) {
 	t.clock += uint64(cycles)
 }
 
+// blockStep performs the model updates for one word of a block access:
+// scheduler step, instruction retire, TLB charge, cache charge. When the
+// word lands on the line the core touched last and that line is still
+// L1-resident in an owned state, the cache update takes the O(1)
+// same-line path; the simulated state transitions and counters are
+// identical either way.
+func (t *Thread) blockStep(vaddr uint64, e *mtlbEntry, isStore bool) {
+	t.step()
+	t.instr++
+	paddr := e.base | vaddr&mem.PageMask
+	tag := paddr >> cache.LineShift
+	var cyc uint64
+	if tag+1 == t.lastLine {
+		if !t.tlb.HitMRU(vaddr, isStore, uint(e.shift)) {
+			cyc = t.tlb.Access(vaddr, isStore, uint(e.shift))
+		}
+		if hit, ok := t.caches.SameLineFast(t.core, tag, isStore); ok {
+			t.clock += cyc + hit
+			return
+		}
+	} else {
+		t.lastLine = tag + 1
+		cyc = t.tlb.Access(vaddr, isStore, uint(e.shift))
+	}
+	cyc += t.caches.Access(t.core, paddr, isStore)
+	t.clock += cyc
+}
+
+// blockBatch tries to retire several consecutive 8-byte words of a block
+// access in one step. It succeeds only when every word would take the
+// same-line fast path AND none of them would yield to the scheduler:
+// the batch stops at the line boundary, the end of the block, and the
+// lease boundary, so the thread suspends at exactly the same points a
+// word-at-a-time walk would. Returns the number of words retired (0 =
+// caller must take the per-word path).
+func (t *Thread) blockBatch(a uint64, e *mtlbEntry, rem int, isStore bool) int {
+	if t.clock > t.lease {
+		return 0 // the next step() must yield
+	}
+	paddr := e.base | a&mem.PageMask
+	tag := paddr >> cache.LineShift
+	if tag+1 != t.lastLine {
+		return 0
+	}
+	k := int(cache.LineSize-paddr&(cache.LineSize-1)) / 8
+	if w := rem / 8; w < k {
+		k = w
+	}
+	// Word j (0-based) yields iff clock + j*hit > lease; cap k so no
+	// batched word crosses that boundary.
+	hit := t.caches.L1HitCycles()
+	if avail := t.lease - t.clock; hit > 0 && avail/hit < uint64(k-1) {
+		k = int(avail/hit) + 1
+	}
+	if k <= 1 {
+		return 0
+	}
+	if !t.tlb.PageResidentMRU(a, uint(e.shift)) {
+		return 0
+	}
+	hitCyc, ok := t.caches.SameLineBatch(t.core, tag, isStore, uint64(k))
+	if !ok {
+		return 0
+	}
+	t.tlb.AccessBatchMRU(isStore, uint64(k))
+	t.instr += uint64(k)
+	t.clock += uint64(k) * hitCyc
+	return k
+}
+
+// blockTail rounds a sub-word remainder down to a power-of-two access
+// size (matching the natural alignment of the word walk).
+func blockTail(rem int) int {
+	sz := rem
+	for sz&(sz-1) != 0 {
+		sz--
+	}
+	return sz
+}
+
 // BlockWrite touches n bytes starting at vaddr with stores, one per
 // 8-byte word (vectorized: one instruction per word, cache access per
 // word). Used for user-data writes and memset-like work.
 func (t *Thread) BlockWrite(vaddr uint64, n int, pattern uint64) {
-	for off := 0; off < n; off += 8 {
+	var e *mtlbEntry
+	for off := 0; off < n; {
 		sz := 8
 		if n-off < 8 {
-			sz = n - off
-			for sz&(sz-1) != 0 {
-				sz-- // round down to a power of two
+			sz = blockTail(n - off)
+		}
+		a := vaddr + uint64(off)
+		if a&uint64(sz-1) != 0 {
+			panic(fmt.Sprintf("sim: unaligned %d-byte access at %#x by %s", sz, a, t.name))
+		}
+		if e == nil || a>>mem.PageShift != e.vpn-1 || t.mtlbEpoch != t.m.as.Epoch() {
+			e = t.translate(a)
+		}
+		if sz == 8 {
+			if k := t.blockBatch(a, e, n-off, true); k > 0 {
+				for j := 0; j < k; j++ {
+					e.frame.Store((a+uint64(j)*8)&mem.PageMask, 8, pattern)
+				}
+				off += k * 8
+				continue
 			}
 		}
-		t.Store(vaddr+uint64(off), sz, pattern)
+		t.blockStep(a, e, true)
+		e.frame.Store(a&mem.PageMask, sz, pattern)
+		off += 8 // word stride even for the rounded-down tail access
 	}
 }
 
@@ -212,15 +399,31 @@ func (t *Thread) BlockWrite(vaddr uint64, n int, pattern uint64) {
 // data" holds in the simulation too).
 func (t *Thread) BlockRead(vaddr uint64, n int) uint64 {
 	var sum uint64
-	for off := 0; off < n; off += 8 {
+	var e *mtlbEntry
+	for off := 0; off < n; {
 		sz := 8
 		if n-off < 8 {
-			sz = n - off
-			for sz&(sz-1) != 0 {
-				sz--
+			sz = blockTail(n - off)
+		}
+		a := vaddr + uint64(off)
+		if a&uint64(sz-1) != 0 {
+			panic(fmt.Sprintf("sim: unaligned %d-byte access at %#x by %s", sz, a, t.name))
+		}
+		if e == nil || a>>mem.PageShift != e.vpn-1 || t.mtlbEpoch != t.m.as.Epoch() {
+			e = t.translate(a)
+		}
+		if sz == 8 {
+			if k := t.blockBatch(a, e, n-off, false); k > 0 {
+				for j := 0; j < k; j++ {
+					sum += e.frame.Load((a+uint64(j)*8)&mem.PageMask, 8)
+				}
+				off += k * 8
+				continue
 			}
 		}
-		sum += t.Load(vaddr+uint64(off), sz)
+		t.blockStep(a, e, false)
+		sum += e.frame.Load(a&mem.PageMask, sz)
+		off += 8 // word stride even for the rounded-down tail access
 	}
 	return sum
 }

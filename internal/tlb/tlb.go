@@ -18,16 +18,16 @@ type Stats struct {
 	STLBHits    uint64 // L1 misses that the second level absorbed
 }
 
-type entry struct {
-	vpn   uint64
-	valid bool
-	used  uint64 // LRU timestamp
-}
-
+// level is one set-associative translation array with LRU replacement.
+// Entries live in dense parallel slices (vpns stores vpn+1; 0 marks an
+// invalid way) so a way scan touches 8 bytes per way — the same
+// host-side layout internal/cache uses for its tag arrays.
 type level struct {
 	sets    int
 	ways    int
-	entries []entry
+	setMask uint64   // sets-1 when sets is a power of two, else 0
+	vpns    []uint64 // vpn+1 per way, 0 when invalid
+	used    []uint64 // LRU timestamp per way
 	tick    uint64
 }
 
@@ -35,52 +35,69 @@ func newLevel(totalEntries, ways int) *level {
 	if totalEntries%ways != 0 {
 		panic("tlb: entries must be a multiple of ways")
 	}
-	return &level{
-		sets:    totalEntries / ways,
-		ways:    ways,
-		entries: make([]entry, totalEntries),
+	sets := totalEntries / ways
+	l := &level{
+		sets: sets,
+		ways: ways,
+		vpns: make([]uint64, totalEntries),
+		used: make([]uint64, totalEntries),
 	}
+	if sets&(sets-1) == 0 {
+		l.setMask = uint64(sets - 1)
+	}
+	return l
 }
 
-// lookup probes the level; on hit it refreshes LRU state. The low bit
-// of vpn is the page-size tag, so the set index uses the bits above it.
-func (l *level) lookup(vpn uint64) bool {
+// setIndex maps a vpn to its set. The low bit of vpn is the page-size
+// tag, so the index uses the bits above it. Power-of-two geometries
+// (every shipped config) take the mask path instead of a hardware
+// divide; both compute the same index.
+func (l *level) setIndex(vpn uint64) int {
+	if l.setMask != 0 || l.sets == 1 {
+		return int(vpn >> 1 & l.setMask)
+	}
+	return int(vpn>>1) % l.sets
+}
+
+// lookup probes the level; on hit it refreshes LRU state and returns the
+// way index, or -1 on miss.
+func (l *level) lookup(vpn uint64) int {
 	l.tick++
-	set := int(vpn>>1) % l.sets
-	base := set * l.ways
-	for i := 0; i < l.ways; i++ {
-		e := &l.entries[base+i]
-		if e.valid && e.vpn == vpn {
-			e.used = l.tick
-			return true
+	base := l.setIndex(vpn) * l.ways
+	want := vpn + 1
+	for i, v := range l.vpns[base : base+l.ways] {
+		if v == want {
+			l.used[base+i] = l.tick
+			return base + i
 		}
 	}
-	return false
+	return -1
 }
 
 // insert fills vpn into the level, evicting the LRU way.
 func (l *level) insert(vpn uint64) {
 	l.tick++
-	set := int(vpn>>1) % l.sets
-	base := set * l.ways
-	victim := base
-	for i := 0; i < l.ways; i++ {
-		e := &l.entries[base+i]
-		if !e.valid {
-			victim = base + i
+	base := l.setIndex(vpn) * l.ways
+	vpns := l.vpns[base : base+l.ways]
+	used := l.used[base : base+l.ways]
+	victim := 0
+	for i, v := range vpns {
+		if v == 0 {
+			victim = i
 			break
 		}
-		if e.used < l.entries[victim].used {
-			victim = base + i
+		if used[i] < used[victim] {
+			victim = i
 		}
 	}
-	l.entries[victim] = entry{vpn: vpn, valid: true, used: l.tick}
+	vpns[victim] = vpn + 1
+	used[victim] = l.tick
 }
 
 // flush invalidates every entry (used by Invalidate).
 func (l *level) flush() {
-	for i := range l.entries {
-		l.entries[i].valid = false
+	for i := range l.vpns {
+		l.vpns[i] = 0
 	}
 }
 
@@ -115,6 +132,11 @@ type TLB struct {
 	l1    *level
 	stlb  *level
 	stats Stats
+	// mru is the L1 way index that hit most recently (-1 when unknown).
+	// Same-page access runs (the common case: word-by-word walks of an
+	// object) take an O(1) path with side effects identical to a full
+	// set probe.
+	mru int
 }
 
 // New builds a TLB from cfg.
@@ -123,6 +145,7 @@ func New(cfg Config) *TLB {
 		cfg:  cfg,
 		l1:   newLevel(cfg.L1Entries, cfg.L1Ways),
 		stlb: newLevel(cfg.L2Entries, cfg.L2Ways),
+		mru:  -1,
 	}
 }
 
@@ -136,7 +159,12 @@ func (t *TLB) Stats() Stats { return t.stats }
 // granularities never alias because the size is folded into the tag.
 func (t *TLB) Access(vaddr uint64, isStore bool, pageShift uint) uint64 {
 	vpn := vaddr>>pageShift<<1 | uint64(pageShift>>4&1)
-	if t.l1.lookup(vpn) {
+	// MRU fast path: a repeat hit on the last-hit L1 entry performs the
+	// exact side effects of a full probe that hits (tick advance + LRU
+	// refresh + hit counter), just without the way scan.
+	if i := t.mru; i >= 0 && t.l1.vpns[i] == vpn+1 {
+		t.l1.tick++
+		t.l1.used[i] = t.l1.tick
 		if isStore {
 			t.stats.StoreHits++
 		} else {
@@ -144,7 +172,16 @@ func (t *TLB) Access(vaddr uint64, isStore bool, pageShift uint) uint64 {
 		}
 		return 0
 	}
-	if t.stlb.lookup(vpn) {
+	if i := t.l1.lookup(vpn); i >= 0 {
+		t.mru = i
+		if isStore {
+			t.stats.StoreHits++
+		} else {
+			t.stats.LoadHits++
+		}
+		return 0
+	}
+	if t.stlb.lookup(vpn) >= 0 {
 		t.stats.STLBHits++
 		t.l1.insert(vpn)
 		if isStore {
@@ -164,8 +201,52 @@ func (t *TLB) Access(vaddr uint64, isStore bool, pageShift uint) uint64 {
 	return t.cfg.WalkCycles
 }
 
+// HitMRU attempts the MRU fast path alone: if vaddr's page is the L1's
+// most recently hit entry it applies the exact side effects of an L1 hit
+// (tick advance, LRU refresh, hit counter) and returns true; otherwise
+// it changes nothing and the caller must call Access. Small enough to
+// inline at call sites that probe the same page repeatedly.
+func (t *TLB) HitMRU(vaddr uint64, isStore bool, pageShift uint) bool {
+	vpn := vaddr>>pageShift<<1 | uint64(pageShift>>4&1)
+	i := t.mru
+	if i < 0 || t.l1.vpns[i] != vpn+1 {
+		return false
+	}
+	t.l1.tick++
+	t.l1.used[i] = t.l1.tick
+	if isStore {
+		t.stats.StoreHits++
+	} else {
+		t.stats.LoadHits++
+	}
+	return true
+}
+
+// PageResidentMRU reports whether vaddr's page is the L1's most recently
+// hit entry. Pure check: no counter, tick, or LRU side effects.
+func (t *TLB) PageResidentMRU(vaddr uint64, pageShift uint) bool {
+	vpn := vaddr>>pageShift<<1 | uint64(pageShift>>4&1)
+	i := t.mru
+	return i >= 0 && t.l1.vpns[i] == vpn+1
+}
+
+// AccessBatchMRU charges k back-to-back accesses to the MRU page. The
+// caller must have verified PageResidentMRU for every one of them (no
+// other translation may intervene). The model state afterwards — tick,
+// LRU stamp, hit counters — is exactly what k Access calls would leave.
+func (t *TLB) AccessBatchMRU(isStore bool, k uint64) {
+	t.l1.tick += k
+	t.l1.used[t.mru] = t.l1.tick
+	if isStore {
+		t.stats.StoreHits += k
+	} else {
+		t.stats.LoadHits += k
+	}
+}
+
 // Invalidate flushes both levels (e.g. after munmap).
 func (t *TLB) Invalidate() {
 	t.l1.flush()
 	t.stlb.flush()
+	t.mru = -1
 }
