@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"nextgenmalloc/internal/experiments"
+	"nextgenmalloc/internal/metrics"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run() int {
 	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonPath := flag.String("json", "", "also write raw results (PMU counters per run) as JSON to this file")
+	metricsPath := flag.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulated machines running concurrently (1 = serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to this file at exit")
@@ -126,6 +128,21 @@ func run() int {
 			return 1
 		}
 		fmt.Printf("raw results written to %s\n", *jsonPath)
+	}
+
+	if *metricsPath != "" {
+		var exps []metrics.Experiment
+		for _, out := range outcomes {
+			if len(out.Results) == 0 {
+				continue // synthetic experiments (model) carry no PMU runs
+			}
+			exps = append(exps, metrics.FromResults(out.ID, out.Results))
+		}
+		if err := metrics.NewFile(exps...).WriteFile(*metricsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("metrics written to %s\n", *metricsPath)
 	}
 
 	if *memProfile != "" {

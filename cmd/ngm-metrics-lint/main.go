@@ -1,0 +1,42 @@
+// Command ngm-metrics-lint validates that a file emitted by a -metrics
+// flag is a well-formed ngm-metrics/v1 document (CI uses it to keep the
+// schema a stable contract).
+//
+// Usage:
+//
+//	ngm-metrics-lint out.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"nextgenmalloc/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: ngm-metrics-lint <file.json> ...")
+		return 2
+	}
+	rc := 0
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-metrics-lint: %v\n", err)
+			rc = 1
+			continue
+		}
+		if err := metrics.Validate(data); err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-metrics-lint: %s: %v\n", p, err)
+			rc = 1
+			continue
+		}
+		fmt.Printf("%s: ok\n", p)
+	}
+	return rc
+}

@@ -1,31 +1,65 @@
 // Command ngm-run executes one (allocator, workload) pair on the
-// simulated machine and prints the PMU counters, allocator statistics,
-// and kernel accounting.
+// simulated machine and prints the PMU counters, the per-class miss
+// attribution, allocator statistics, and kernel accounting.
 //
 // Usage:
 //
 //	ngm-run -alloc mimalloc -workload xalanc -ops 100000
-//	ngm-run -alloc nextgen -workload xmalloc -threads 4
+//	ngm-run -alloc nextgen -workload xmalloc -threads 4 -metrics out.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/metrics"
 	"nextgenmalloc/internal/report"
 	"nextgenmalloc/internal/workload"
 )
 
 func main() {
-	kind := flag.String("alloc", "nextgen", "allocator: "+strings.Join(harness.Kinds, ", "))
-	wname := flag.String("workload", "xalanc", "workload: xalanc, xmalloc, cache-scratch, cache-thrash, larson, churn, sh6bench, faas")
-	ops := flag.Int("ops", 100000, "operation count (total or per thread, workload-dependent)")
-	threads := flag.Int("threads", 1, "worker thread count (multi-thread workloads)")
-	seed := flag.Uint64("seed", 1, "workload seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// sh6benchBatch is the fixed batch size ngm-run configures; -ops below
+// one batch would silently truncate to zero passes.
+const sh6benchBatch = 100
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ngm-run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	kind := fs.String("alloc", "nextgen", "allocator: "+strings.Join(harness.Kinds, ", "))
+	wname := fs.String("workload", "xalanc", "workload: xalanc, xmalloc, cache-scratch, cache-thrash, larson, churn, sh6bench, faas")
+	ops := fs.Int("ops", 100000, "operation count (total or per thread, workload-dependent)")
+	threads := fs.Int("threads", 1, "worker thread count (multi-thread workloads)")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Validate everything up front: a bad flag must fail fast with a
+	// usage error, not panic mid-run or silently do no work.
+	if !harness.KnownKind(*kind) {
+		fmt.Fprintf(stderr, "ngm-run: unknown allocator %q (choose from: %s)\n", *kind, strings.Join(harness.Kinds, ", "))
+		return 2
+	}
+	if *threads < 1 {
+		fmt.Fprintf(stderr, "ngm-run: -threads must be >= 1 (got %d)\n", *threads)
+		return 2
+	}
+	if *ops < 1 {
+		fmt.Fprintf(stderr, "ngm-run: -ops must be >= 1 (got %d)\n", *ops)
+		return 2
+	}
+	if *wname == "sh6bench" && *ops < sh6benchBatch {
+		fmt.Fprintf(stderr, "ngm-run: sh6bench needs -ops >= %d (one batch); got %d\n", sh6benchBatch, *ops)
+		return 2
+	}
 
 	var w workload.Workload
 	switch *wname {
@@ -44,22 +78,45 @@ func main() {
 	case "churn":
 		w = &workload.Churn{NThreads: *threads, Slots: 20000, Rounds: *ops, MinSize: 16, MaxSize: 256, TouchBytes: 64, Seed: *seed}
 	case "sh6bench":
-		w = &workload.Sh6bench{NThreads: *threads, Passes: *ops / 100, BatchSize: 100, MinSize: 16, MaxSize: 512, RetainPasses: 5, Seed: *seed}
+		w = &workload.Sh6bench{NThreads: *threads, Passes: *ops / sh6benchBatch, BatchSize: sh6benchBatch, MinSize: 16, MaxSize: 512, RetainPasses: 5, Seed: *seed}
 	case "faas":
 		w = &workload.FaaS{Invocations: *ops, Profile: workload.DefaultFaaSProfile(), ComputePerAlloc: 40, Seed: *seed}
 	default:
-		fmt.Fprintf(os.Stderr, "ngm-run: unknown workload %q\n", *wname)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ngm-run: unknown workload %q\n", *wname)
+		return 2
 	}
 
 	res := harness.Run(harness.Options{Allocator: *kind, Workload: w})
-	fmt.Print(report.CounterTable(fmt.Sprintf("%s on %s", *wname, *kind), []harness.Result{res}))
-	fmt.Printf("\nwall cycles:    %s\n", report.Sci(float64(res.WallCycles)))
-	fmt.Printf("mallocs/frees:  %d / %d\n", res.AllocStats.MallocCalls, res.AllocStats.FreeCalls)
-	fmt.Printf("heap bytes:     %d (fragmentation %.3f)\n", res.AllocStats.HeapBytes, res.AllocStats.Fragmentation())
-	fmt.Printf("kernel:         %d mmap, %d brk, %d pages, %s cycles\n",
+	fmt.Fprint(stdout, report.CounterTable(fmt.Sprintf("%s on %s", *wname, *kind), []harness.Result{res}))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, report.AttributionTable("miss attribution (worker cores)", []harness.Result{res}))
+	fmt.Fprintf(stdout, "\nwall cycles:    %s\n", report.Sci(float64(res.WallCycles)))
+	fmt.Fprintf(stdout, "mallocs/frees:  %d / %d\n", res.AllocStats.MallocCalls, res.AllocStats.FreeCalls)
+	fmt.Fprintf(stdout, "heap bytes:     %d (fragmentation %.3f)\n", res.AllocStats.HeapBytes, res.AllocStats.Fragmentation())
+	fmt.Fprintf(stdout, "kernel:         %d mmap, %d brk, %d pages, %s cycles\n",
 		res.Kernel.Mmap, res.Kernel.Brk, res.Kernel.Pages, report.Sci(float64(res.Kernel.Cycles)))
 	if res.Served > 0 {
-		fmt.Printf("offload server: %s cycles, %d ops served\n", report.Sci(float64(res.Server.Cycles)), res.Served)
+		fmt.Fprintf(stdout, "offload server: %s cycles, %d ops served\n", report.Sci(float64(res.Server.Cycles)), res.Served)
 	}
+	if tel := res.Offload; tel != nil {
+		busy := float64(0)
+		if tot := tel.ServerBusyCycles + tel.ServerIdleCycles; tot > 0 {
+			busy = float64(tel.ServerBusyCycles) / float64(tot)
+		}
+		fmt.Fprintf(stdout, "rings:          %d pushes (%d full retries, %s stall cycles); server %.1f%% busy\n",
+			tel.MallocRing.Pushes+tel.FreeRing.Pushes,
+			tel.MallocRing.FullRetries+tel.FreeRing.FullRetries,
+			report.Sci(float64(tel.MallocRing.StallCycles+tel.FreeRing.StallCycles)),
+			100*busy)
+	}
+
+	if *metricsPath != "" {
+		f := metrics.NewFile(metrics.FromResults("ngm-run", []harness.Result{res}))
+		if err := f.WriteFile(*metricsPath); err != nil {
+			fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsPath)
+	}
+	return 0
 }

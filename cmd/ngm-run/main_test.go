@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nextgenmalloc/internal/metrics"
+)
+
+func runCLI(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	rc := run(args, &out, &errb)
+	return rc, out.String(), errb.String()
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"unknown alloc":      {[]string{"-alloc", "hoard"}, "unknown allocator"},
+		"zero threads":       {[]string{"-threads", "0"}, "-threads must be >= 1"},
+		"negative threads":   {[]string{"-threads", "-3"}, "-threads must be >= 1"},
+		"zero ops":           {[]string{"-ops", "0"}, "-ops must be >= 1"},
+		"negative ops":       {[]string{"-ops", "-5"}, "-ops must be >= 1"},
+		"sh6bench sub-batch": {[]string{"-workload", "sh6bench", "-ops", "99"}, "one batch"},
+		"unknown workload":   {[]string{"-workload", "nope"}, "unknown workload"},
+	} {
+		rc, _, stderr := runCLI(tc.args...)
+		if rc != 2 {
+			t.Errorf("%s: exit code %d, want 2", name, rc)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr %q lacks %q", name, stderr, tc.want)
+		}
+	}
+}
+
+func TestRunPrintsAttributionAndWritesMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	rc, stdout, stderr := runCLI("-alloc", "ptmalloc2", "-workload", "xalanc", "-ops", "1500", "-metrics", path)
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	for _, want := range []string{"miss attribution", "LLC-miss % metadata", "wall cycles"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Validate(data); err != nil {
+		t.Errorf("emitted metrics file invalid: %v", err)
+	}
+}
+
+func TestSh6benchMinimumBatchRuns(t *testing.T) {
+	// Exactly one batch is the smallest legal op count and must do work.
+	rc, stdout, stderr := runCLI("-alloc", "bump", "-workload", "sh6bench", "-ops", "100")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if strings.Contains(stdout, "mallocs/frees:  0 / 0") {
+		t.Errorf("one-batch sh6bench did no allocations:\n%s", stdout)
+	}
+}

@@ -11,7 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"nextgenmalloc/internal/alloc"
 	"nextgenmalloc/internal/harness"
@@ -34,32 +36,42 @@ func (r *replayWorkload) Run(t *sim.Thread, part int, a alloc.Allocator) {
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		return usage(stderr)
 	}
-	switch os.Args[1] {
+	switch args[0] {
 	case "record":
-		record(os.Args[2:])
+		return record(args[1:], stdout, stderr)
 	case "replay":
-		replay(os.Args[2:])
-	default:
-		usage()
+		return replay(args[1:], stdout, stderr)
 	}
+	return usage(stderr)
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ngm-trace record -workload <name> -ops <n> -o <file>")
-	fmt.Fprintln(os.Stderr, "       ngm-trace replay -i <file> -alloc <kind>")
-	os.Exit(2)
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: ngm-trace record -workload <name> -ops <n> -o <file>")
+	fmt.Fprintln(stderr, "       ngm-trace replay -i <file> -alloc <kind>")
+	return 2
 }
 
-func record(args []string) {
-	fs := flag.NewFlagSet("record", flag.ExitOnError)
+func record(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	wname := fs.String("workload", "xalanc", "workload to record (xalanc, churn)")
 	ops := fs.Int("ops", 50000, "operation count")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	out := fs.String("o", "trace.ngt", "output file")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ops < 1 {
+		fmt.Fprintf(stderr, "ngm-trace: -ops must be >= 1 (got %d)\n", *ops)
+		return 2
+	}
 
 	var w workload.Workload
 	switch *wname {
@@ -70,8 +82,8 @@ func record(args []string) {
 	case "churn":
 		w = &workload.Churn{NThreads: 1, Slots: 20000, Rounds: *ops, MinSize: 16, MaxSize: 256, Seed: *seed}
 	default:
-		fmt.Fprintf(os.Stderr, "ngm-trace: workload %q is not recordable (single-threaded only)\n", *wname)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ngm-trace: workload %q is not recordable (single-threaded only)\n", *wname)
+		return 2
 	}
 
 	var rec *trace.Recorder
@@ -83,38 +95,59 @@ func record(args []string) {
 			return rec
 		},
 	})
+	if rec == nil {
+		// Wrap always runs for a workload that completed Setup; a nil
+		// recorder means the harness never built the allocator.
+		fmt.Fprintf(stderr, "ngm-trace: internal error: recorder was never attached\n")
+		return 1
+	}
 	f, err := os.Create(*out)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ngm-trace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ngm-trace: %v\n", err)
+		return 1
 	}
-	defer f.Close()
 	if err := rec.Trace().Encode(f); err != nil {
-		fmt.Fprintf(os.Stderr, "ngm-trace: encode: %v\n", err)
-		os.Exit(1)
+		f.Close()
+		fmt.Fprintf(stderr, "ngm-trace: encode: %v\n", err)
+		return 1
 	}
-	fmt.Printf("recorded %d ops (%d mallocs) from %s to %s\n",
+	// Close errors are the last chance to see a failed flush (ENOSPC);
+	// swallowing them would archive a truncated trace.
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(stderr, "ngm-trace: close %s: %v\n", *out, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "recorded %d ops (%d mallocs) from %s to %s\n",
 		len(rec.Trace().Ops), rec.Trace().Mallocs(), w.Name(), *out)
+	return 0
 }
 
-func replay(args []string) {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+func replay(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	in := fs.String("i", "trace.ngt", "input trace file")
 	kind := fs.String("alloc", "mimalloc", "allocator to replay against")
-	_ = fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !harness.KnownKind(*kind) {
+		fmt.Fprintf(stderr, "ngm-trace: unknown allocator %q (choose from: %s)\n", *kind, strings.Join(harness.Kinds, ", "))
+		return 2
+	}
 
 	f, err := os.Open(*in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ngm-trace: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ngm-trace: %v\n", err)
+		return 1
 	}
 	tr, err := trace.Decode(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ngm-trace: decode: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ngm-trace: decode: %v\n", err)
+		return 1
 	}
 	res := harness.Run(harness.Options{Allocator: *kind, Workload: &replayWorkload{tr: tr}})
-	fmt.Print(report.CounterTable(fmt.Sprintf("replay of %s on %s", *in, *kind), []harness.Result{res}))
-	fmt.Printf("\nops replayed: %d, fragmentation %.3f\n", len(tr.Ops), res.AllocStats.Fragmentation())
+	fmt.Fprint(stdout, report.CounterTable(fmt.Sprintf("replay of %s on %s", *in, *kind), []harness.Result{res}))
+	fmt.Fprintf(stdout, "\nops replayed: %d, fragmentation %.3f\n", len(tr.Ops), res.AllocStats.Fragmentation())
+	return 0
 }

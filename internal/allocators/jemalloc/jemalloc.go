@@ -17,9 +17,16 @@ package jemalloc
 import (
 	"nextgenmalloc/internal/alloc"
 	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/simsync"
 )
+
+// Miss-attribution marking (host-side, no simulated traffic): jemalloc's
+// layout is fully segregated — run bitmaps, bin state, the rtree, and
+// tcaches all live on dedicated metadata pages, and user blocks never
+// carry intrusive links. Marking therefore touches only structure pages;
+// heap spans keep the default user-data class for their whole life.
 
 // Run record field offsets (128-byte records; the bitmap tail supports
 // up to 512 regions per run — one page of 8-byte regions).
@@ -90,11 +97,16 @@ func New(t *sim.Thread, narenas int) *Allocator {
 		byThread: make(map[int]*arena),
 	}
 	a.pagemapRoot = t.Mmap(16)
-	a.rtreeLock = simsync.NewSpinLock(t.Mmap(1))
+	t.MarkRegion(a.pagemapRoot, 16<<mem.PageShift, region.Meta)
+	lockPage := t.Mmap(1)
+	t.MarkRegion(lockPage, 1<<mem.PageShift, region.Meta)
+	a.rtreeLock = simsync.NewSpinLock(lockPage)
 	a.growMeta(t)
 	for i := 0; i < narenas; i++ {
 		binBytes := uint64(sc.NumClasses())*binStride + 128
-		state := t.Mmap(int((binBytes + mem.PageSize - 1) >> mem.PageShift))
+		statePages := int((binBytes + mem.PageSize - 1) >> mem.PageShift)
+		state := t.Mmap(statePages)
+		t.MarkRegion(state, statePages<<mem.PageShift, region.Meta)
 		ar := &arena{id: i, state: state}
 		for c := 0; c < sc.NumClasses(); c++ {
 			s := a.binSentinel(ar, c)
@@ -128,6 +140,7 @@ func (a *Allocator) binSentinel(ar *arena, class int) uint64 {
 
 func (a *Allocator) growMeta(t *sim.Thread) {
 	a.metaBase = t.Mmap(16)
+	t.MarkRegion(a.metaBase, 16<<mem.PageShift, region.Meta)
 	a.metaOff = 0
 	a.metaLimit = 16 << mem.PageShift
 }
@@ -154,6 +167,7 @@ func (a *Allocator) pagemapSet(t *sim.Thread, vaddr, rec uint64) {
 	leaf := t.Load64(leafSlot)
 	if leaf == 0 {
 		leaf = t.Mmap(1)
+		t.MarkRegion(leaf, 1<<mem.PageShift, region.Meta)
 		t.Store64(leafSlot, leaf)
 	}
 	t.Store64(leaf+(rel&511)*8, rec)
@@ -315,6 +329,7 @@ func (a *Allocator) tcache(t *sim.Thread) uint64 {
 	}
 	pages := int((uint64(a.sc.NumClasses())*tcacheSlotSize + mem.PageSize - 1) >> mem.PageShift)
 	tc := t.Mmap(pages)
+	t.MarkRegion(tc, pages<<mem.PageShift, region.Meta)
 	a.tcaches[t.ID()] = tc
 	return tc
 }

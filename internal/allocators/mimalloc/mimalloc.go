@@ -20,9 +20,17 @@ package mimalloc
 import (
 	"nextgenmalloc/internal/alloc"
 	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/simsync"
 )
+
+// Miss-attribution marking (host-side, free of simulated traffic): the
+// pagemap, page-record arena, segment state, and per-thread heap tables
+// are metadata pages. The aggregated layout means a free block's first
+// word holds the intrusive list link, so that 16-byte granule flips to
+// metadata on free and back to user data when the block is handed out —
+// the line sharing Figure 2 attributes to mimalloc.
 
 // Page metadata record offsets (128-byte records). Lists next/prev keep
 // offsets 0/8 so the shared list helpers apply.
@@ -76,7 +84,9 @@ func New(t *sim.Thread) *Allocator {
 		heaps: make(map[int]uint64),
 	}
 	a.pagemapRoot = t.Mmap(16)
+	t.MarkRegion(a.pagemapRoot, 16<<mem.PageShift, region.Meta)
 	a.segState = t.Mmap(1)
+	t.MarkRegion(a.segState, 1<<mem.PageShift, region.Meta)
 	a.segLock = simsync.NewSpinLock(a.segState)
 	sent := a.segSentinel()
 	t.Store64(sent, sent)
@@ -95,6 +105,7 @@ func (a *Allocator) Stats() alloc.Stats { return a.stats }
 
 func (a *Allocator) growMeta(t *sim.Thread) {
 	a.metaBase = t.Mmap(16)
+	t.MarkRegion(a.metaBase, 16<<mem.PageShift, region.Meta)
 	a.metaOff = 0
 	a.metaLimit = 16 << mem.PageShift
 }
@@ -122,6 +133,7 @@ func (a *Allocator) pagemapSet(t *sim.Thread, vaddr, rec uint64) {
 	leaf := t.Load64(leafSlot)
 	if leaf == 0 {
 		leaf = t.Mmap(1)
+		t.MarkRegion(leaf, 1<<mem.PageShift, region.Meta)
 		t.Store64(leafSlot, leaf)
 	}
 	t.Store64(leaf+(rel&511)*8, rec)
@@ -218,6 +230,7 @@ func (a *Allocator) heap(t *sim.Thread) uint64 {
 	}
 	pages := int((uint64(a.sc.NumClasses())*heapSlotBytes + mem.PageSize - 1) >> mem.PageShift)
 	h := t.Mmap(pages)
+	t.MarkRegion(h, pages<<mem.PageShift, region.Meta)
 	for c := 0; c < a.sc.NumClasses(); c++ {
 		slot := h + uint64(c)*heapSlotBytes
 		t.Store64(slot+8, slot+8) // avail sentinel
@@ -250,6 +263,7 @@ func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
 		if block != 0 {
 			t.Store64(rec+pgFree, t.Load64(block))
 			t.Store64(rec+pgUsed, t.Load64(rec+pgUsed)+1)
+			t.MarkRegion(block, int(a.sc.Size(class)), region.User)
 			return block
 		}
 	}
@@ -293,10 +307,10 @@ func (a *Allocator) mallocGeneric(t *sim.Thread, slot uint64, class int) uint64 
 	cur := t.Load64(slot)
 	if cur != 0 {
 		if free := a.collect(t, cur); free != 0 {
-			return a.popBlock(t, cur, free)
+			return a.popBlock(t, cur, free, class)
 		}
 		if a.extendPage(t, cur, class) {
-			return a.popBlock(t, cur, t.Load64(cur+pgFree))
+			return a.popBlock(t, cur, t.Load64(cur+pgFree), class)
 		}
 		// Current page is genuinely full: park it on the full queue.
 		t.Store64(cur+pgInFull, 1)
@@ -310,12 +324,12 @@ func (a *Allocator) mallocGeneric(t *sim.Thread, slot uint64, class int) uint64 
 		if free := a.collect(t, rec); free != 0 {
 			listRemove(t, rec)
 			t.Store64(slot, rec)
-			return a.popBlock(t, rec, free)
+			return a.popBlock(t, rec, free, class)
 		}
 		if a.extendPage(t, rec, class) {
 			listRemove(t, rec)
 			t.Store64(slot, rec)
-			return a.popBlock(t, rec, t.Load64(rec+pgFree))
+			return a.popBlock(t, rec, t.Load64(rec+pgFree), class)
 		}
 		listRemove(t, rec)
 		t.Store64(rec+pgInFull, 1)
@@ -331,7 +345,7 @@ func (a *Allocator) mallocGeneric(t *sim.Thread, slot uint64, class int) uint64 
 			listRemove(t, probe)
 			t.Store64(probe+pgInFull, 0)
 			t.Store64(slot, probe)
-			return a.popBlock(t, probe, free)
+			return a.popBlock(t, probe, free, class)
 		}
 		probe = next
 	}
@@ -339,12 +353,13 @@ func (a *Allocator) mallocGeneric(t *sim.Thread, slot uint64, class int) uint64 
 	rec := a.freshPage(t, class)
 	t.Store64(rec+pgOwner, uint64(t.ID())+1)
 	t.Store64(slot, rec)
-	return a.popBlock(t, rec, t.Load64(rec+pgFree))
+	return a.popBlock(t, rec, t.Load64(rec+pgFree), class)
 }
 
-func (a *Allocator) popBlock(t *sim.Thread, rec, block uint64) uint64 {
+func (a *Allocator) popBlock(t *sim.Thread, rec, block uint64, class int) uint64 {
 	t.Store64(rec+pgFree, t.Load64(block))
 	t.Store64(rec+pgUsed, t.Load64(rec+pgUsed)+1)
+	t.MarkRegion(block, int(a.sc.Size(class)), region.User)
 	return block
 }
 
@@ -398,6 +413,7 @@ func (a *Allocator) extendPage(t *sim.Thread, rec uint64, class int) bool {
 	for i := int64(carved+n) - 1; i >= int64(carved); i-- {
 		blk := base + uint64(i)*size
 		t.Store64(blk, head)
+		t.MarkRegion(blk, 16, region.Meta) // free-list link granule
 		head = blk
 	}
 	t.Store64(rec+pgFree, head)
@@ -418,6 +434,7 @@ func (a *Allocator) Free(t *sim.Thread, addr uint64) {
 	class := int(classWord)
 	a.stats.LiveBytes -= a.sc.Size(class)
 	owner := t.Load64(rec + pgOwner)
+	t.MarkRegion(addr, 16, region.Meta) // link word overwrites user data
 	if owner == uint64(t.ID())+1 {
 		// Local free: push onto local_free (intrusive store into the
 		// block — its line is typically still warm in this core).
@@ -471,7 +488,9 @@ func (a *Allocator) largeAlloc(t *sim.Thread, size uint64) uint64 {
 	rec := a.segAlloc(t, pages)
 	t.Store64(rec+pgClass, classLarge)
 	a.stats.LiveBytes += uint64(pages) << mem.PageShift
-	return t.Load64(rec + pgBase)
+	base := t.Load64(rec + pgBase)
+	t.MarkRegion(base, pages<<mem.PageShift, region.User)
+	return base
 }
 
 func (a *Allocator) largeFree(t *sim.Thread, rec uint64) {

@@ -22,9 +22,19 @@ import (
 	"sort"
 
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/simsync"
 )
+
+// Miss-attribution marking (host-side, no simulated cost): arena state
+// pages, inline chunk headers, fences, and the full extent of free
+// chunks (fd/bk links and footers live in them) are metadata; the
+// payload of a live chunk is user data. The 16-byte granule containing
+// the next chunk's prev_size word stays metadata even though glibc lets
+// a live chunk's last 8 usable bytes overlap it — that shared granule
+// is precisely the boundary-tag interleaving the paper's Figure 2
+// blames for pollution.
 
 const (
 	headerSize = 16 // prev_size + size words
@@ -96,6 +106,7 @@ func (ar *arena) binSentinel(i int) uint64 {
 
 func (a *Allocator) newArena(t *sim.Thread, main bool) *arena {
 	state := t.Mmap(1)
+	t.MarkRegion(state, 1<<12, region.Meta)
 	ar := &arena{state: state, lock: simsync.NewSpinLock(state + offLock), main: main}
 	// Empty bins: each sentinel points at itself.
 	for i := 0; i < numBins; i++ {
@@ -113,6 +124,7 @@ func (a *Allocator) newArena(t *sim.Thread, main bool) *arena {
 	a.stats.HeapBytes += heapPages << 12
 	end := base + heapPages<<12
 	t.Store64(base+8, (end-base)|prevInuse) // top chunk header
+	t.MarkRegion(base, headerSize, region.Meta)
 	t.Store64(state+offTop, base)
 	t.Store64(state+offHeapEnd, end)
 	a.arenas = append(a.arenas, ar)
@@ -206,6 +218,8 @@ func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
 	p := a.mallocLocked(t, ar, csz)
 	ar.lock.Unlock(t)
 	a.stats.LiveBytes += csz - 8
+	t.MarkRegion(p, headerSize, region.Meta)
+	t.MarkRegion(p+headerSize, int(csz-headerSize), region.User)
 	return p + headerSize
 }
 
@@ -360,6 +374,7 @@ func (a *Allocator) splitTop(t *sim.Thread, ar *arena, csz uint64) uint64 {
 	t.Store64(top+8, csz|flags)
 	newTop := top + csz
 	t.Store64(newTop+8, (topSz-csz)|prevInuse)
+	t.MarkRegion(newTop, headerSize, region.Meta)
 	t.Store64(ar.state+offTop, newTop)
 	return top
 }
@@ -399,6 +414,7 @@ func (a *Allocator) grow(t *sim.Thread, ar *arena, csz uint64) {
 	// Non-contiguous: fence the old top and start a new segment.
 	a.abandonTop(t, ar, top)
 	t.Store64(base+8, (end-base)|prevInuse)
+	t.MarkRegion(base, headerSize, region.Meta)
 	t.Store64(ar.state+offTop, base)
 	t.Store64(ar.state+offHeapEnd, end)
 	a.addSegment(base, end, ar)
@@ -409,6 +425,9 @@ func (a *Allocator) grow(t *sim.Thread, ar *arena, csz uint64) {
 func (a *Allocator) abandonTop(t *sim.Thread, ar *arena, top uint64) {
 	topSz := t.Load64(top+8) &^ flagMask
 	flags := t.Load64(top+8) & prevInuse
+	// The whole abandoned tail — free chunk plus fence — is allocator
+	// bookkeeping from here on.
+	t.MarkRegion(top, int(topSz), region.Meta)
 	if topSz < minChunk+32 {
 		// Too small to be useful: the whole tail becomes fence (leaked).
 		t.Store64(top+8, topSz|flags|isFence|prevInuse)
@@ -490,6 +509,8 @@ func (a *Allocator) mmapChunk(t *sim.Thread, size uint64) uint64 {
 	a.stats.HeapBytes += uint64(pages) << 12
 	a.stats.LiveBytes += uint64(pages)<<12 - 8
 	t.Store64(base+8, uint64(pages)<<12|isMmapped)
+	t.MarkRegion(base, headerSize, region.Meta)
+	t.MarkRegion(base+headerSize, int(uint64(pages)<<12-headerSize), region.User)
 	return base + headerSize
 }
 
@@ -508,6 +529,9 @@ func (a *Allocator) Free(t *sim.Thread, addr uint64) {
 	}
 	csz := szfl &^ flagMask
 	a.stats.LiveBytes -= csz - 8
+	// A dead chunk belongs to the allocator again: its fd/bk links and
+	// footer overwrite what was user payload.
+	t.MarkRegion(c, int(csz), region.Meta)
 	ar := a.arenaFor(t, c)
 	ar.lock.Lock(t)
 	if csz <= fastbinMax {

@@ -21,9 +21,17 @@ package tcmalloc
 import (
 	"nextgenmalloc/internal/alloc"
 	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/simsync"
 )
+
+// Miss-attribution marking (host-side, no simulated traffic): the radix
+// pagemap, central blocks, page-heap state, span-record region, and
+// thread caches are metadata pages — the *segregated* part of the
+// layout. The intrusive free lists are the aggregated part: a free
+// object's first word carries the link, so that granule is metadata
+// until the object is handed back to the application.
 
 // Span record field offsets (64-byte records in the metadata region).
 const (
@@ -96,8 +104,11 @@ func New(t *sim.Thread) *Allocator {
 	}
 	// Radix root: 16 pages = 8192 leaf slots covering 32 GiB of heap.
 	a.pagemapRoot = t.Mmap(16)
+	t.MarkRegion(a.pagemapRoot, 16<<mem.PageShift, region.Meta)
 	// Central blocks.
-	a.central = t.Mmap(int((uint64(sc.NumClasses())*64 + mem.PageSize - 1) >> mem.PageShift))
+	centralPages := int((uint64(sc.NumClasses())*64 + mem.PageSize - 1) >> mem.PageShift)
+	a.central = t.Mmap(centralPages)
+	t.MarkRegion(a.central, centralPages<<mem.PageShift, region.Meta)
 	for c := 0; c < sc.NumClasses(); c++ {
 		s := a.centralBlock(c) + 8
 		t.Store64(s, s)
@@ -106,6 +117,7 @@ func New(t *sim.Thread) *Allocator {
 	}
 	// Page heap: lock + large sentinel + 128 length sentinels.
 	a.ph = t.Mmap(1)
+	t.MarkRegion(a.ph, 1<<mem.PageShift, region.Meta)
 	a.phLock = simsync.NewSpinLock(a.ph)
 	for i := 0; i <= maxFreePages; i++ {
 		var s uint64
@@ -129,6 +141,7 @@ func (a *Allocator) Stats() alloc.Stats { return a.stats }
 
 func (a *Allocator) growMeta(t *sim.Thread) {
 	a.metaBase = t.Mmap(16)
+	t.MarkRegion(a.metaBase, 16<<mem.PageShift, region.Meta)
 	a.metaOff = 0
 	a.metaLimit = 16 << mem.PageShift
 }
@@ -157,6 +170,7 @@ func (a *Allocator) pagemapSet(t *sim.Thread, vaddr, rec uint64) {
 	leaf := t.Load64(leafSlot)
 	if leaf == 0 {
 		leaf = t.Mmap(1)
+		t.MarkRegion(leaf, 1<<mem.PageShift, region.Meta)
 		t.Store64(leafSlot, leaf)
 	}
 	t.Store64(leaf+(rel&511)*8, rec)
@@ -356,6 +370,7 @@ func (a *Allocator) carveSpan(t *sim.Thread, rec uint64, class int) {
 	for i := n - 1; i >= 0; i-- {
 		obj := start + uint64(i)*size
 		t.Store64(obj, head)
+		t.MarkRegion(obj, 16, region.Meta) // free-list link granule
 		head = obj
 	}
 	t.Store64(rec+spanClass, uint64(class)+1)
@@ -400,6 +415,7 @@ func (a *Allocator) threadCache(t *sim.Thread) uint64 {
 		return tc
 	}
 	tc := t.Mmap(1)
+	t.MarkRegion(tc, 1<<mem.PageShift, region.Meta)
 	a.caches[t.ID()] = tc
 	return tc
 }
@@ -420,6 +436,7 @@ func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
 		// Fast path: pop the thread-local intrusive list.
 		t.Store64(slot+tcHead, t.Load64(head))
 		t.Store64(slot+tcCount, t.Load64(slot+tcCount)-1)
+		t.MarkRegion(head, int(a.sc.Size(class)), region.User)
 		return head
 	}
 	// Refill from the central list.
@@ -428,6 +445,7 @@ func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
 	next := t.Load64(objs)
 	t.Store64(slot+tcHead, next)
 	t.Store64(slot+tcCount, uint64(got-1))
+	t.MarkRegion(objs, int(a.sc.Size(class)), region.User)
 	return objs
 }
 
@@ -447,6 +465,7 @@ func (a *Allocator) Free(t *sim.Thread, addr uint64) {
 	slot := tc + uint64(class)*tcSlot
 	head := t.Load64(slot + tcHead)
 	t.Store64(addr, head)
+	t.MarkRegion(addr, 16, region.Meta) // link word overwrites user data
 	t.Store64(slot+tcHead, addr)
 	count := t.Load64(slot+tcCount) + 1
 	t.Store64(slot+tcCount, count)
@@ -481,7 +500,9 @@ func (a *Allocator) largeAlloc(t *sim.Thread, size uint64) uint64 {
 	a.phLock.Unlock(t)
 	t.Store64(rec+spanClass, classLarge)
 	a.stats.LiveBytes += uint64(pages) << mem.PageShift
-	return t.Load64(rec + spanStart)
+	start := t.Load64(rec + spanStart)
+	t.MarkRegion(start, pages<<mem.PageShift, region.User)
+	return start
 }
 
 func (a *Allocator) largeFree(t *sim.Thread, rec uint64) {

@@ -11,7 +11,11 @@
 // (LLC-load-misses, LLC-store-misses).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/region"
+)
 
 // LineShift is log2 of the cache line size (64 bytes, as assumed by the
 // paper's Figure 2 discussion).
@@ -230,6 +234,18 @@ type CoreStats struct {
 	DirtyTransfers uint64 // lines sourced from a remote modified copy
 }
 
+// ClassStats attribute a core's demand traffic and misses to one
+// address class (region.Class). They are observation-only: the summed
+// per-class values equal the CoreStats fields, and recording them has
+// no effect on cycles or replacement state.
+type ClassStats struct {
+	Loads          uint64
+	Stores         uint64
+	L1Misses       uint64
+	LLCLoadMisses  uint64
+	LLCStoreMisses uint64
+}
+
 type coreCaches struct {
 	l1 *cacheArray
 	l2 *cacheArray // nil when disabled
@@ -245,7 +261,8 @@ type System struct {
 	cores     []*coreCaches
 	llc       *cacheArray
 	stats     []CoreStats
-	memCycles []uint64 // per-core DRAM latency (near-memory cores are lower)
+	class     []ClassStats // region.NumClasses entries per core
+	memCycles []uint64     // per-core DRAM latency (near-memory cores are lower)
 }
 
 // NewSystem builds a hierarchy for ncores cores.
@@ -257,6 +274,7 @@ func NewSystem(cfg Config, ncores int) *System {
 		cfg:   cfg,
 		llc:   newArray(cfg.LLCSize, cfg.LLCWays),
 		stats: make([]CoreStats, ncores),
+		class: make([]ClassStats, ncores*region.NumClasses),
 	}
 	for i := 0; i < ncores; i++ {
 		cc := &coreCaches{l1: newArray(cfg.L1Size, cfg.L1Ways)}
@@ -278,6 +296,7 @@ func NewSystemHetero(base Config, perCore []Config) *System {
 		cfg:   base,
 		llc:   newArray(base.LLCSize, base.LLCWays),
 		stats: make([]CoreStats, len(perCore)),
+		class: make([]ClassStats, len(perCore)*region.NumClasses),
 	}
 	for _, cfg := range perCore {
 		cc := &coreCaches{l1: newArray(cfg.L1Size, cfg.L1Ways)}
@@ -296,6 +315,18 @@ func NewSystemHetero(base Config, perCore []Config) *System {
 
 // Stats returns a copy of core c's counters.
 func (s *System) Stats(c int) CoreStats { return s.stats[c] }
+
+// ClassStats returns a copy of core c's per-class attribution counters,
+// indexed by region.Class.
+func (s *System) ClassStats(c int) [region.NumClasses]ClassStats {
+	var out [region.NumClasses]ClassStats
+	copy(out[:], s.class[c*region.NumClasses:])
+	return out
+}
+
+func (s *System) classStat(c int, cls region.Class) *ClassStats {
+	return &s.class[c*region.NumClasses+int(cls)]
+}
 
 // backInvalidate removes a line from every sharer's private caches
 // (inclusive-LLC back-invalidation); it reports whether any private copy
@@ -361,6 +392,11 @@ func (s *System) fillPrivate(c int, tag uint64, state byte, l2line *line) uint64
 // and returns (L1HitCycles, true); otherwise it changes nothing and the
 // caller must take Access.
 func (s *System) SameLineFast(c int, tag uint64, isWrite bool) (uint64, bool) {
+	return s.SameLineFastClass(c, tag, isWrite, region.User)
+}
+
+// SameLineFastClass is SameLineFast with the access attributed to cls.
+func (s *System) SameLineFastClass(c int, tag uint64, isWrite bool, cls region.Class) (uint64, bool) {
 	cc := s.cores[c]
 	l := cc.mru
 	if l == nil || !l.valid || l.tag != tag {
@@ -375,8 +411,10 @@ func (s *System) SameLineFast(c int, tag uint64, isWrite bool) (uint64, bool) {
 			return 0, false
 		}
 		s.stats[c].Stores++
+		s.classStat(c, cls).Stores++
 	} else {
 		s.stats[c].Loads++
+		s.classStat(c, cls).Loads++
 	}
 	cc.l1.touch(l)
 	return s.cfg.L1HitCycles, true
@@ -390,6 +428,11 @@ func (s *System) SameLineFast(c int, tag uint64, isWrite bool) (uint64, bool) {
 // successive L1-hit accesses would leave. Returns the per-access hit
 // cycles.
 func (s *System) SameLineBatch(c int, tag uint64, isWrite bool, k uint64) (uint64, bool) {
+	return s.SameLineBatchClass(c, tag, isWrite, k, region.User)
+}
+
+// SameLineBatchClass is SameLineBatch with the accesses attributed to cls.
+func (s *System) SameLineBatchClass(c int, tag uint64, isWrite bool, k uint64, cls region.Class) (uint64, bool) {
 	cc := s.cores[c]
 	l := cc.mru
 	if l == nil || !l.valid || l.tag != tag {
@@ -404,8 +447,10 @@ func (s *System) SameLineBatch(c int, tag uint64, isWrite bool, k uint64) (uint6
 			return 0, false
 		}
 		s.stats[c].Stores += k
+		s.classStat(c, cls).Stores += k
 	} else {
 		s.stats[c].Loads += k
+		s.classStat(c, cls).Loads += k
 	}
 	cc.l1.tick += k
 	cc.l1.used[l.idx] = cc.l1.tick
@@ -507,12 +552,22 @@ func (s *System) upgrade(c int, tag uint64) uint64 {
 // the access as a locked RMW (same coherence behaviour, the extra
 // latency is charged by the caller).
 func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
+	return s.AccessClass(c, paddr, isWrite, region.User)
+}
+
+// AccessClass is Access with the demand attributed to address class cls.
+// The hierarchy walk, replacement decisions, and returned cycles are
+// identical to Access; only the per-class attribution counters differ.
+func (s *System) AccessClass(c int, paddr uint64, isWrite bool, cls region.Class) uint64 {
 	tag := paddr >> LineShift
 	st := &s.stats[c]
+	ct := s.classStat(c, cls)
 	if isWrite {
 		st.Stores++
+		ct.Stores++
 	} else {
 		st.Loads++
+		ct.Loads++
 	}
 	cc := s.cores[c]
 
@@ -545,6 +600,7 @@ func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
 		}
 	}
 	st.L1Misses++
+	ct.L1Misses++
 
 	// L2.
 	if cc.l2 != nil {
@@ -636,8 +692,10 @@ func (s *System) Access(c int, paddr uint64, isWrite bool) uint64 {
 	// Miss all the way to memory.
 	if isWrite {
 		st.LLCStoreMisses++
+		ct.LLCStoreMisses++
 	} else {
 		st.LLCLoadMisses++
+		ct.LLCLoadMisses++
 	}
 	vi := s.llc.victim(tag)
 	if v := &s.llc.lines[vi]; v.valid {

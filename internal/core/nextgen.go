@@ -29,6 +29,7 @@ import (
 
 	"nextgenmalloc/internal/alloc"
 	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/simsync"
@@ -382,6 +383,7 @@ func (a *Allocator) freshSlab(t *sim.Thread, class int) uint64 {
 		for i := n - 1; i >= 0; i-- {
 			blk := base + uint64(i)*size
 			t.Store64(blk, head)
+			t.MarkRegion(blk, 16, region.Meta) // intrusive link granule
 			head = blk
 		}
 		t.Store64(rec+slFreeHead, head)
@@ -404,6 +406,7 @@ func (a *Allocator) slabPop(t *sim.Thread, rec uint64, class int) uint64 {
 	}
 	head := t.Load64(rec + slFreeHead)
 	t.Store64(rec+slFreeHead, t.Load64(head)) // intrusive: touches the block
+	t.MarkRegion(head, int(a.sc.Size(class)), region.User)
 	return head
 }
 
@@ -416,6 +419,7 @@ func (a *Allocator) slabPush(t *sim.Thread, rec uint64, class int, addr uint64) 
 		t.Store16(rec+slStack+top*2, idx)
 	} else {
 		t.Store64(addr, t.Load64(rec+slFreeHead))
+		t.MarkRegion(addr, 16, region.Meta) // link word overwrites user data
 		t.Store64(rec+slFreeHead, addr)
 	}
 	t.Store64(rec+slTop, top+1)
@@ -628,6 +632,10 @@ func (a *Allocator) clientOf(t *sim.Thread) *client {
 	}
 	pages := (freeRingOff + ring.BytesFor(a.cfg.RingSlots) + mem.PageSize - 1) >> mem.PageShift
 	page := t.Mmap(pages)
+	// The whole client page is transport state — response line, stash
+	// slots, both rings — so misses on it are attributed to the ring
+	// class, not to user data or metadata.
+	t.MarkRegion(page, int(pages)<<mem.PageShift, region.Ring)
 	c := &client{
 		threadID: t.ID(),
 		page:     page,
@@ -647,6 +655,16 @@ func (a *Allocator) clientOf(t *sim.Thread) *client {
 // Served reports how many ring operations the server has processed.
 func (a *Allocator) Served() uint64 { return a.served }
 
+// RingTelemetry merges the per-client malloc-ring and free-ring stats
+// (offload transport telemetry; zero-valued in inline mode).
+func (a *Allocator) RingTelemetry() (malloc, free ring.Stats) {
+	for _, c := range a.clients {
+		malloc.Add(c.mreq.Stats())
+		free.Add(c.freq.Stats())
+	}
+	return malloc, free
+}
+
 // --- server -----------------------------------------------------------------
 
 // Server is the dedicated-core daemon body. Spawn it before sim.Run and
@@ -659,6 +677,13 @@ func (a *Allocator) Served() uint64 { return a.served }
 //	srv.Attach(a)
 type Server struct {
 	a *Allocator
+
+	// Busy/idle accounting for the dedicated core (host-side: reading
+	// the thread clock perturbs nothing). A loop iteration that found
+	// ring work counts as busy; empty polls, idle top-ups, and waiting
+	// for Attach count as idle.
+	busyCycles uint64
+	idleCycles uint64
 }
 
 // NewServer returns an empty server awaiting Attach.
@@ -667,22 +692,31 @@ func NewServer() *Server { return &Server{} }
 // Attach hands the allocator to the server loop.
 func (s *Server) Attach(a *Allocator) { s.a = a }
 
+// Telemetry reports the server core's busy and idle cycles so far.
+func (s *Server) Telemetry() (busy, idle uint64) { return s.busyCycles, s.idleCycles }
+
 // Run is the daemon body: poll every client ring round-robin, service
 // requests with the (atomics-free) slab engine, publish responses.
 func (s *Server) Run(t *sim.Thread) {
 	for {
+		start := t.Clock()
 		if t.Stopping() {
 			if s.a == nil || s.drain(t) {
+				s.busyCycles += t.Clock() - start
 				return
 			}
 		}
 		if s.a == nil {
 			t.Pause(200)
+			s.idleCycles += t.Clock() - start
 			continue
 		}
-		if !s.Poll(t) {
+		if s.Poll(t) {
+			s.busyCycles += t.Clock() - start
+		} else {
 			s.Idle(t)
 			t.Pause(8)
+			s.idleCycles += t.Clock() - start
 		}
 	}
 }

@@ -72,7 +72,8 @@ func Table1(s Scale) Outcome {
 	return Outcome{
 		ID:      "table1",
 		Results: results,
-		Text:    report.CounterTable("Table 1: processor performance monitor data for xalanc", results),
+		Text: report.CounterTable("Table 1: processor performance monitor data for xalanc", results) +
+			"\n" + report.AttributionTable("Miss attribution for xalanc (share of worker-core misses by address class)", results),
 	}
 }
 

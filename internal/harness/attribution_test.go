@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/region"
+	"nextgenmalloc/internal/workload"
+)
+
+// runXalanc runs the Table 1 workload at a reduced op count.
+func runXalanc(kind string, ops int) Result {
+	return Run(Options{Allocator: kind, Workload: workload.DefaultXalanc(ops)})
+}
+
+// TestAttributionPartitionsMisses checks the breakdown is exact: class
+// counters must sum to the classless totals for every allocator.
+func TestAttributionPartitionsMisses(t *testing.T) {
+	for _, kind := range []string{"ptmalloc2", "mimalloc", "nextgen"} {
+		res := runXalanc(kind, 3000)
+		var llc, dtlb, loads, stores uint64
+		for _, c := range res.Classes {
+			llc += c.LLCLoadMisses + c.LLCStoreMisses
+			dtlb += c.DTLBLoadMisses + c.DTLBStoreMisses
+			loads += c.Loads
+			stores += c.Stores
+		}
+		wantLLC := res.Total.LLCLoadMisses + res.Total.LLCStoreMisses
+		wantTLB := res.Total.DTLBLoadMisses + res.Total.DTLBStoreMisses
+		if llc != wantLLC {
+			t.Errorf("%s: class LLC misses %d != total %d", kind, llc, wantLLC)
+		}
+		if dtlb != wantTLB {
+			t.Errorf("%s: class dTLB misses %d != total %d", kind, dtlb, wantTLB)
+		}
+		if loads != res.Total.Loads || stores != res.Total.Stores {
+			t.Errorf("%s: class loads/stores (%d,%d) != totals (%d,%d)",
+				kind, loads, stores, res.Total.Loads, res.Total.Stores)
+		}
+	}
+}
+
+// TestMetadataShareOrdering reproduces the paper's Table 1 story with
+// attribution instead of inference: PTMalloc2's boundary tags and free
+// chunks put a larger share of its worker-core misses on metadata lines
+// than Mimalloc's mostly-segregated records do, and the offloaded
+// NextGen keeps application cores out of metadata almost entirely.
+func TestMetadataShareOrdering(t *testing.T) {
+	const ops = 6000
+	pt := runXalanc("ptmalloc2", ops)
+	mi := runXalanc("mimalloc", ops)
+	ng := runXalanc("nextgen", ops)
+
+	// Metadata share of the combined LLC+dTLB miss pool.
+	metaShare := func(r Result) float64 {
+		var meta, tot uint64
+		for cls, c := range r.Classes {
+			m := c.LLCLoadMisses + c.LLCStoreMisses + c.DTLBLoadMisses + c.DTLBStoreMisses
+			tot += m
+			if region.Class(cls) == region.Meta {
+				meta = m
+			}
+		}
+		if tot == 0 {
+			return 0
+		}
+		return float64(meta) / float64(tot)
+	}
+	ptShare, miShare := metaShare(pt), metaShare(mi)
+	if ptShare <= miShare {
+		t.Errorf("ptmalloc2 metadata miss share %.4f not above mimalloc's %.4f", ptShare, miShare)
+	}
+	if ptLLC, _ := pt.MetaShare(); ptLLC == 0 {
+		t.Error("ptmalloc2 shows no metadata LLC misses at all; marking hooks look dead")
+	}
+
+	// Offload mode: the app cores' metadata traffic should be ~0 (the
+	// whole point of giving the allocator its own room). Allow a sliver
+	// for the allocator handle itself.
+	ngMeta := ng.Classes[region.Meta]
+	ngMisses := ngMeta.LLCLoadMisses + ngMeta.LLCStoreMisses + ngMeta.DTLBLoadMisses + ngMeta.DTLBStoreMisses
+	var ngTotal uint64
+	for _, c := range ng.Classes {
+		ngTotal += c.LLCLoadMisses + c.LLCStoreMisses + c.DTLBLoadMisses + c.DTLBStoreMisses
+	}
+	if ngTotal == 0 {
+		t.Fatal("nextgen run recorded no misses")
+	}
+	if share := float64(ngMisses) / float64(ngTotal); share > 0.02 {
+		t.Errorf("nextgen app-core metadata miss share = %.4f, want ~0 (<= 0.02)", share)
+	}
+
+	// The dedicated core is where NextGen's metadata traffic must live.
+	srvMeta := ng.ServerClasses[region.Meta]
+	if srvMeta.Loads+srvMeta.Stores == 0 {
+		t.Error("nextgen server core saw no metadata traffic; attribution or offload is broken")
+	}
+	// And the workers' ring traffic must be visible as its own class.
+	ringC := ng.Classes[region.Ring]
+	if ringC.Loads+ringC.Stores == 0 {
+		t.Error("nextgen workers show no ring-class traffic")
+	}
+}
+
+// TestOffloadTelemetry checks the transport counters line up with the
+// served operation count.
+func TestOffloadTelemetry(t *testing.T) {
+	res := runXalanc("nextgen", 3000)
+	if res.Offload == nil {
+		t.Fatal("offload run has nil telemetry")
+	}
+	tel := res.Offload
+	pushes := tel.MallocRing.Pushes + tel.FreeRing.Pushes
+	if pushes == 0 {
+		t.Fatal("no ring pushes recorded")
+	}
+	if pops := tel.MallocRing.Pops + tel.FreeRing.Pops; pops != pushes {
+		t.Errorf("pops %d != pushes %d (rings must drain)", pops, pushes)
+	}
+	if res.Served == 0 {
+		t.Error("server served no ops")
+	}
+	var occ uint64
+	for _, b := range tel.MallocRing.Occupancy {
+		occ += b
+	}
+	if occ != tel.MallocRing.Pushes {
+		t.Errorf("malloc ring occupancy histogram sums to %d, want %d pushes", occ, tel.MallocRing.Pushes)
+	}
+	if tel.ServerBusyCycles == 0 {
+		t.Error("server reports zero busy cycles despite serving ops")
+	}
+	if tel.ServerBusyCycles+tel.ServerIdleCycles == 0 {
+		t.Error("server busy+idle is zero")
+	}
+	// Inline runs must carry no telemetry.
+	inline := runXalanc("nextgen-inline", 1000)
+	if inline.Offload != nil {
+		t.Error("inline run unexpectedly carries offload telemetry")
+	}
+}

@@ -20,6 +20,8 @@ import (
 	"nextgenmalloc/internal/allocators/tcmalloc"
 	"nextgenmalloc/internal/core"
 	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/region"
+	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/workload"
 )
@@ -34,6 +36,17 @@ var Kinds = []string{
 // ClassicKinds are the four allocators of Figure 1 / Table 1, in the
 // paper's column order.
 var ClassicKinds = []string{"ptmalloc2", "jemalloc", "tcmalloc", "mimalloc"}
+
+// KnownKind reports whether kind is an allocator Run can instantiate
+// (CLI flag validation shares the harness's own check).
+func KnownKind(kind string) bool {
+	for _, k := range Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
 
 // Options configures one experiment.
 type Options struct {
@@ -78,6 +91,48 @@ type Result struct {
 	Kernel mem.KernelStats
 	// Served counts offload-server ring operations (0 otherwise).
 	Served uint64
+	// Classes attributes the worker cores' traffic and misses to address
+	// classes (user data, allocator metadata, ring transport, workload
+	// globals), summed over the measured region of every worker.
+	Classes sim.ClassBreakdown
+	// ServerClasses is the dedicated allocator core's attribution delta
+	// (offload modes only).
+	ServerClasses sim.ClassBreakdown
+	// Offload carries ring/server telemetry; nil for non-offload runs.
+	Offload *OffloadTelemetry
+}
+
+// OffloadTelemetry is the transport-level view of an offload run: what
+// the rings and the dedicated core were doing while the workers ran.
+type OffloadTelemetry struct {
+	// MallocRing / FreeRing merge the per-client SPSC ring stats.
+	MallocRing ring.Stats
+	FreeRing   ring.Stats
+	// ServerBusyCycles / ServerIdleCycles partition the server daemon's
+	// loop time into servicing work vs empty polls and stash top-ups.
+	ServerBusyCycles uint64
+	ServerIdleCycles uint64
+}
+
+// MetaShare returns the metadata class's share of LLC misses and of
+// dTLB misses across the worker cores (the paper's Table 1 ratio).
+func (r Result) MetaShare() (llc, dtlb float64) {
+	var llcTot, llcMeta, tlbTot, tlbMeta uint64
+	for cls, c := range r.Classes {
+		llcTot += c.LLCLoadMisses + c.LLCStoreMisses
+		tlbTot += c.DTLBLoadMisses + c.DTLBStoreMisses
+		if region.Class(cls) == region.Meta {
+			llcMeta = c.LLCLoadMisses + c.LLCStoreMisses
+			tlbMeta = c.DTLBLoadMisses + c.DTLBStoreMisses
+		}
+	}
+	if llcTot > 0 {
+		llc = float64(llcMeta) / float64(llcTot)
+	}
+	if tlbTot > 0 {
+		dtlb = float64(tlbMeta) / float64(tlbTot)
+	}
+	return llc, dtlb
 }
 
 // MPKI returns (llcLoad, llcStore, dtlbLoad, dtlbStore) misses per
@@ -160,8 +215,11 @@ func Run(opt Options) Result {
 	}
 
 	m := sim.New(mcfg)
-	// The "loader" maps the control page before the program starts.
+	// The "loader" maps the control page before the program starts. Its
+	// barrier/flag traffic is harness overhead, not allocator or user
+	// data, so it is attributed to the workload-global class.
 	ctrl, _ := m.Kernel().Mmap(1)
+	m.Regions().Mark(ctrl, int(mem.PageSize), region.Global)
 
 	var srv *core.Server
 	if needsServer(opt.Allocator) {
@@ -176,6 +234,8 @@ func Run(opt Options) Result {
 	}
 	var a alloc.Allocator
 	var serverStart sim.Counters
+	var serverStartC sim.ClassBreakdown
+	perThreadC := make([]sim.ClassBreakdown, n)
 
 	// Workers occupy cores in order, stepping over the server's core when
 	// one is reserved (with the default last-core server this is the
@@ -212,13 +272,16 @@ func Run(opt Options) Result {
 			}
 			if part == 0 && srv != nil {
 				serverStart = t.Machine().CoreCounters(serverCore)
+				serverStartC = t.Machine().CoreClassCounters(serverCore)
 			}
 			start := t.Counters()
+			startC := t.ClassCounters()
 			w.Run(t, part, a)
 			if f, ok := a.(alloc.Flusher); ok {
 				f.Flush(t)
 			}
 			res.PerThread[part] = t.Counters().Sub(start)
+			perThreadC[part] = t.ClassCounters().Sub(startC)
 		})
 	}
 	m.Run()
@@ -229,13 +292,23 @@ func Run(opt Options) Result {
 			res.WallCycles = d.Cycles
 		}
 	}
+	for _, d := range perThreadC {
+		res.Classes.Add(d)
+	}
 	if srv != nil {
 		res.Server = m.CoreCounters(serverCore).Sub(serverStart)
+		res.ServerClasses = m.CoreClassCounters(serverCore).Sub(serverStartC)
 	}
 	res.AllocStats = a.Stats()
 	res.Kernel = m.Kernel().Stats()
 	if ng, ok := a.(*core.Allocator); ok {
 		res.Served = ng.Served()
+		if srv != nil {
+			tel := &OffloadTelemetry{}
+			tel.MallocRing, tel.FreeRing = ng.RingTelemetry()
+			tel.ServerBusyCycles, tel.ServerIdleCycles = srv.Telemetry()
+			res.Offload = tel
+		}
 	}
 	return res
 }

@@ -1,0 +1,219 @@
+// Package metrics defines the stable machine-readable result schema the
+// CLIs emit behind their -metrics flags. One file holds one or more
+// experiments; each experiment holds one result per (allocator,
+// workload) run, including the per-class miss attribution and — for
+// offload runs — the ring/server transport telemetry.
+//
+// The schema is versioned: consumers check the top-level "schema" field
+// ("ngm-metrics/v1") and reject anything else. Field names are
+// snake_case and never reused with a different meaning; additions are
+// backward-compatible (new optional fields only).
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/region"
+	"nextgenmalloc/internal/sim"
+)
+
+// Schema is the current schema identifier.
+const Schema = "ngm-metrics/v1"
+
+// File is the top-level object.
+type File struct {
+	Schema      string       `json:"schema"`
+	Experiments []Experiment `json:"experiments"`
+}
+
+// Experiment groups the results of one named table/figure run.
+type Experiment struct {
+	ID      string   `json:"id"`
+	Results []Result `json:"results"`
+}
+
+// Result is one (allocator, workload) run.
+type Result struct {
+	Allocator    string `json:"allocator"`
+	Workload     string `json:"workload"`
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+	WallCycles   uint64 `json:"wall_cycles"`
+
+	LLCLoadMisses   uint64 `json:"llc_load_misses"`
+	LLCStoreMisses  uint64 `json:"llc_store_misses"`
+	DTLBLoadMisses  uint64 `json:"dtlb_load_misses"`
+	DTLBStoreMisses uint64 `json:"dtlb_store_misses"`
+
+	// Classes maps address-class name (user, metadata, ring, global) to
+	// that class's share of the worker cores' traffic and misses.
+	Classes map[string]ClassCounters `json:"classes"`
+	// ServerClasses is present for offload runs: the dedicated core's
+	// attribution over the measured region.
+	ServerClasses map[string]ClassCounters `json:"server_classes,omitempty"`
+	// Offload is present for offload runs.
+	Offload *Offload `json:"offload,omitempty"`
+}
+
+// ClassCounters mirrors sim.ClassCounters in snake_case.
+type ClassCounters struct {
+	Loads           uint64 `json:"loads"`
+	Stores          uint64 `json:"stores"`
+	L1Misses        uint64 `json:"l1_misses"`
+	LLCLoadMisses   uint64 `json:"llc_load_misses"`
+	LLCStoreMisses  uint64 `json:"llc_store_misses"`
+	DTLBLoadMisses  uint64 `json:"dtlb_load_misses"`
+	DTLBStoreMisses uint64 `json:"dtlb_store_misses"`
+}
+
+// Offload is the transport telemetry of an offload run.
+type Offload struct {
+	MallocRing       Ring   `json:"malloc_ring"`
+	FreeRing         Ring   `json:"free_ring"`
+	ServerBusyCycles uint64 `json:"server_busy_cycles"`
+	ServerIdleCycles uint64 `json:"server_idle_cycles"`
+	ServedOps        uint64 `json:"served_ops"`
+}
+
+// Ring is one direction's SPSC telemetry. Occupancy is the log2-bucket
+// histogram of ring depth after each push (bucket b counts depths in
+// [2^(b-1), 2^b); bucket 0 is unused).
+type Ring struct {
+	Pushes      uint64   `json:"pushes"`
+	Pops        uint64   `json:"pops"`
+	FullRetries uint64   `json:"full_retries"`
+	StallCycles uint64   `json:"stall_cycles"`
+	Occupancy   []uint64 `json:"occupancy_log2"`
+}
+
+func classMap(b sim.ClassBreakdown) map[string]ClassCounters {
+	m := make(map[string]ClassCounters, region.NumClasses)
+	for _, cls := range region.Classes() {
+		c := b[cls]
+		m[cls.String()] = ClassCounters{
+			Loads:           c.Loads,
+			Stores:          c.Stores,
+			L1Misses:        c.L1Misses,
+			LLCLoadMisses:   c.LLCLoadMisses,
+			LLCStoreMisses:  c.LLCStoreMisses,
+			DTLBLoadMisses:  c.DTLBLoadMisses,
+			DTLBStoreMisses: c.DTLBStoreMisses,
+		}
+	}
+	return m
+}
+
+// FromResult converts one harness result.
+func FromResult(r harness.Result) Result {
+	out := Result{
+		Allocator:       r.Allocator,
+		Workload:        r.Workload,
+		Cycles:          r.Total.Cycles,
+		Instructions:    r.Total.Instructions,
+		WallCycles:      r.WallCycles,
+		LLCLoadMisses:   r.Total.LLCLoadMisses,
+		LLCStoreMisses:  r.Total.LLCStoreMisses,
+		DTLBLoadMisses:  r.Total.DTLBLoadMisses,
+		DTLBStoreMisses: r.Total.DTLBStoreMisses,
+		Classes:         classMap(r.Classes),
+	}
+	if r.Offload != nil {
+		out.ServerClasses = classMap(r.ServerClasses)
+		out.Offload = &Offload{
+			MallocRing: Ring{
+				Pushes:      r.Offload.MallocRing.Pushes,
+				Pops:        r.Offload.MallocRing.Pops,
+				FullRetries: r.Offload.MallocRing.FullRetries,
+				StallCycles: r.Offload.MallocRing.StallCycles,
+				Occupancy:   append([]uint64(nil), r.Offload.MallocRing.Occupancy[:]...),
+			},
+			FreeRing: Ring{
+				Pushes:      r.Offload.FreeRing.Pushes,
+				Pops:        r.Offload.FreeRing.Pops,
+				FullRetries: r.Offload.FreeRing.FullRetries,
+				StallCycles: r.Offload.FreeRing.StallCycles,
+				Occupancy:   append([]uint64(nil), r.Offload.FreeRing.Occupancy[:]...),
+			},
+			ServerBusyCycles: r.Offload.ServerBusyCycles,
+			ServerIdleCycles: r.Offload.ServerIdleCycles,
+			ServedOps:        r.Served,
+		}
+	}
+	return out
+}
+
+// FromResults converts a result slice into one experiment.
+func FromResults(id string, rs []harness.Result) Experiment {
+	e := Experiment{ID: id}
+	for _, r := range rs {
+		e.Results = append(e.Results, FromResult(r))
+	}
+	return e
+}
+
+// NewFile wraps experiments in a versioned file object.
+func NewFile(exps ...Experiment) File {
+	return File{Schema: Schema, Experiments: exps}
+}
+
+// Encode renders the file as indented JSON.
+func (f File) Encode() ([]byte, error) {
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// WriteFile writes the file to path, reporting close errors (the last
+// chance to see ENOSPC).
+func (f File) WriteFile(path string) error {
+	data, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(append(data, '\n')); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// Validate checks that data is a well-formed ngm-metrics/v1 document:
+// right schema tag, at least one experiment, every result carrying an
+// allocator, a workload, and a class map with all four classes.
+func Validate(data []byte) error {
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("metrics: not valid JSON: %w", err)
+	}
+	if f.Schema != Schema {
+		return fmt.Errorf("metrics: schema %q, want %q", f.Schema, Schema)
+	}
+	if len(f.Experiments) == 0 {
+		return fmt.Errorf("metrics: no experiments")
+	}
+	for _, e := range f.Experiments {
+		if e.ID == "" {
+			return fmt.Errorf("metrics: experiment with empty id")
+		}
+		if len(e.Results) == 0 {
+			return fmt.Errorf("metrics: experiment %q has no results", e.ID)
+		}
+		for i, r := range e.Results {
+			if r.Allocator == "" || r.Workload == "" {
+				return fmt.Errorf("metrics: experiment %q result %d lacks allocator/workload", e.ID, i)
+			}
+			for _, cls := range region.Classes() {
+				if _, ok := r.Classes[cls.String()]; !ok {
+					return fmt.Errorf("metrics: experiment %q result %d (%s/%s) missing class %q",
+						e.ID, i, r.Allocator, r.Workload, cls)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/region"
+	"nextgenmalloc/internal/workload"
+)
+
+func sampleResult(t *testing.T) harness.Result {
+	t.Helper()
+	return harness.Run(harness.Options{
+		Allocator: "nextgen",
+		Workload:  workload.DefaultXalanc(1500),
+	})
+}
+
+func TestRoundTripAndValidate(t *testing.T) {
+	res := sampleResult(t)
+	f := NewFile(FromResults("table1", []harness.Result{res}))
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("emitted file fails own validation: %v", err)
+	}
+
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != Schema {
+		t.Errorf("schema = %q, want %q", back.Schema, Schema)
+	}
+	r := back.Experiments[0].Results[0]
+	if r.Allocator != "nextgen" || r.Workload == "" {
+		t.Errorf("result identity lost: %+v", r)
+	}
+	if r.Cycles != res.Total.Cycles || r.LLCLoadMisses != res.Total.LLCLoadMisses {
+		t.Error("counters did not round-trip")
+	}
+	for _, cls := range region.Classes() {
+		if _, ok := r.Classes[cls.String()]; !ok {
+			t.Errorf("class %q missing from JSON", cls)
+		}
+	}
+	if r.Offload == nil {
+		t.Fatal("offload telemetry missing for nextgen run")
+	}
+	if r.Offload.MallocRing.Pushes == 0 || r.Offload.ServedOps == 0 {
+		t.Errorf("offload telemetry empty: %+v", r.Offload)
+	}
+	if len(r.Offload.MallocRing.Occupancy) == 0 {
+		t.Error("occupancy histogram missing")
+	}
+}
+
+func TestSchemaFieldNamesAreStable(t *testing.T) {
+	// The schema is a contract: spot-check the snake_case keys consumers
+	// depend on. Renaming any of these is a breaking change that needs a
+	// version bump to ngm-metrics/v2.
+	res := sampleResult(t)
+	data, err := NewFile(FromResults("x", []harness.Result{res})).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, key := range []string{
+		`"schema": "ngm-metrics/v1"`, `"experiments"`, `"results"`,
+		`"allocator"`, `"workload"`, `"wall_cycles"`,
+		`"llc_load_misses"`, `"dtlb_store_misses"`,
+		`"classes"`, `"user"`, `"metadata"`, `"ring"`, `"global"`,
+		`"server_classes"`, `"offload"`, `"malloc_ring"`, `"free_ring"`,
+		`"full_retries"`, `"stall_cycles"`, `"occupancy_log2"`,
+		`"server_busy_cycles"`, `"server_idle_cycles"`, `"served_ops"`,
+	} {
+		if !strings.Contains(s, key) {
+			t.Errorf("schema key %s missing from output", key)
+		}
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":      `{"schema":`,
+		"wrong schema":  `{"schema":"ngm-metrics/v0","experiments":[{"id":"a","results":[]}]}`,
+		"no exps":       `{"schema":"ngm-metrics/v1","experiments":[]}`,
+		"empty id":      `{"schema":"ngm-metrics/v1","experiments":[{"id":"","results":[]}]}`,
+		"no results":    `{"schema":"ngm-metrics/v1","experiments":[{"id":"a","results":[]}]}`,
+		"no alloc":      `{"schema":"ngm-metrics/v1","experiments":[{"id":"a","results":[{"workload":"w"}]}]}`,
+		"missing class": `{"schema":"ngm-metrics/v1","experiments":[{"id":"a","results":[{"allocator":"x","workload":"w","classes":{"user":{}}}]}]}`,
+	} {
+		if err := Validate([]byte(doc)); err == nil {
+			t.Errorf("Validate accepted %s document", name)
+		}
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	res := sampleResult(t)
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := NewFile(FromResults("t", []harness.Result{res})).WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Written file must validate when read back.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatal(err)
+	}
+}

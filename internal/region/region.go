@@ -1,0 +1,59 @@
+// Package region defines the address classes the simulator attributes
+// memory traffic to. The paper's Table 1 argument is about *which lines*
+// miss — allocator metadata vs the application's own data — so every
+// simulated cache/TLB event is tagged with the class of the address it
+// touched. The package sits below both internal/cache and internal/tlb
+// (which count per-class events) and internal/sim (which owns the
+// address-to-class mapping).
+package region
+
+// Class labels what an address holds.
+type Class uint8
+
+const (
+	// User is application payload: bytes inside a live allocation that
+	// the allocator handed out. The default for unmarked addresses
+	// outside the metadata range.
+	User Class = iota
+	// Meta is allocator bookkeeping: heap-structure pages (arenas, bins,
+	// pagemaps, span/run/slab records), inline chunk headers, and free
+	// blocks (whose bytes belong to the allocator — intrusive list links
+	// live there). Everything in the dedicated mem.MetaBase range is
+	// Meta by construction.
+	Meta
+	// Ring is offload-transport state: the per-client SPSC rings,
+	// response lines, and preallocation stashes NextGen uses between an
+	// application core and the allocator core.
+	Ring
+	// Global is workload-owned shared state (slot tables, pools,
+	// barriers) — traffic the application would generate under any
+	// allocator.
+	Global
+
+	numClasses
+)
+
+// NumClasses is the number of distinct classes (array dimension for
+// per-class counters).
+const NumClasses = int(numClasses)
+
+// String returns the class name used in reports and the metrics JSON.
+func (c Class) String() string {
+	switch c {
+	case User:
+		return "user"
+	case Meta:
+		return "metadata"
+	case Ring:
+		return "ring"
+	case Global:
+		return "global"
+	}
+	return "invalid"
+}
+
+// Classes lists every class in declaration order (stable iteration for
+// reports and serialization).
+func Classes() []Class {
+	return []Class{User, Meta, Ring, Global}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -20,16 +21,23 @@ func Sci(v float64) string {
 	return strings.ToUpper(fmt.Sprintf("%.3e", v))
 }
 
-// Table renders a header row and body rows with aligned columns.
+// Table renders a header row and body rows with aligned columns. Ragged
+// rows are fine: columns beyond the header get their own width.
 func Table(title string, header []string, rows [][]string) string {
 	var b strings.Builder
-	widths := make([]int, len(header))
+	ncols := len(header)
+	for _, r := range rows {
+		if len(r) > ncols {
+			ncols = len(r)
+		}
+	}
+	widths := make([]int, ncols)
 	for i, h := range header {
 		widths[i] = len(h)
 	}
 	for _, r := range rows {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}
@@ -99,13 +107,19 @@ func CounterTable(title string, results []harness.Result) string {
 }
 
 // Bars renders a normalized horizontal bar chart (Figure 1 style):
-// values are scaled so the minimum is 1.00.
+// values are scaled so the smallest positive value is 1.00. An empty
+// series renders as just the title, and a series with no positive value
+// (all zeros) renders flat bars — neither produces NaN or +Inf ratios.
 func Bars(title string, labels []string, values []float64) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	minV := values[0]
+	if len(values) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	minV := 0.0
 	for _, v := range values {
-		if v < minV {
+		if v > 0 && (minV == 0 || v < minV) {
 			minV = v
 		}
 	}
@@ -116,13 +130,66 @@ func Bars(title string, labels []string, values []float64) string {
 		}
 	}
 	for i, v := range values {
-		rel := v / minV
+		rel := 0.0
+		if minV > 0 {
+			rel = v / minV
+		}
 		n := int(rel * 30)
 		if n > 120 {
 			n = 120
 		}
+		if n < 0 {
+			n = 0
+		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
 		fmt.Fprintf(&b, "%-*s %s %.3fx (%s cycles)\n",
-			wname+1, labels[i], strings.Repeat("#", n), rel, Sci(v))
+			wname+1, label, strings.Repeat("#", n), rel, Sci(v))
 	}
 	return b.String()
+}
+
+// AttributionRows builds the miss-attribution layout: for every address
+// class, the share of worker-core LLC misses and dTLB misses that fell
+// on that class (one column per result).
+func AttributionRows(results []harness.Result) [][]string {
+	pct := func(part, whole uint64) string {
+		if whole == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+	}
+	var rows [][]string
+	for _, metric := range []struct {
+		name string
+		tot  func(sim.ClassCounters) uint64
+	}{
+		{"LLC-miss", func(c sim.ClassCounters) uint64 { return c.LLCLoadMisses + c.LLCStoreMisses }},
+		{"dTLB-miss", func(c sim.ClassCounters) uint64 { return c.DTLBLoadMisses + c.DTLBStoreMisses }},
+	} {
+		for _, cls := range region.Classes() {
+			row := []string{fmt.Sprintf("%s %% %s", metric.name, cls)}
+			for _, r := range results {
+				var whole uint64
+				for _, c := range r.Classes {
+					whole += metric.tot(c)
+				}
+				row = append(row, pct(metric.tot(r.Classes[cls]), whole))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// AttributionTable renders the per-class miss shares in the counter
+// table's layout (classes × allocators).
+func AttributionTable(title string, results []harness.Result) string {
+	header := []string{"Allocator"}
+	for _, r := range results {
+		header = append(header, r.Allocator)
+	}
+	return Table(title, header, AttributionRows(results))
 }

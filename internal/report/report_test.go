@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -57,5 +58,63 @@ func TestBarsNormalized(t *testing.T) {
 	out := Bars("F", []string{"a", "b"}, []float64{200, 100})
 	if !strings.Contains(out, "2.000x") || !strings.Contains(out, "1.000x") {
 		t.Errorf("bars not normalized:\n%s", out)
+	}
+}
+
+func TestBarsEmptyValues(t *testing.T) {
+	out := Bars("empty", nil, nil)
+	if !strings.Contains(out, "empty") || !strings.Contains(out, "no data") {
+		t.Errorf("empty Bars output unexpected:\n%s", out)
+	}
+}
+
+func TestBarsZeroMinimum(t *testing.T) {
+	out := Bars("F", []string{"a", "b", "c"}, []float64{0, 100, 200})
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("Bars emitted NaN/Inf with a zero value:\n%s", out)
+	}
+	// The smallest positive value is the 1.00x baseline.
+	if !strings.Contains(out, "1.000x") || !strings.Contains(out, "2.000x") || !strings.Contains(out, "0.000x") {
+		t.Errorf("Bars not normalized against smallest positive value:\n%s", out)
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars("F", []string{"a"}, []float64{0})
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("all-zero Bars emitted NaN/Inf:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// Rows longer than the header must not panic and must render every cell.
+	out := Table("T", []string{"a"}, [][]string{{"x"}, {"y", "extra", "more"}})
+	for _, want := range []string{"x", "extra", "more"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in ragged table:\n%s", want, out)
+		}
+	}
+	// Empty row set renders header only.
+	out = Table("T", []string{"a", "b"}, nil)
+	if !strings.Contains(out, "a") {
+		t.Errorf("header missing from empty table:\n%s", out)
+	}
+}
+
+func TestAttributionTable(t *testing.T) {
+	r := harness.Result{Allocator: "pt", Workload: "w"}
+	r.Classes[region.Meta] = sim.ClassCounters{LLCLoadMisses: 30, DTLBLoadMisses: 1}
+	r.Classes[region.User] = sim.ClassCounters{LLCLoadMisses: 70, DTLBLoadMisses: 3}
+	out := AttributionTable("attr", []harness.Result{r})
+	for _, want := range []string{"LLC-miss % metadata", "30.0%", "70.0%", "dTLB-miss % user", "75.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// No misses at all: cells degrade to "-", never NaN.
+	empty := harness.Result{Allocator: "x"}
+	out = AttributionTable("attr", []harness.Result{empty})
+	if strings.Contains(out, "NaN") {
+		t.Errorf("attribution table emitted NaN:\n%s", out)
 	}
 }

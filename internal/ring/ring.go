@@ -15,9 +15,35 @@ package ring
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nextgenmalloc/internal/sim"
 )
+
+// Stats are host-side ring telemetry (observation-only: collecting them
+// issues no simulated memory traffic). Occupancy is a histogram of the
+// ring depth observed by the producer after each successful push, in
+// log2 buckets: bucket 0 is unused, bucket b counts depths in
+// [2^(b-1), 2^b). The deepest shipped ring (1024 slots) lands in
+// bucket 11.
+type Stats struct {
+	Pushes      uint64
+	Pops        uint64
+	FullRetries uint64 // push attempts that found the ring full
+	StallCycles uint64 // producer cycles spent spinning in Push
+	Occupancy   [12]uint64
+}
+
+// Add accumulates o into s (for merging per-ring stats).
+func (s *Stats) Add(o Stats) {
+	s.Pushes += o.Pushes
+	s.Pops += o.Pops
+	s.FullRetries += o.FullRetries
+	s.StallCycles += o.StallCycles
+	for i := range s.Occupancy {
+		s.Occupancy[i] += o.Occupancy[i]
+	}
+}
 
 // SlotSize is the byte size of one ring slot: two 8-byte words
 // (operation descriptor and payload), mirroring the request_size /
@@ -46,7 +72,12 @@ type SPSC struct {
 	shadowHead uint64 // producer's last-read consumer index
 	consHead   uint64 // consumer's private head mirror
 	shadowTail uint64 // consumer's last-read producer index
+
+	stats Stats
 }
+
+// Stats returns a copy of the ring's telemetry counters.
+func (r *SPSC) Stats() Stats { return r.stats }
 
 // BytesFor returns the mapped bytes needed for a ring with the given
 // slot count.
@@ -77,6 +108,7 @@ func (r *SPSC) TryPush(t *sim.Thread, w0, w1 uint64) bool {
 		// Looks full: refresh the consumer index.
 		r.shadowHead = t.AtomicLoad64(r.headAddr())
 		if r.prodTail-r.shadowHead >= r.size {
+			r.stats.FullRetries++
 			return false
 		}
 	}
@@ -86,13 +118,28 @@ func (r *SPSC) TryPush(t *sim.Thread, w0, w1 uint64) bool {
 	// Publish with a release store of the new tail.
 	r.prodTail++
 	t.AtomicStore64(r.tailAddr(), r.prodTail)
+	r.stats.Pushes++
+	if b := bits.Len64(r.prodTail - r.shadowHead); b < len(r.stats.Occupancy) {
+		r.stats.Occupancy[b]++
+	} else {
+		r.stats.Occupancy[len(r.stats.Occupancy)-1]++
+	}
 	return true
 }
 
-// Push spins until the push succeeds.
+// Push spins until the push succeeds, accounting the cycles spent
+// waiting for ring space as producer stall time.
 func (r *SPSC) Push(t *sim.Thread, w0, w1 uint64) {
-	for !r.TryPush(t, w0, w1) {
+	if r.TryPush(t, w0, w1) {
+		return
+	}
+	start := t.Clock()
+	for {
 		t.Pause(32)
+		if r.TryPush(t, w0, w1) {
+			r.stats.StallCycles += t.Clock() - start
+			return
+		}
 	}
 }
 
@@ -110,6 +157,7 @@ func (r *SPSC) TryPop(t *sim.Thread) (w0, w1 uint64, ok bool) {
 	w1 = t.Load64(slot + 8)
 	r.consHead++
 	t.AtomicStore64(r.headAddr(), r.consHead)
+	r.stats.Pops++
 	return w0, w1, true
 }
 

@@ -157,3 +157,64 @@ func TestBadSlotCountPanics(t *testing.T) {
 		New(th.Mmap(1), 6)
 	})
 }
+
+func TestStatsTelemetry(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 4)
+		for i := uint64(0); i < 4; i++ {
+			if !r.TryPush(th, i, 0) {
+				t.Fatalf("push %d failed", i)
+			}
+		}
+		if r.TryPush(th, 99, 0) {
+			t.Fatal("push on full ring succeeded")
+		}
+		r.TryPop(th)
+		r.TryPush(th, 4, 0)
+		s := r.Stats()
+		if s.Pushes != 5 || s.Pops != 1 || s.FullRetries != 1 {
+			t.Errorf("stats = %+v, want 5 pushes, 1 pop, 1 full retry", s)
+		}
+		var occ uint64
+		for _, b := range s.Occupancy {
+			occ += b
+		}
+		if occ != s.Pushes {
+			t.Errorf("occupancy histogram sums to %d, want %d", occ, s.Pushes)
+		}
+	})
+}
+
+func TestPushStallCycles(t *testing.T) {
+	m := sim.New(sim.DefaultConfig())
+	var stats Stats
+	base := make(chan uint64, 1)
+	m.Spawn("producer", 0, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 2)
+		base <- r.base
+		r.TryPush(th, 1, 0)
+		r.TryPush(th, 2, 0)
+		// Ring full: this Push must spin until the consumer drains.
+		r.Push(th, 3, 0)
+		stats = r.Stats()
+	})
+	m.Spawn("consumer", 1, func(th *sim.Thread) {
+		b := <-base
+		r := New(b, 2)
+		th.Pause(5000)
+		for popped := 0; popped < 3; {
+			if _, _, ok := r.TryPop(th); ok {
+				popped++
+			} else {
+				th.Pause(50)
+			}
+		}
+	})
+	m.Run()
+	if stats.StallCycles == 0 {
+		t.Error("full-ring Push recorded no stall cycles")
+	}
+	if stats.FullRetries == 0 {
+		t.Error("full-ring Push recorded no full retries")
+	}
+}

@@ -23,6 +23,7 @@ type Machine struct {
 	caches  *cache.System
 	tlbs    []*tlb.TLB
 	threads []*Thread
+	regions *RegionTable
 
 	coreBusy     []bool   // a live thread is pinned here
 	coreInstr    []uint64 // retired instructions per core (incl. finished threads)
@@ -69,6 +70,7 @@ func New(cfg Config) *Machine {
 		kernel:       mem.NewKernel(as, cfg.Syscall),
 		caches:       cache.NewSystemHetero(base, perCore),
 		tlbs:         tlbs,
+		regions:      newRegionTable(),
 		coreBusy:     make([]bool, cfg.Cores),
 		coreInstr:    make([]uint64, cfg.Cores),
 		coreClock:    make([]uint64, cfg.Cores),

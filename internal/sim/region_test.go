@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/region"
+)
+
+func TestRegionStaticDefaults(t *testing.T) {
+	rt := newRegionTable()
+	for _, tc := range []struct {
+		addr uint64
+		want region.Class
+	}{
+		{mem.BrkBase, region.User},
+		{mem.BrkBase + 12345, region.User},
+		{mem.MetaBase, region.Meta},
+		{mem.MetaBase + 64<<20, region.Meta},
+		{mem.MmapBase, region.User},
+		{mem.MmapBase + 5<<30, region.User},
+	} {
+		if got := rt.Classify(tc.addr); got != tc.want {
+			t.Errorf("Classify(%#x) = %v, want %v", tc.addr, got, tc.want)
+		}
+	}
+}
+
+func TestRegionMarkGranularity(t *testing.T) {
+	rt := newRegionTable()
+	base := uint64(mem.MmapBase) + 4<<mem.PageShift
+	// Mark a 16-byte granule: exactly that granule changes class.
+	rt.Mark(base+32, 16, region.Meta)
+	if got := rt.Classify(base + 32); got != region.Meta {
+		t.Errorf("marked granule = %v, want Meta", got)
+	}
+	if got := rt.Classify(base + 47); got != region.Meta {
+		t.Errorf("last byte of marked granule = %v, want Meta", got)
+	}
+	if got := rt.Classify(base + 16); got != region.User {
+		t.Errorf("granule before mark = %v, want User", got)
+	}
+	if got := rt.Classify(base + 48); got != region.User {
+		t.Errorf("granule after mark = %v, want User", got)
+	}
+	// A sub-granule mark rounds outward to cover the touched granules.
+	rt.Mark(base+100, 8, region.Global)
+	if got := rt.Classify(base + 96); got != region.Global {
+		t.Errorf("rounded-down granule = %v, want Global", got)
+	}
+}
+
+func TestRegionMarkCrossesPages(t *testing.T) {
+	rt := newRegionTable()
+	base := uint64(mem.MmapBase) + 8<<mem.PageShift
+	n := int(3 * mem.PageSize)
+	rt.Mark(base, n, region.Ring)
+	for _, off := range []uint64{0, mem.PageSize - 16, mem.PageSize, 2*mem.PageSize + 512, uint64(n) - 16} {
+		if got := rt.Classify(base + off); got != region.Ring {
+			t.Errorf("Classify(base+%#x) = %v, want Ring", off, got)
+		}
+	}
+	if got := rt.Classify(base + uint64(n)); got != region.User {
+		t.Errorf("first byte past mark = %v, want User", got)
+	}
+}
+
+func TestRegionRemarkOverrides(t *testing.T) {
+	rt := newRegionTable()
+	base := uint64(mem.MmapBase)
+	rt.Mark(base, 64, region.Meta)
+	rt.Mark(base, 64, region.User)
+	if got := rt.Classify(base); got != region.User {
+		t.Errorf("remarked granule = %v, want User", got)
+	}
+	// Metadata-range pages can be remarked too, overriding the static
+	// default.
+	rt.Mark(mem.MetaBase, 16, region.Ring)
+	if got := rt.Classify(mem.MetaBase); got != region.Ring {
+		t.Errorf("remarked meta granule = %v, want Ring", got)
+	}
+	if got := rt.Classify(mem.MetaBase + 16); got != region.Meta {
+		t.Errorf("untouched meta granule = %v, want Meta", got)
+	}
+}
+
+// TestClassCountersMatchTotals runs real traffic and checks that the
+// per-class breakdown partitions the PMU counters exactly: summing the
+// classes must reproduce the classless totals for every event.
+func TestClassCountersMatchTotals(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Spawn("t", 0, func(th *Thread) {
+		user := th.Mmap(4)
+		meta := th.MmapMeta(4)
+		th.MarkRegion(user+mem.PageSize, int(mem.PageSize), region.Ring)
+		for i := uint64(0); i < 4096; i += 64 {
+			th.Store64(user+i, i)
+			th.Store64(meta+i, i)
+			th.Store64(user+mem.PageSize+i, i)
+			_ = th.Load64(user + i)
+		}
+	})
+	m.Run()
+	total := m.CoreCounters(0)
+	var sum ClassCounters
+	bd := m.CoreClassCounters(0)
+	for _, c := range bd {
+		sum.Add(c)
+	}
+	if sum.LLCLoadMisses != total.LLCLoadMisses || sum.LLCStoreMisses != total.LLCStoreMisses {
+		t.Errorf("class LLC misses (%d,%d) != totals (%d,%d)",
+			sum.LLCLoadMisses, sum.LLCStoreMisses, total.LLCLoadMisses, total.LLCStoreMisses)
+	}
+	if sum.DTLBLoadMisses != total.DTLBLoadMisses || sum.DTLBStoreMisses != total.DTLBStoreMisses {
+		t.Errorf("class dTLB misses (%d,%d) != totals (%d,%d)",
+			sum.DTLBLoadMisses, sum.DTLBStoreMisses, total.DTLBLoadMisses, total.DTLBStoreMisses)
+	}
+	// The traffic above deliberately hits three classes.
+	for _, cls := range []region.Class{region.User, region.Meta, region.Ring} {
+		if bd[cls].Stores == 0 {
+			t.Errorf("class %v saw no stores", cls)
+		}
+	}
+}

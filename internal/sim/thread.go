@@ -6,6 +6,7 @@ import (
 
 	"nextgenmalloc/internal/cache"
 	"nextgenmalloc/internal/mem"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/tlb"
 )
 
@@ -27,8 +28,15 @@ const (
 type mtlbEntry struct {
 	vpn   uint64
 	frame *mem.Frame
-	base  uint64 // physical page base
-	shift uint8  // translation granularity for the hardware TLB model
+	base  uint64       // physical page base
+	cls   *pageClasses // the page's granule class array (region table)
+	shift uint8        // translation granularity for the hardware TLB model
+}
+
+// class returns the address class of vaddr's granule (the entry must
+// cover vaddr's page).
+func (e *mtlbEntry) class(vaddr uint64) region.Class {
+	return e.cls[(vaddr&mem.PageMask)>>granuleShift]
 }
 
 // Thread is one simulated hardware thread, pinned 1:1 to a core. All
@@ -146,6 +154,7 @@ func (t *Thread) translate(vaddr uint64) *mtlbEntry {
 			vpn:   vpn + 1,
 			frame: t.m.phys.FrameFor(paddr),
 			base:  paddr &^ uint64(mem.PageMask),
+			cls:   t.m.regions.page(vaddr),
 			shift: uint8(shift),
 		}
 	}
@@ -170,6 +179,7 @@ func (t *Thread) access(vaddr uint64, size int, isStore bool) *mtlbEntry {
 	}
 	paddr := e.base | vaddr&mem.PageMask
 	tag := paddr >> cache.LineShift
+	cls := e.class(vaddr)
 	// Repeat hits on the thread's most recent line (the dominant access
 	// pattern) resolve without walking either the TLB model or the cache
 	// hierarchy; the model updates are identical to the full paths' hit
@@ -179,17 +189,17 @@ func (t *Thread) access(vaddr uint64, size int, isStore bool) *mtlbEntry {
 	var cyc uint64
 	if tag+1 == t.lastLine {
 		if !t.tlb.HitMRU(vaddr, isStore, uint(e.shift)) {
-			cyc = t.tlb.Access(vaddr, isStore, uint(e.shift))
+			cyc = t.tlb.AccessClass(vaddr, isStore, uint(e.shift), cls)
 		}
-		if hit, ok := t.caches.SameLineFast(t.core, tag, isStore); ok {
+		if hit, ok := t.caches.SameLineFastClass(t.core, tag, isStore, cls); ok {
 			t.clock += cyc + hit
 			return e
 		}
 	} else {
 		t.lastLine = tag + 1
-		cyc = t.tlb.Access(vaddr, isStore, uint(e.shift))
+		cyc = t.tlb.AccessClass(vaddr, isStore, uint(e.shift), cls)
 	}
-	cyc += t.caches.Access(t.core, paddr, isStore)
+	cyc += t.caches.AccessClass(t.core, paddr, isStore, cls)
 	t.clock += cyc
 	return e
 }
@@ -293,20 +303,21 @@ func (t *Thread) blockStep(vaddr uint64, e *mtlbEntry, isStore bool) {
 	t.instr++
 	paddr := e.base | vaddr&mem.PageMask
 	tag := paddr >> cache.LineShift
+	cls := e.class(vaddr)
 	var cyc uint64
 	if tag+1 == t.lastLine {
 		if !t.tlb.HitMRU(vaddr, isStore, uint(e.shift)) {
-			cyc = t.tlb.Access(vaddr, isStore, uint(e.shift))
+			cyc = t.tlb.AccessClass(vaddr, isStore, uint(e.shift), cls)
 		}
-		if hit, ok := t.caches.SameLineFast(t.core, tag, isStore); ok {
+		if hit, ok := t.caches.SameLineFastClass(t.core, tag, isStore, cls); ok {
 			t.clock += cyc + hit
 			return
 		}
 	} else {
 		t.lastLine = tag + 1
-		cyc = t.tlb.Access(vaddr, isStore, uint(e.shift))
+		cyc = t.tlb.AccessClass(vaddr, isStore, uint(e.shift), cls)
 	}
-	cyc += t.caches.Access(t.core, paddr, isStore)
+	cyc += t.caches.AccessClass(t.core, paddr, isStore, cls)
 	t.clock += cyc
 }
 
@@ -342,7 +353,11 @@ func (t *Thread) blockBatch(a uint64, e *mtlbEntry, rem int, isStore bool) int {
 	if !t.tlb.PageResidentMRU(a, uint(e.shift)) {
 		return 0
 	}
-	hitCyc, ok := t.caches.SameLineBatch(t.core, tag, isStore, uint64(k))
+	// The whole batch is attributed to the first word's class; a batch
+	// never crosses a line, so at 16-byte granularity at most the line's
+	// tail granule could differ — workload block touches are in practice
+	// class-uniform.
+	hitCyc, ok := t.caches.SameLineBatchClass(t.core, tag, isStore, uint64(k), e.class(a))
 	if !ok {
 		return 0
 	}

@@ -8,6 +8,8 @@
 // dTLB-load-misses event counts.
 package tlb
 
+import "nextgenmalloc/internal/region"
+
 // Stats holds per-TLB hit/miss counters, split by access type the way
 // hardware PMUs split them.
 type Stats struct {
@@ -16,6 +18,14 @@ type Stats struct {
 	StoreHits   uint64
 	StoreMisses uint64 // page walks triggered by stores
 	STLBHits    uint64 // L1 misses that the second level absorbed
+}
+
+// ClassStats attribute a TLB's page walks to one address class
+// (region.Class). Hits are not broken down: only walks carry the
+// pollution cost the paper's Table 1 reports.
+type ClassStats struct {
+	LoadMisses  uint64
+	StoreMisses uint64
 }
 
 // level is one set-associative translation array with LRU replacement.
@@ -132,6 +142,7 @@ type TLB struct {
 	l1    *level
 	stlb  *level
 	stats Stats
+	class [region.NumClasses]ClassStats
 	// mru is the L1 way index that hit most recently (-1 when unknown).
 	// Same-page access runs (the common case: word-by-word walks of an
 	// object) take an O(1) path with side effects identical to a full
@@ -152,12 +163,22 @@ func New(cfg Config) *TLB {
 // Stats returns a copy of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
 
+// ClassStats returns a copy of the per-class walk counters, indexed by
+// region.Class.
+func (t *TLB) ClassStats() [region.NumClasses]ClassStats { return t.class }
+
 // Access translates the page containing vaddr and returns the extra
 // cycles charged for translation (0 on an L1 hit). isStore selects which
 // PMU counter a walk lands in. pageShift is the mapping's granularity
 // (12 for 4 KiB pages, 21 for 2 MiB pages); entries of different
 // granularities never alias because the size is folded into the tag.
 func (t *TLB) Access(vaddr uint64, isStore bool, pageShift uint) uint64 {
+	return t.AccessClass(vaddr, isStore, pageShift, region.User)
+}
+
+// AccessClass is Access with any page walk attributed to address class
+// cls. Translation behaviour and cycles are identical to Access.
+func (t *TLB) AccessClass(vaddr uint64, isStore bool, pageShift uint, cls region.Class) uint64 {
 	vpn := vaddr>>pageShift<<1 | uint64(pageShift>>4&1)
 	// MRU fast path: a repeat hit on the last-hit L1 entry performs the
 	// exact side effects of a full probe that hits (tick advance + LRU
@@ -193,8 +214,10 @@ func (t *TLB) Access(vaddr uint64, isStore bool, pageShift uint) uint64 {
 	}
 	if isStore {
 		t.stats.StoreMisses++
+		t.class[cls].StoreMisses++
 	} else {
 		t.stats.LoadMisses++
+		t.class[cls].LoadMisses++
 	}
 	t.stlb.insert(vpn)
 	t.l1.insert(vpn)

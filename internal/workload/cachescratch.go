@@ -2,6 +2,7 @@ package workload
 
 import (
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -35,6 +36,7 @@ func (c *CacheScratch) Threads() int { return c.NThreads }
 // other, so naive reuse spreads one line across threads.
 func (c *CacheScratch) Setup(t *sim.Thread, a alloc.Allocator) {
 	c.handoff = t.Mmap(1)
+	t.MarkRegion(c.handoff, 1<<12, region.Global)
 	for i := 0; i < c.NThreads; i++ {
 		p := a.Malloc(t, c.ObjSize)
 		t.BlockWrite(p, int(c.ObjSize), 7)
@@ -78,6 +80,7 @@ func (c *CacheThrash) Threads() int { return c.NThreads }
 // Setup implements Workload.
 func (c *CacheThrash) Setup(t *sim.Thread, a alloc.Allocator) {
 	c.handoff = t.Mmap(1)
+	t.MarkRegion(c.handoff, 1<<12, region.Global)
 	for i := 0; i < c.NThreads; i++ {
 		p := a.Malloc(t, c.ObjSize)
 		t.BlockWrite(p, int(c.ObjSize), 7)

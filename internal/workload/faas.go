@@ -2,6 +2,7 @@ package workload
 
 import (
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -50,7 +51,9 @@ func (f *FaaS) Threads() int { return 1 }
 
 // Setup implements Workload.
 func (f *FaaS) Setup(t *sim.Thread, a alloc.Allocator) {
-	f.scratch = t.Mmap((len(f.Profile)*8 + 4095) >> 12)
+	scratchPages := (len(f.Profile)*8 + 4095) >> 12
+	f.scratch = t.Mmap(scratchPages)
+	t.MarkRegion(f.scratch, scratchPages<<12, region.Global)
 	f.InvocationCycles = make([]uint64, 0, f.Invocations)
 }
 

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -29,6 +30,7 @@ func (l *Larson) Threads() int { return l.NThreads }
 func (l *Larson) Setup(t *sim.Thread, a alloc.Allocator) {
 	pages := (l.NThreads*l.SlotsPerThread*16 + 4095) >> 12
 	l.slots = t.MmapHuge(pages)
+	t.MarkRegion(l.slots, pages<<12, region.Global)
 }
 
 func (l *Larson) slot(part, i int) uint64 {
@@ -86,6 +88,7 @@ func (c *Churn) Threads() int { return c.NThreads }
 func (c *Churn) Setup(t *sim.Thread, a alloc.Allocator) {
 	pages := (c.NThreads*c.Slots*16 + 4095) >> 12
 	c.table = t.MmapHuge(pages)
+	t.MarkRegion(c.table, pages<<12, region.Global)
 }
 
 // Run implements Workload.

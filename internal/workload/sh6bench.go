@@ -2,6 +2,7 @@ package workload
 
 import (
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -36,7 +37,9 @@ func (s *Sh6bench) poolSlots() int { return s.BatchSize * s.RetainPasses }
 
 // Setup implements Workload.
 func (s *Sh6bench) Setup(t *sim.Thread, a alloc.Allocator) {
-	s.pool = t.MmapHuge((s.NThreads*s.poolSlots()*8 + 4095) >> 12)
+	poolPages := (s.NThreads*s.poolSlots()*8 + 4095) >> 12
+	s.pool = t.MmapHuge(poolPages)
+	t.MarkRegion(s.pool, poolPages<<12, region.Global)
 }
 
 // Run implements Workload.

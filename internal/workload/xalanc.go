@@ -2,6 +2,7 @@ package workload
 
 import (
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -88,6 +89,7 @@ func (x *Xalanc) Setup(t *sim.Thread, a alloc.Allocator) {
 	}
 	pages := (x.NodeSlots*16 + 4095) >> 12
 	x.table = t.MmapHuge(pages) // large arrays are THP-backed
+	t.MarkRegion(x.table, pages<<12, region.Global)
 }
 
 func (x *Xalanc) slotAddr(i int) uint64 { return x.table + uint64(i)*16 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
 )
@@ -49,12 +50,15 @@ func (x *Xmalloc) Setup(t *sim.Thread, a alloc.Allocator) {
 	per := uint64(ring.BytesFor(xmallocRingSlots)+sim.LineSize-1) &^ (sim.LineSize - 1)
 	pages := int((per*uint64(x.NThreads) + 4095) >> 12)
 	x.ringsBase = t.Mmap(pages)
+	t.MarkRegion(x.ringsBase, pages<<12, region.Ring)
 	x.rings = make([]*ring.SPSC, x.NThreads)
 	for i := 0; i < x.NThreads; i++ {
 		x.rings[i] = ring.New(x.ringsBase+uint64(i)*per, xmallocRingSlots)
 	}
 	// One done-flag cache line per producer.
-	x.doneBase = t.Mmap(int((uint64(x.NThreads)*sim.LineSize + 4095) >> 12))
+	donePages := int((uint64(x.NThreads)*sim.LineSize + 4095) >> 12)
+	x.doneBase = t.Mmap(donePages)
+	t.MarkRegion(x.doneBase, donePages<<12, region.Global)
 }
 
 func (x *Xmalloc) doneFlag(i int) uint64 { return x.doneBase + uint64(i)*sim.LineSize }
