@@ -39,9 +39,18 @@ func run() int {
 	jsonPath := flag.String("json", "", "also write raw results (PMU counters per run) as JSON to this file")
 	metricsPath := flag.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulated machines running concurrently (1 = serial)")
+	batch := flag.Int("batch", -1, "override NextGen free-coalescing width for standard experiments, 1-4 (-1 = per-kind default)")
+	prealloc := flag.String("prealloc", "", "override NextGen prealloc policy for standard experiments: off, static, or adaptive (empty = per-kind default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to this file at exit")
 	flag.Parse()
+
+	tune, err := experiments.ParseTransport(*batch, *prealloc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+		return 2
+	}
+	experiments.SetTransport(tune)
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -55,24 +64,26 @@ func run() int {
 	}
 
 	runners := map[string]func() experiments.Outcome{
-		"figure1":         func() experiments.Outcome { return experiments.Figure1(scale) },
-		"table1":          func() experiments.Outcome { return experiments.Table1(scale) },
-		"table2":          func() experiments.Outcome { return experiments.Table2(scale) },
-		"table3":          func() experiments.Outcome { return experiments.Table3(scale) },
-		"model":           func() experiments.Outcome { return experiments.Model() },
-		"ablate-layout":   func() experiments.Outcome { return experiments.AblateLayout(scale) },
-		"ablate-core":     func() experiments.Outcome { return experiments.AblateCore(scale) },
-		"ablate-prealloc": func() experiments.Outcome { return experiments.AblatePrealloc(scale) },
-		"sensitivity":     func() experiments.Outcome { return experiments.Sensitivity(scale) },
-		"ablate-gc":       func() experiments.Outcome { return experiments.AblateGC(scale) },
-		"ablate-faas":     func() experiments.Outcome { return experiments.AblateFaaS(scale) },
-		"ablate-gpu":      func() experiments.Outcome { return experiments.AblateGPU(scale) },
-		"ablate-scaling":  func() experiments.Outcome { return experiments.AblateScaling(scale) },
-		"ablate-room":     func() experiments.Outcome { return experiments.AblateRoom(scale) },
+		"figure1":          func() experiments.Outcome { return experiments.Figure1(scale) },
+		"table1":           func() experiments.Outcome { return experiments.Table1(scale) },
+		"table2":           func() experiments.Outcome { return experiments.Table2(scale) },
+		"table3":           func() experiments.Outcome { return experiments.Table3(scale) },
+		"model":            func() experiments.Outcome { return experiments.Model() },
+		"ablate-layout":    func() experiments.Outcome { return experiments.AblateLayout(scale) },
+		"ablate-core":      func() experiments.Outcome { return experiments.AblateCore(scale) },
+		"ablate-prealloc":  func() experiments.Outcome { return experiments.AblatePrealloc(scale) },
+		"ablate-transport": func() experiments.Outcome { return experiments.AblateTransport(scale) },
+		"sensitivity":      func() experiments.Outcome { return experiments.Sensitivity(scale) },
+		"ablate-gc":        func() experiments.Outcome { return experiments.AblateGC(scale) },
+		"ablate-faas":      func() experiments.Outcome { return experiments.AblateFaaS(scale) },
+		"ablate-gpu":       func() experiments.Outcome { return experiments.AblateGPU(scale) },
+		"ablate-scaling":   func() experiments.Outcome { return experiments.AblateScaling(scale) },
+		"ablate-room":      func() experiments.Outcome { return experiments.AblateRoom(scale) },
 	}
 	order := []string{
 		"figure1", "table1", "table2", "table3", "model",
-		"ablate-layout", "ablate-core", "ablate-prealloc", "sensitivity",
+		"ablate-layout", "ablate-core", "ablate-prealloc", "ablate-transport",
+		"sensitivity",
 		"ablate-gc", "ablate-faas", "ablate-gpu", "ablate-scaling", "ablate-room",
 	}
 

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"nextgenmalloc/internal/experiments"
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/metrics"
 	"nextgenmalloc/internal/report"
@@ -37,6 +38,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ops := fs.Int("ops", 100000, "operation count (total or per thread, workload-dependent)")
 	threads := fs.Int("threads", 1, "worker thread count (multi-thread workloads)")
 	seed := fs.Uint64("seed", 1, "workload seed")
+	batch := fs.Int("batch", -1, "override NextGen free-coalescing width, 1-4 (-1 = per-kind default)")
+	prealloc := fs.String("prealloc", "", "override NextGen prealloc policy: off, static, or adaptive (empty = per-kind default)")
 	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -46,6 +49,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// usage error, not panic mid-run or silently do no work.
 	if !harness.KnownKind(*kind) {
 		fmt.Fprintf(stderr, "ngm-run: unknown allocator %q (choose from: %s)\n", *kind, strings.Join(harness.Kinds, ", "))
+		return 2
+	}
+	tune, err := experiments.ParseTransport(*batch, *prealloc)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
 		return 2
 	}
 	if *threads < 1 {
@@ -86,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res := harness.Run(harness.Options{Allocator: *kind, Workload: w})
+	res := harness.Run(harness.Options{Allocator: *kind, Workload: w, Tune: tune})
 	fmt.Fprint(stdout, report.CounterTable(fmt.Sprintf("%s on %s", *wname, *kind), []harness.Result{res}))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.AttributionTable("miss attribution (worker cores)", []harness.Result{res}))
@@ -108,6 +116,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			tel.MallocRing.FullRetries+tel.FreeRing.FullRetries,
 			report.Sci(float64(tel.MallocRing.StallCycles+tel.FreeRing.StallCycles)),
 			100*busy)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.TransportTable("offload transport telemetry", []harness.Result{res}))
 	}
 
 	if *metricsPath != "" {

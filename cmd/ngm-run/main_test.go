@@ -28,6 +28,9 @@ func TestRejectsBadFlags(t *testing.T) {
 		"negative ops":       {[]string{"-ops", "-5"}, "-ops must be >= 1"},
 		"sh6bench sub-batch": {[]string{"-workload", "sh6bench", "-ops", "99"}, "one batch"},
 		"unknown workload":   {[]string{"-workload", "nope"}, "unknown workload"},
+		"batch too wide":     {[]string{"-batch", "7"}, "out of range"},
+		"batch zero":         {[]string{"-batch", "0"}, "out of range"},
+		"bad prealloc":       {[]string{"-prealloc", "bogus"}, "unknown prealloc policy"},
 	} {
 		rc, _, stderr := runCLI(tc.args...)
 		if rc != 2 {

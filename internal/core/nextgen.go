@@ -70,6 +70,23 @@ type Config struct {
 	AsyncFree bool
 	// RingSlots is the per-client request ring capacity (power of two).
 	RingSlots int
+	// Batch, when > 1, coalesces up to Batch asynchronous frees per ring
+	// publication (§3.3 batched requests): slots are staged as they are
+	// written and the tail is published when a slot line fills or at the
+	// next malloc/flush boundary. Capped at the slots-per-cache-line
+	// limit (sim.LineSize / ring.SlotSize = 4). 0 or 1 keeps the
+	// one-publication-per-free transport.
+	Batch int
+	// AdaptivePrealloc replaces the static Prealloc depth with a
+	// feedback-driven one: each class's stash is sized from its rank in
+	// the client's recent-allocation list (noteHot), so hot classes get a
+	// deep stash and cold classes none.
+	AdaptivePrealloc bool
+	// IdleBackoff enables doorbell-style exponential backoff of the
+	// server's empty-poll pause, so an idle dedicated core stops burning
+	// cycles re-scanning empty rings (any served request resets the
+	// backoff).
+	IdleBackoff bool
 }
 
 // DefaultConfig is the paper's proposal: offloaded, segregated, async
@@ -188,9 +205,17 @@ type Allocator struct {
 
 // New builds the allocator; t performs the initial mmaps. In offload
 // mode a Server daemon must have been spawned and attached (see Server).
+// maxBatch is the deepest useful free-coalescing window: one cache line
+// of ring slots (staging past a line boundary would touch a second slot
+// line before the tail store amortizes the first).
+const maxBatch = int(sim.LineSize / ring.SlotSize)
+
 func New(t *sim.Thread, cfg Config) *Allocator {
 	if cfg.RingSlots == 0 {
 		cfg.RingSlots = 64
+	}
+	if cfg.Batch > maxBatch {
+		cfg.Batch = maxBatch
 	}
 	a := &Allocator{
 		cfg:      cfg,
@@ -223,8 +248,12 @@ func New(t *sim.Thread, cfg Config) *Allocator {
 // Name implements alloc.Allocator.
 func (a *Allocator) Name() string {
 	switch {
+	case a.cfg.Offload && a.cfg.AdaptivePrealloc:
+		return "nextgen-adaptive"
 	case a.cfg.Offload && a.cfg.Prealloc > 0:
 		return "nextgen-prealloc"
+	case a.cfg.Offload && a.cfg.Batch > 1:
+		return "nextgen-batch"
 	case a.cfg.Offload:
 		return "nextgen"
 	case a.cfg.Layout == Aggregated:
@@ -232,6 +261,37 @@ func (a *Allocator) Name() string {
 	default:
 		return "nextgen-inline"
 	}
+}
+
+// preallocOn reports whether any preallocation policy (static depth or
+// adaptive) is stocking the per-class stashes.
+func (a *Allocator) preallocOn() bool {
+	return a.cfg.Prealloc > 0 || a.cfg.AdaptivePrealloc
+}
+
+// stashDepth is the target stash depth for class on client c. The
+// static policy fills every requested class to Config.Prealloc; the
+// adaptive policy sizes the stash from the class's rank in the client's
+// recency list — 13, 13, 6, 6, 3, 3, 1, 1 blocks for ranks 0..7, zero
+// for classes that fell out — so the server's restocking work follows
+// the client's measured allocation heat (§3.3.2 feedback loop).
+func (a *Allocator) stashDepth(c *client, class int) uint64 {
+	if !a.cfg.AdaptivePrealloc {
+		d := uint64(a.cfg.Prealloc)
+		// The client publishes its read index every other pop, so the
+		// server's view can lag by one; keep one window slot of slack.
+		if d > stashWindow-1 {
+			d = stashWindow - 1
+		}
+		return d
+	}
+	v := class + 1
+	for rank, h := range c.hot {
+		if h == v {
+			return uint64(stashWindow-1) >> (uint(rank) / 2)
+		}
+	}
+	return 0
 }
 
 // Stats implements alloc.Allocator.
@@ -511,9 +571,15 @@ func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
 		return p
 	}
 	c := a.clientOf(t)
+	// Malloc boundary: publish any coalesced frees first, so the free
+	// backlog's staleness is bounded by one malloc (no-op when nothing
+	// is staged).
+	if a.cfg.Batch > 1 {
+		c.freq.Publish(t)
+	}
 	// Predictive preallocation: consume a locally stashed block when the
 	// server stocked this class — no round trip at all.
-	if a.cfg.Prealloc > 0 {
+	if a.preallocOn() {
 		if class, ok := a.sc.ClassFor(size); ok {
 			slot := stashSlot(c.page, class)
 			r := c.readIdx[class]
@@ -554,6 +620,16 @@ func (a *Allocator) Free(t *sim.Thread, addr uint64) {
 	}
 	c := a.clientOf(t)
 	c.seq++
+	if a.cfg.Batch > 1 && a.cfg.AsyncFree {
+		// Free coalescing: stage the request now (slot stores on a line
+		// the producer already owns) and defer the tail publication until
+		// the slot line fills; Malloc/Flush publish any partial batch.
+		c.freq.Stage(t, opFree, addr)
+		if c.freq.Staged() >= a.cfg.Batch {
+			c.freq.Publish(t)
+		}
+		return
+	}
 	c.freq.Push(t, opFree, addr)
 	if !a.cfg.AsyncFree {
 		// Synchronous-free mode: chase the free with a sync barrier so
@@ -612,7 +688,10 @@ func (a *Allocator) Preheat(t *sim.Thread, sizes []uint64) {
 }
 
 // Flush implements alloc.Flusher: it drains this thread's queued
-// asynchronous frees (a sync barrier through the ring).
+// asynchronous frees (a sync barrier through the ring). Staged
+// coalesced frees are published together with the barrier slot — Push
+// publishes the whole staged backlog in one tail store, so the barrier
+// keeps its FIFO position behind them.
 func (a *Allocator) Flush(t *sim.Thread) {
 	if !a.cfg.Offload {
 		return
@@ -684,7 +763,23 @@ type Server struct {
 	// for Attach count as idle.
 	busyCycles uint64
 	idleCycles uint64
+	// Empty-poll accounting: passes that found no ring work, and the
+	// cycles those passes burned scanning the rings (a subset of
+	// idleCycles — the overhead Config.IdleBackoff exists to shrink).
+	emptyPolls      uint64
+	emptyPollCycles uint64
+	// idlePause is the current doorbell-backoff pause (IdleBackoff only);
+	// any served request resets it.
+	idlePause int
 }
+
+// Doorbell-backoff bounds: the pause starts at the fixed poll pause and
+// doubles per consecutive empty poll, capped low enough that a client's
+// first post-idle malloc still sees sub-microsecond service latency.
+const (
+	idlePauseMin = 8
+	idlePauseMax = 256
+)
 
 // NewServer returns an empty server awaiting Attach.
 func NewServer() *Server { return &Server{} }
@@ -694,6 +789,12 @@ func (s *Server) Attach(a *Allocator) { s.a = a }
 
 // Telemetry reports the server core's busy and idle cycles so far.
 func (s *Server) Telemetry() (busy, idle uint64) { return s.busyCycles, s.idleCycles }
+
+// PollStats reports how many poll passes found no work and the cycles
+// those empty passes burned scanning the rings.
+func (s *Server) PollStats() (emptyPolls, emptyPollCycles uint64) {
+	return s.emptyPolls, s.emptyPollCycles
+}
 
 // Run is the daemon body: poll every client ring round-robin, service
 // requests with the (atomics-free) slab engine, publish responses.
@@ -713,9 +814,24 @@ func (s *Server) Run(t *sim.Thread) {
 		}
 		if s.Poll(t) {
 			s.busyCycles += t.Clock() - start
+			s.idlePause = 0
 		} else {
+			s.emptyPolls++
+			s.emptyPollCycles += t.Clock() - start
 			s.Idle(t)
-			t.Pause(8)
+			pause := idlePauseMin
+			if s.a != nil && s.a.cfg.IdleBackoff {
+				// Doorbell backoff: each consecutive empty poll doubles
+				// the pause, so a quiescent ring set costs O(log) scans
+				// instead of one per idlePauseMin cycles.
+				if s.idlePause == 0 {
+					s.idlePause = idlePauseMin
+				} else if s.idlePause < idlePauseMax {
+					s.idlePause *= 2
+				}
+				pause = s.idlePause
+			}
+			t.Pause(pause)
 			s.idleCycles += t.Clock() - start
 		}
 	}
@@ -746,6 +862,26 @@ func (s *Server) Poll(t *sim.Thread) bool {
 	// Background pass: drain free backlog, re-checking the malloc
 	// ring between frees so a request never waits behind the batch.
 	for _, c := range a.clients {
+		if a.cfg.Batch > 1 {
+			// Vectored drain: one head publication per popped slot line
+			// instead of per free (the consumer-side half of batching).
+			var buf [maxBatch][2]uint64
+			for n := 0; n < 16; n += a.cfg.Batch {
+				if w0, w1, ok := c.mreq.TryPop(t); ok {
+					busy = true
+					s.serve(t, c, w0, w1)
+				}
+				k := c.freq.PopN(t, buf[:a.cfg.Batch])
+				if k == 0 {
+					break
+				}
+				busy = true
+				for i := 0; i < k; i++ {
+					s.serve(t, c, buf[i][0], buf[i][1])
+				}
+			}
+			continue
+		}
 		for n := 0; n < 16; n++ {
 			if w0, w1, ok := c.mreq.TryPop(t); ok {
 				busy = true
@@ -766,7 +902,7 @@ func (s *Server) Poll(t *sim.Thread) bool {
 // requested classes (predictive preallocation, §3.3.2).
 func (s *Server) Idle(t *sim.Thread) {
 	a := s.a
-	if a == nil || a.cfg.Prealloc == 0 {
+	if a == nil || !a.preallocOn() {
 		return
 	}
 	for _, c := range a.clients {
@@ -791,15 +927,14 @@ func (s *Server) Drain(t *sim.Thread) {
 // client writes readIdx, so this is safe to run while the client pops.
 func (s *Server) topUp(t *sim.Thread, c *client, class int) {
 	a := s.a
+	depth := a.stashDepth(c, class)
+	if depth == 0 {
+		// Adaptive policy with a cold class: skip even the index loads.
+		return
+	}
 	slot := stashSlot(c.page, class)
 	w := t.Load64(slot + stashWrite)
 	r := t.Load64(slot + stashRead)
-	depth := uint64(a.cfg.Prealloc)
-	// The client publishes its read index every other pop, so the view
-	// here can lag by one; keep one window slot of slack.
-	if depth > stashWindow-1 {
-		depth = stashWindow - 1
-	}
 	have := w - r
 	if have >= depth {
 		return
@@ -842,11 +977,13 @@ func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) {
 		t.Store64(c.page+respAddr, addr)
 		t.AtomicStore64(c.page+respSeq, w1)
 		// The client is already unblocked; restock its stash off the
-		// critical path and remember the class for idle top-ups.
-		if a.cfg.Prealloc > 0 {
+		// critical path and remember the class for idle top-ups. The
+		// heat update precedes the top-up so the adaptive policy sizes
+		// the stash for the class's new rank.
+		if a.preallocOn() {
 			if class, ok := a.sc.ClassFor(size); ok {
-				s.topUp(t, c, class)
 				c.noteHot(class)
+				s.topUp(t, c, class)
 			}
 		}
 	case opFree:
@@ -857,15 +994,16 @@ func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) {
 		t.AtomicStore64(c.page+respSeq, w1)
 	case opPreheat:
 		// Stock the class's stash and pre-carve its slab so the first
-		// real allocation after a cold start is a local pop.
+		// real allocation after a cold start is a local pop. Heat first:
+		// the adaptive depth for a never-seen class is zero.
 		class := int(w0 >> 8)
-		if a.cfg.Prealloc > 0 {
+		c.noteHot(class)
+		if a.preallocOn() {
 			s.topUp(t, c, class)
 		} else {
 			blk := a.allocClass(t, class)
 			a.freeClass(t, a.pagemapGet(t, blk), class, blk)
 		}
-		c.noteHot(class)
 	default:
 		panic(fmt.Sprintf("core: unknown ring op %#x", w0))
 	}

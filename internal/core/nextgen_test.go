@@ -44,6 +44,35 @@ func TestConformancePrealloc(t *testing.T) {
 	})
 }
 
+func TestConformanceBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Batch = 4
+	cfg.IdleBackoff = true
+	var srv *Server
+	alloctest.Run(t, alloctest.Options{
+		Factory: factory(cfg, &srv),
+		Daemon: func(m *sim.Machine) {
+			srv = NewServer()
+			m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+		},
+	})
+}
+
+func TestConformanceAdaptivePrealloc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Batch = 4
+	cfg.AdaptivePrealloc = true
+	cfg.IdleBackoff = true
+	var srv *Server
+	alloctest.Run(t, alloctest.Options{
+		Factory: factory(cfg, &srv),
+		Daemon: func(m *sim.Machine) {
+			srv = NewServer()
+			m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+		},
+	})
+}
+
 func TestConformanceInline(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Offload = false
@@ -199,6 +228,154 @@ func TestNoAtomicsInEngine(t *testing.T) {
 	m.Run()
 	if got := m.CoreCounters(serverCore).AtomicOps; got != 0 {
 		t.Errorf("server core executed %d atomic RMWs; the engine should need none", got)
+	}
+}
+
+// TestBatchCoalescesFrees: with Batch=4, the free ring publishes its
+// tail once per slot line instead of once per free, and every free is
+// still applied by the flush barrier.
+func TestBatchCoalescesFrees(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	srv := NewServer()
+	m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+	var a *Allocator
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		cfg := DefaultConfig()
+		cfg.Batch = 4
+		a = New(th, cfg)
+		srv.Attach(a)
+		addrs := make([]uint64, 200)
+		for i := range addrs {
+			addrs[i] = a.Malloc(th, 48)
+		}
+		for _, p := range addrs {
+			a.Free(th, p)
+		}
+		a.Flush(th)
+	})
+	m.Run()
+	if got := a.Served(); got != 401 {
+		t.Errorf("server served %d ops, want 401 (every staged free must drain)", got)
+	}
+	_, free := a.RingTelemetry()
+	// 200 frees + 1 sync; a full-width batch per 4 frees plus the final
+	// sync publication = ~51 tail stores instead of 201.
+	if free.Pushes != 201 {
+		t.Errorf("free-ring pushes = %d, want 201", free.Pushes)
+	}
+	if free.PushBatches*2 >= free.Pushes {
+		t.Errorf("free ring published %d batches for %d pushes; coalescing ineffective",
+			free.PushBatches, free.Pushes)
+	}
+	if free.PopBatches*2 >= free.Pops {
+		t.Errorf("server drained %d pops in %d head publications; vectored pop ineffective",
+			free.Pops, free.PopBatches)
+	}
+}
+
+// TestAdaptiveStashServesHotClass: the adaptive policy stocks a hot
+// class's stash from noteHot feedback alone (no static depth), so
+// repeated same-class mallocs mostly bypass the ring.
+func TestAdaptiveStashServesHotClass(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	srv := NewServer()
+	m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+	var a *Allocator
+	m.Spawn("t", 0, func(th *sim.Thread) {
+		cfg := DefaultConfig()
+		cfg.AdaptivePrealloc = true
+		a = New(th, cfg)
+		srv.Attach(a)
+		var addrs []uint64
+		for i := 0; i < 300; i++ {
+			addrs = append(addrs, a.Malloc(th, 64))
+		}
+		for _, p := range addrs {
+			a.Free(th, p)
+		}
+		a.Flush(th)
+	})
+	m.Run()
+	ringMallocs := a.Served() - 300 - 1
+	if ringMallocs > 100 {
+		t.Errorf("%d of 300 mallocs went through the ring; adaptive stash ineffective", ringMallocs)
+	}
+}
+
+// TestAdaptiveStashDepthFollowsHeat: depth tracks the class's recency
+// rank and is zero for classes that fell out of the list.
+func TestAdaptiveStashDepthFollowsHeat(t *testing.T) {
+	a := &Allocator{cfg: Config{AdaptivePrealloc: true}}
+	c := &client{}
+	if d := a.stashDepth(c, 3); d != 0 {
+		t.Errorf("cold class depth = %d, want 0", d)
+	}
+	for class := 0; class < 10; class++ {
+		c.noteHot(class)
+	}
+	// Classes 9,8,... are ranks 0,1,...; classes 0 and 1 fell out.
+	want := []uint64{13, 13, 6, 6, 3, 3, 1, 1}
+	for rank, w := range want {
+		if d := a.stashDepth(c, 9-rank); d != w {
+			t.Errorf("rank-%d class depth = %d, want %d", rank, d, w)
+		}
+	}
+	if d := a.stashDepth(c, 0); d != 0 {
+		t.Errorf("evicted class depth = %d, want 0", d)
+	}
+	if d := a.stashDepth(c, 9); d > stashWindow-1 {
+		t.Errorf("depth %d exceeds the stash window slack bound %d", d, stashWindow-1)
+	}
+}
+
+// TestIdleBackoffCutsEmptyPolls: over the same idle stretch, doorbell
+// backoff performs far fewer empty ring scans than the fixed pause.
+func TestIdleBackoffCutsEmptyPolls(t *testing.T) {
+	run := func(backoff bool) (emptyPolls, emptyPollCycles uint64) {
+		m := sim.New(sim.ScaledConfig())
+		srv := NewServer()
+		m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+		m.Spawn("t", 0, func(th *sim.Thread) {
+			cfg := DefaultConfig()
+			cfg.IdleBackoff = backoff
+			a := New(th, cfg)
+			srv.Attach(a)
+			p := a.Malloc(th, 64)
+			th.Pause(200000) // long quiescent stretch: the doorbell case
+			a.Free(th, p)
+			a.Flush(th)
+		})
+		m.Run()
+		return srv.PollStats()
+	}
+	fixedPolls, fixedCycles := run(false)
+	backoffPolls, backoffCycles := run(true)
+	if backoffPolls*4 >= fixedPolls {
+		t.Errorf("backoff made %d empty polls vs %d fixed; expected a >4x cut",
+			backoffPolls, fixedPolls)
+	}
+	if backoffCycles >= fixedCycles {
+		t.Errorf("backoff burned %d empty-poll cycles vs %d fixed", backoffCycles, fixedCycles)
+	}
+}
+
+// TestVariantNames pins the Name strings the harness and reports key on.
+func TestVariantNames(t *testing.T) {
+	cases := []struct {
+		mut  func(*Config)
+		want string
+	}{
+		{func(c *Config) {}, "nextgen"},
+		{func(c *Config) { c.Prealloc = 12 }, "nextgen-prealloc"},
+		{func(c *Config) { c.Batch = 4 }, "nextgen-batch"},
+		{func(c *Config) { c.Batch = 4; c.AdaptivePrealloc = true }, "nextgen-adaptive"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig()
+		tc.mut(&cfg)
+		if got := (&Allocator{cfg: cfg}).Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
 	}
 }
 

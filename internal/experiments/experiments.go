@@ -42,7 +42,9 @@ type Outcome struct {
 
 func runSet(w func() workload.Workload, kinds []string) []harness.Result {
 	return runAll(len(kinds), func(i int) harness.Result {
-		return harness.Run(harness.Options{Allocator: kinds[i], Workload: w()})
+		// Tune is the CLI's global -batch/-prealloc override (nil unless
+		// set); it only affects NextGen kinds.
+		return harness.Run(harness.Options{Allocator: kinds[i], Workload: w(), Tune: transportTune})
 	})
 }
 
@@ -223,7 +225,8 @@ func Sensitivity(s Scale) Outcome {
 func All(s Scale) []Outcome {
 	return []Outcome{
 		Figure1(s), Table1(s), Table2(s), Table3(s), Model(),
-		AblateLayout(s), AblateCore(s), AblatePrealloc(s), Sensitivity(s),
+		AblateLayout(s), AblateCore(s), AblatePrealloc(s), AblateTransport(s),
+		Sensitivity(s),
 		AblateGC(s), AblateFaaS(s), AblateGPU(s), AblateScaling(s),
 		AblateRoom(s),
 	}

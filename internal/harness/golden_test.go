@@ -18,6 +18,11 @@ import (
 // computes, only how fast the host computes it; any drift here is a
 // model change and fails the test.
 //
+// The non-default offload transports are pinned too: nextgen-batch
+// (Batch=4 free coalescing + idle backoff) and nextgen-adaptive
+// (batching + noteHot-driven prealloc) each get entries per workload,
+// so later PRs can't silently drift the batched/adaptive paths either.
+//
 // Regenerate (only when the *model* intentionally changes) with:
 //
 //	go test ./internal/harness -run TestGoldenCounters -update

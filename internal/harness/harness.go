@@ -31,6 +31,7 @@ var Kinds = []string{
 	"ptmalloc2", "jemalloc", "tcmalloc", "mimalloc", "bump",
 	"nextgen", "nextgen-prealloc", "nextgen-sync",
 	"nextgen-inline", "nextgen-inline-agg", "nextgen-nearmem",
+	"nextgen-batch", "nextgen-adaptive",
 }
 
 // ClassicKinds are the four allocators of Figure 1 / Table 1, in the
@@ -63,6 +64,10 @@ type Options struct {
 	ServerCore int
 	// PinServerCore makes ServerCore authoritative, including core 0.
 	PinServerCore bool
+	// Tune, when non-nil, adjusts the NextGen config derived from the
+	// kind before construction (e.g. a transport sweep overriding Batch
+	// or the prealloc policy). Ignored for non-NextGen allocators.
+	Tune func(*core.Config)
 	// Wrap, when non-nil, decorates the allocator before use (e.g. a
 	// trace recorder).
 	Wrap func(alloc.Allocator) alloc.Allocator
@@ -112,6 +117,23 @@ type OffloadTelemetry struct {
 	// loop time into servicing work vs empty polls and stash top-ups.
 	ServerBusyCycles uint64
 	ServerIdleCycles uint64
+	// ServerEmptyPolls counts poll passes that found no ring work;
+	// ServerEmptyPollCycles is what those passes cost in ring scanning
+	// (a subset of ServerIdleCycles — the overhead idle backoff shrinks).
+	ServerEmptyPolls      uint64
+	ServerEmptyPollCycles uint64
+}
+
+// Add accumulates o into tel, covering every telemetry field (used when
+// merging the offload view of multiple runs; kept exhaustive by the
+// reflection test in telemetry_test.go).
+func (tel *OffloadTelemetry) Add(o OffloadTelemetry) {
+	tel.MallocRing.Add(o.MallocRing)
+	tel.FreeRing.Add(o.FreeRing)
+	tel.ServerBusyCycles += o.ServerBusyCycles
+	tel.ServerIdleCycles += o.ServerIdleCycles
+	tel.ServerEmptyPolls += o.ServerEmptyPolls
+	tel.ServerEmptyPollCycles += o.ServerEmptyPollCycles
 }
 
 // MetaShare returns the metadata class's share of LLC misses and of
@@ -148,7 +170,8 @@ func (r Result) MPKI() (llcLoad, llcStore, dtlbLoad, dtlbStore float64) {
 // needsServer reports whether kind runs the offload daemon.
 func needsServer(kind string) bool {
 	switch kind {
-	case "nextgen", "nextgen-prealloc", "nextgen-sync", "nextgen-nearmem":
+	case "nextgen", "nextgen-prealloc", "nextgen-sync", "nextgen-nearmem",
+		"nextgen-batch", "nextgen-adaptive":
 		return true
 	}
 	return false
@@ -167,6 +190,13 @@ func nextgenConfig(kind string) core.Config {
 	case "nextgen-inline-agg":
 		cfg.Offload = false
 		cfg.Layout = core.Aggregated
+	case "nextgen-batch":
+		cfg.Batch = 4
+		cfg.IdleBackoff = true
+	case "nextgen-adaptive":
+		cfg.Batch = 4
+		cfg.AdaptivePrealloc = true
+		cfg.IdleBackoff = true
 	}
 	return cfg
 }
@@ -251,7 +281,7 @@ func Run(opt Options) Result {
 		part := i
 		m.Spawn(fmt.Sprintf("%s-worker-%d", w.Name(), part), workerCore(part), func(t *sim.Thread) {
 			if part == 0 {
-				a = makeAllocator(t, opt.Allocator, srv)
+				a = makeAllocator(t, opt, srv)
 				if opt.Wrap != nil {
 					a = opt.Wrap(a)
 				}
@@ -307,6 +337,7 @@ func Run(opt Options) Result {
 			tel := &OffloadTelemetry{}
 			tel.MallocRing, tel.FreeRing = ng.RingTelemetry()
 			tel.ServerBusyCycles, tel.ServerIdleCycles = srv.Telemetry()
+			tel.ServerEmptyPolls, tel.ServerEmptyPollCycles = srv.PollStats()
 			res.Offload = tel
 		}
 	}
@@ -314,8 +345,8 @@ func Run(opt Options) Result {
 }
 
 // makeAllocator instantiates the requested allocator on thread t.
-func makeAllocator(t *sim.Thread, kind string, srv *core.Server) alloc.Allocator {
-	switch kind {
+func makeAllocator(t *sim.Thread, opt Options, srv *core.Server) alloc.Allocator {
+	switch kind := opt.Allocator; kind {
 	case "ptmalloc2":
 		return ptmalloc.New(t)
 	case "jemalloc":
@@ -327,12 +358,16 @@ func makeAllocator(t *sim.Thread, kind string, srv *core.Server) alloc.Allocator
 	case "bump":
 		return bump.New(t)
 	case "nextgen", "nextgen-prealloc", "nextgen-sync", "nextgen-nearmem",
-		"nextgen-inline", "nextgen-inline-agg":
-		a := core.New(t, nextgenConfig(kind))
+		"nextgen-inline", "nextgen-inline-agg", "nextgen-batch", "nextgen-adaptive":
+		cfg := nextgenConfig(kind)
+		if opt.Tune != nil {
+			opt.Tune(&cfg)
+		}
+		a := core.New(t, cfg)
 		if srv != nil {
 			srv.Attach(a)
 		}
 		return a
 	}
-	panic(fmt.Sprintf("harness: unknown allocator %q", kind))
+	panic(fmt.Sprintf("harness: unknown allocator %q", opt.Allocator))
 }

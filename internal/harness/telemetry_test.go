@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The Add-coverage walkers mirror internal/ring's: fill every uint64
+// leaf with a distinct value, Add, and verify leaf-by-leaf that the sum
+// landed. A telemetry field added to OffloadTelemetry (or to a nested
+// ring.Stats) without a matching line in Add fails here by construction.
+
+func walkFill(v reflect.Value, next *uint64, mul uint64) {
+	switch v.Kind() {
+	case reflect.Uint64:
+		*next++
+		v.SetUint(*next * mul)
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			walkFill(v.Index(i), next, mul)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			walkFill(v.Field(i), next, mul)
+		}
+	default:
+		panic("walkFill: unhandled kind " + v.Kind().String())
+	}
+}
+
+func walkCheck(t *testing.T, path string, a, b, sum reflect.Value) {
+	t.Helper()
+	switch a.Kind() {
+	case reflect.Uint64:
+		if sum.Uint() != a.Uint()+b.Uint() {
+			t.Errorf("%s: Add dropped the field (%d + %d gave %d)", path, a.Uint(), b.Uint(), sum.Uint())
+		}
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < a.Len(); i++ {
+			walkCheck(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i), sum.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			walkCheck(t, path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i), sum.Field(i))
+		}
+	default:
+		t.Fatalf("%s: unhandled kind %s", path, a.Kind())
+	}
+}
+
+func TestOffloadTelemetryAddCoversEveryField(t *testing.T) {
+	var a, b OffloadTelemetry
+	n := uint64(0)
+	walkFill(reflect.ValueOf(&a).Elem(), &n, 1)
+	n = 0
+	walkFill(reflect.ValueOf(&b).Elem(), &n, 1000)
+	sum := a
+	sum.Add(b)
+	walkCheck(t, "OffloadTelemetry",
+		reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(sum))
+}

@@ -17,6 +17,7 @@ import (
 
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
+	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -75,18 +76,39 @@ type Offload struct {
 	FreeRing         Ring   `json:"free_ring"`
 	ServerBusyCycles uint64 `json:"server_busy_cycles"`
 	ServerIdleCycles uint64 `json:"server_idle_cycles"`
-	ServedOps        uint64 `json:"served_ops"`
+	// ServerEmptyPolls / ServerEmptyPollCycles count poll passes that
+	// found no ring work and the cycles those passes spent scanning
+	// (additive in schema v1; absent means an older producer).
+	ServerEmptyPolls      uint64 `json:"server_empty_polls"`
+	ServerEmptyPollCycles uint64 `json:"server_empty_poll_cycles"`
+	ServedOps             uint64 `json:"served_ops"`
 }
 
 // Ring is one direction's SPSC telemetry. Occupancy is the log2-bucket
 // histogram of ring depth after each push (bucket b counts depths in
-// [2^(b-1), 2^b); bucket 0 is unused).
+// [2^(b-1), 2^b); bucket 0 is unused). PushBatches/PopBatches count
+// index publications, so pushes/push_batches is the average coalesced
+// batch width (additive in schema v1).
 type Ring struct {
 	Pushes      uint64   `json:"pushes"`
 	Pops        uint64   `json:"pops"`
+	PushBatches uint64   `json:"push_batches"`
+	PopBatches  uint64   `json:"pop_batches"`
 	FullRetries uint64   `json:"full_retries"`
 	StallCycles uint64   `json:"stall_cycles"`
 	Occupancy   []uint64 `json:"occupancy_log2"`
+}
+
+func ringMetrics(s ring.Stats) Ring {
+	return Ring{
+		Pushes:      s.Pushes,
+		Pops:        s.Pops,
+		PushBatches: s.PushBatches,
+		PopBatches:  s.PopBatches,
+		FullRetries: s.FullRetries,
+		StallCycles: s.StallCycles,
+		Occupancy:   append([]uint64(nil), s.Occupancy[:]...),
+	}
 }
 
 func classMap(b sim.ClassBreakdown) map[string]ClassCounters {
@@ -123,23 +145,13 @@ func FromResult(r harness.Result) Result {
 	if r.Offload != nil {
 		out.ServerClasses = classMap(r.ServerClasses)
 		out.Offload = &Offload{
-			MallocRing: Ring{
-				Pushes:      r.Offload.MallocRing.Pushes,
-				Pops:        r.Offload.MallocRing.Pops,
-				FullRetries: r.Offload.MallocRing.FullRetries,
-				StallCycles: r.Offload.MallocRing.StallCycles,
-				Occupancy:   append([]uint64(nil), r.Offload.MallocRing.Occupancy[:]...),
-			},
-			FreeRing: Ring{
-				Pushes:      r.Offload.FreeRing.Pushes,
-				Pops:        r.Offload.FreeRing.Pops,
-				FullRetries: r.Offload.FreeRing.FullRetries,
-				StallCycles: r.Offload.FreeRing.StallCycles,
-				Occupancy:   append([]uint64(nil), r.Offload.FreeRing.Occupancy[:]...),
-			},
-			ServerBusyCycles: r.Offload.ServerBusyCycles,
-			ServerIdleCycles: r.Offload.ServerIdleCycles,
-			ServedOps:        r.Served,
+			MallocRing:            ringMetrics(r.Offload.MallocRing),
+			FreeRing:              ringMetrics(r.Offload.FreeRing),
+			ServerBusyCycles:      r.Offload.ServerBusyCycles,
+			ServerIdleCycles:      r.Offload.ServerIdleCycles,
+			ServerEmptyPolls:      r.Offload.ServerEmptyPolls,
+			ServerEmptyPollCycles: r.Offload.ServerEmptyPollCycles,
+			ServedOps:             r.Served,
 		}
 	}
 	return out

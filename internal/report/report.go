@@ -151,6 +151,71 @@ func Bars(title string, labels []string, values []float64) string {
 	return b.String()
 }
 
+// TransportRows builds the offload-transport layout: one row per
+// ring/server telemetry metric, one column per result. Columns for
+// runs without offload telemetry (inline modes, classic allocators)
+// render as "-".
+func TransportRows(results []harness.Result) [][]string {
+	row := func(name string, get func(harness.Result) string) []string {
+		cells := []string{name}
+		for _, r := range results {
+			if r.Offload == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, get(r))
+		}
+		return cells
+	}
+	count := func(v uint64) string { return fmt.Sprintf("%d", v) }
+	ratio := func(num, den uint64) string {
+		if den == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", float64(num)/float64(den))
+	}
+	perOp := func(v uint64, r harness.Result) string {
+		ops := r.AllocStats.MallocCalls + r.AllocStats.FreeCalls
+		if ops == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", float64(v)/float64(ops))
+	}
+	return [][]string{
+		row("malloc ring round trips", func(r harness.Result) string { return count(r.Offload.MallocRing.Pushes) }),
+		row("stash-hit mallocs", func(r harness.Result) string {
+			return count(r.AllocStats.MallocCalls - r.Offload.MallocRing.Pushes)
+		}),
+		row("free ring requests", func(r harness.Result) string { return count(r.Offload.FreeRing.Pushes) }),
+		row("free reqs/publication", func(r harness.Result) string {
+			return ratio(r.Offload.FreeRing.Pushes, r.Offload.FreeRing.PushBatches)
+		}),
+		row("free pops/drain batch", func(r harness.Result) string {
+			return ratio(r.Offload.FreeRing.Pops, r.Offload.FreeRing.PopBatches)
+		}),
+		row("producer stall cyc/op", func(r harness.Result) string {
+			return perOp(r.Offload.MallocRing.StallCycles+r.Offload.FreeRing.StallCycles, r)
+		}),
+		row("ring full retries", func(r harness.Result) string {
+			return count(r.Offload.MallocRing.FullRetries + r.Offload.FreeRing.FullRetries)
+		}),
+		row("server busy cycles", func(r harness.Result) string { return Sci(float64(r.Offload.ServerBusyCycles)) }),
+		row("server idle cycles", func(r harness.Result) string { return Sci(float64(r.Offload.ServerIdleCycles)) }),
+		row("server empty polls", func(r harness.Result) string { return count(r.Offload.ServerEmptyPolls) }),
+		row("empty-poll scan cycles", func(r harness.Result) string { return Sci(float64(r.Offload.ServerEmptyPollCycles)) }),
+	}
+}
+
+// TransportTable renders the offload transport telemetry in the counter
+// table's layout (metrics × allocators).
+func TransportTable(title string, results []harness.Result) string {
+	header := []string{"Allocator"}
+	for _, r := range results {
+		header = append(header, r.Allocator)
+	}
+	return Table(title, header, TransportRows(results))
+}
+
 // AttributionRows builds the miss-attribution layout: for every address
 // class, the share of worker-core LLC misses and dTLB misses that fell
 // on that class (one column per result).

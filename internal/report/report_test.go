@@ -6,6 +6,7 @@ import (
 
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
+	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
 )
 
@@ -98,6 +99,35 @@ func TestTableRaggedRows(t *testing.T) {
 	out = Table("T", []string{"a", "b"}, nil)
 	if !strings.Contains(out, "a") {
 		t.Errorf("header missing from empty table:\n%s", out)
+	}
+}
+
+func TestTransportTable(t *testing.T) {
+	offload := harness.Result{
+		Allocator: "nextgen-batch",
+		Offload: &harness.OffloadTelemetry{
+			MallocRing:            ring.Stats{Pushes: 100, Pops: 100, PushBatches: 100, PopBatches: 100},
+			FreeRing:              ring.Stats{Pushes: 400, Pops: 400, PushBatches: 100, PopBatches: 100, StallCycles: 50},
+			ServerBusyCycles:      5000,
+			ServerIdleCycles:      2000,
+			ServerEmptyPolls:      7,
+			ServerEmptyPollCycles: 300,
+		},
+	}
+	offload.AllocStats.MallocCalls = 600
+	offload.AllocStats.FreeCalls = 400
+	inline := harness.Result{Allocator: "mimalloc"} // no Offload: renders "-"
+	out := TransportTable("transport", []harness.Result{offload, inline})
+	for _, want := range []string{
+		"free reqs/publication", "4.00", // 400 pushes / 100 batches
+		"stash-hit mallocs", "500", // 600 mallocs - 100 round trips
+		"server empty polls", "7",
+		"producer stall cyc/op", "0.050", // 50 / 1000 ops
+		"-", // inline column has no telemetry
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
 	}
 }
 

@@ -11,6 +11,14 @@
 // so the common push touches only the slot line and the tail line, and
 // an empty poll costs a single load that stays cached until the
 // producer actually publishes.
+//
+// Because sim.LineSize/SlotSize slots share one cache line, a producer
+// can amortize the tail-line transfer across several requests: Stage
+// writes slots without publishing, Publish makes the whole batch
+// visible with one tail store, and PushN/PopN are the vectored
+// wrappers (the batched-request opportunity of the paper's §3.3).
+// TryPush/TryPop remain the unbatched one-request path and are
+// cycle-identical to the pre-batching transport.
 package ring
 
 import (
@@ -29,8 +37,10 @@ import (
 type Stats struct {
 	Pushes      uint64
 	Pops        uint64
+	PushBatches uint64 // tail publications (Pushes/PushBatches = avg batch width)
+	PopBatches  uint64 // head publications (Pops/PopBatches = avg drain width)
 	FullRetries uint64 // push attempts that found the ring full
-	StallCycles uint64 // producer cycles spent spinning in Push
+	StallCycles uint64 // producer cycles spent spinning in Push/Stage
 	Occupancy   [12]uint64
 }
 
@@ -38,6 +48,8 @@ type Stats struct {
 func (s *Stats) Add(o Stats) {
 	s.Pushes += o.Pushes
 	s.Pops += o.Pops
+	s.PushBatches += o.PushBatches
+	s.PopBatches += o.PopBatches
 	s.FullRetries += o.FullRetries
 	s.StallCycles += o.StallCycles
 	for i := range s.Occupancy {
@@ -69,6 +81,7 @@ type SPSC struct {
 	size uint64
 
 	prodTail   uint64 // producer's private tail mirror
+	staged     uint64 // slots written past prodTail but not yet published
 	shadowHead uint64 // producer's last-read consumer index
 	consHead   uint64 // consumer's private head mirror
 	shadowTail uint64 // consumer's last-read producer index
@@ -101,29 +114,78 @@ func (r *SPSC) headAddr() uint64         { return r.base }
 func (r *SPSC) tailAddr() uint64         { return r.base + sim.LineSize }
 func (r *SPSC) slotAddr(i uint64) uint64 { return r.base + headerSize + (i&r.mask)*SlotSize }
 
-// TryPush publishes (w0, w1) if the ring has space; it returns false
-// when full. Producer-side only.
-func (r *SPSC) TryPush(t *sim.Thread, w0, w1 uint64) bool {
-	if r.prodTail-r.shadowHead >= r.size {
+// TryStage writes (w0, w1) into the next free slot without publishing
+// it; it returns false when the ring (counting earlier staged slots) is
+// full. Staged slots stay invisible to the consumer until Publish, so a
+// producer can coalesce several requests — consecutive slots share a
+// cache line (sim.LineSize/SlotSize per line) — and pay for a single
+// tail-line transfer. Producer-side only.
+func (r *SPSC) TryStage(t *sim.Thread, w0, w1 uint64) bool {
+	if r.prodTail+r.staged-r.shadowHead >= r.size {
 		// Looks full: refresh the consumer index.
 		r.shadowHead = t.AtomicLoad64(r.headAddr())
-		if r.prodTail-r.shadowHead >= r.size {
+		if r.prodTail+r.staged-r.shadowHead >= r.size {
 			r.stats.FullRetries++
 			return false
 		}
 	}
-	slot := r.slotAddr(r.prodTail)
+	slot := r.slotAddr(r.prodTail + r.staged)
 	t.Store64(slot, w0)
 	t.Store64(slot+8, w1)
-	// Publish with a release store of the new tail.
-	r.prodTail++
-	t.AtomicStore64(r.tailAddr(), r.prodTail)
-	r.stats.Pushes++
-	if b := bits.Len64(r.prodTail - r.shadowHead); b < len(r.stats.Occupancy) {
-		r.stats.Occupancy[b]++
-	} else {
-		r.stats.Occupancy[len(r.stats.Occupancy)-1]++
+	r.staged++
+	return true
+}
+
+// Staged reports how many slots are written but not yet published.
+func (r *SPSC) Staged() int { return int(r.staged) }
+
+// Publish makes every staged slot visible with one release store of the
+// new tail. A no-op (no simulated traffic) when nothing is staged.
+func (r *SPSC) Publish(t *sim.Thread) {
+	if r.staged == 0 {
+		return
 	}
+	k := r.staged
+	r.staged = 0
+	r.prodTail += k
+	t.AtomicStore64(r.tailAddr(), r.prodTail)
+	r.stats.Pushes += k
+	r.stats.PushBatches++
+	// The histogram counts per request (its sum stays equal to Pushes):
+	// all k requests of this batch observed the same post-publish depth.
+	if b := bits.Len64(r.prodTail - r.shadowHead); b < len(r.stats.Occupancy) {
+		r.stats.Occupancy[b] += k
+	} else {
+		r.stats.Occupancy[len(r.stats.Occupancy)-1] += k
+	}
+}
+
+// Stage spins until the slot is staged, publishing any staged backlog
+// first so the consumer can drain while the producer waits. Cycles spent
+// waiting for ring space are accounted as producer stall time.
+func (r *SPSC) Stage(t *sim.Thread, w0, w1 uint64) {
+	if r.TryStage(t, w0, w1) {
+		return
+	}
+	r.Publish(t)
+	start := t.Clock()
+	for {
+		t.Pause(32)
+		if r.TryStage(t, w0, w1) {
+			r.stats.StallCycles += t.Clock() - start
+			return
+		}
+	}
+}
+
+// TryPush publishes (w0, w1) if the ring has space; it returns false
+// when full. Any previously staged slots are published along with it.
+// Producer-side only.
+func (r *SPSC) TryPush(t *sim.Thread, w0, w1 uint64) bool {
+	if !r.TryStage(t, w0, w1) {
+		return false
+	}
+	r.Publish(t)
 	return true
 }
 
@@ -143,6 +205,15 @@ func (r *SPSC) Push(t *sim.Thread, w0, w1 uint64) {
 	}
 }
 
+// PushN stages every request and publishes them with a single tail
+// store (spinning for space as needed, like Push).
+func (r *SPSC) PushN(t *sim.Thread, reqs [][2]uint64) {
+	for _, q := range reqs {
+		r.Stage(t, q[0], q[1])
+	}
+	r.Publish(t)
+}
+
 // TryPop consumes one slot; ok is false when the ring is empty.
 // Consumer-side only.
 func (r *SPSC) TryPop(t *sim.Thread) (w0, w1 uint64, ok bool) {
@@ -158,7 +229,37 @@ func (r *SPSC) TryPop(t *sim.Thread) (w0, w1 uint64, ok bool) {
 	r.consHead++
 	t.AtomicStore64(r.headAddr(), r.consHead)
 	r.stats.Pops++
+	r.stats.PopBatches++
 	return w0, w1, true
+}
+
+// PopN consumes up to len(buf) slots, publishing the consumer index
+// once for the whole batch — the consumer-side mirror of Stage/Publish.
+// It returns the number of requests popped (0 when the ring is empty).
+func (r *SPSC) PopN(t *sim.Thread, buf [][2]uint64) int {
+	if len(buf) == 0 {
+		return 0
+	}
+	if r.consHead == r.shadowTail {
+		r.shadowTail = t.AtomicLoad64(r.tailAddr())
+		if r.consHead == r.shadowTail {
+			return 0
+		}
+	}
+	k := uint64(len(buf))
+	if avail := r.shadowTail - r.consHead; avail < k {
+		k = avail
+	}
+	for i := uint64(0); i < k; i++ {
+		slot := r.slotAddr(r.consHead + i)
+		buf[i][0] = t.Load64(slot)
+		buf[i][1] = t.Load64(slot + 8)
+	}
+	r.consHead += k
+	t.AtomicStore64(r.headAddr(), r.consHead)
+	r.stats.Pops += k
+	r.stats.PopBatches++
+	return int(k)
 }
 
 // Len returns the occupancy as seen by the consumer.

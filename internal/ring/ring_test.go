@@ -1,6 +1,8 @@
 package ring
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -183,6 +185,221 @@ func TestStatsTelemetry(t *testing.T) {
 			t.Errorf("occupancy histogram sums to %d, want %d", occ, s.Pushes)
 		}
 	})
+}
+
+func TestStagePublish(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 8)
+		for i := uint64(0); i < 3; i++ {
+			if !r.TryStage(th, i, i*10) {
+				t.Fatalf("stage %d failed", i)
+			}
+		}
+		if r.Staged() != 3 {
+			t.Fatalf("Staged() = %d, want 3", r.Staged())
+		}
+		// Staged slots are invisible until Publish.
+		if _, _, ok := r.TryPop(th); ok {
+			t.Fatal("pop saw a staged, unpublished slot")
+		}
+		r.Publish(th)
+		if r.Staged() != 0 {
+			t.Fatalf("Staged() after Publish = %d, want 0", r.Staged())
+		}
+		for i := uint64(0); i < 3; i++ {
+			w0, w1, ok := r.TryPop(th)
+			if !ok || w0 != i || w1 != i*10 {
+				t.Fatalf("pop %d = (%d,%d,%v)", i, w0, w1, ok)
+			}
+		}
+		s := r.Stats()
+		if s.Pushes != 3 || s.PushBatches != 1 {
+			t.Errorf("stats = %+v, want 3 pushes in 1 batch", s)
+		}
+		var occ uint64
+		for _, b := range s.Occupancy {
+			occ += b
+		}
+		if occ != s.Pushes {
+			t.Errorf("occupancy histogram sums to %d, want %d", occ, s.Pushes)
+		}
+	})
+}
+
+func TestTryStageFull(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 4)
+		for i := uint64(0); i < 4; i++ {
+			if !r.TryStage(th, i, 0) {
+				t.Fatalf("stage %d failed", i)
+			}
+		}
+		// Staged slots count against capacity even before Publish.
+		if r.TryStage(th, 99, 0) {
+			t.Error("stage on a staged-full ring succeeded")
+		}
+		if r.Stats().FullRetries != 1 {
+			t.Errorf("FullRetries = %d, want 1", r.Stats().FullRetries)
+		}
+		r.Publish(th)
+		r.TryPop(th)
+		if !r.TryStage(th, 4, 0) {
+			t.Error("stage after pop failed")
+		}
+	})
+}
+
+func TestPushPublishesStagedBacklog(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 8)
+		r.TryStage(th, 1, 0)
+		r.TryStage(th, 2, 0)
+		// A plain push rides on the same tail store as the backlog and
+		// keeps its FIFO position behind it.
+		if !r.TryPush(th, 3, 0) {
+			t.Fatal("push failed")
+		}
+		for want := uint64(1); want <= 3; want++ {
+			w0, _, ok := r.TryPop(th)
+			if !ok || w0 != want {
+				t.Fatalf("pop = (%d,%v), want %d", w0, ok, want)
+			}
+		}
+		if s := r.Stats(); s.Pushes != 3 || s.PushBatches != 1 {
+			t.Errorf("stats = %+v, want 3 pushes in 1 batch", s)
+		}
+	})
+}
+
+func TestPushNPopN(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 8)
+		reqs := make([][2]uint64, 6)
+		for i := range reqs {
+			reqs[i] = [2]uint64{uint64(i), uint64(i) * 7}
+		}
+		r.PushN(th, reqs)
+		var buf [4][2]uint64
+		if k := r.PopN(th, buf[:]); k != 4 {
+			t.Fatalf("PopN = %d, want 4", k)
+		}
+		for i := 0; i < 4; i++ {
+			if buf[i] != reqs[i] {
+				t.Fatalf("PopN[%d] = %v, want %v", i, buf[i], reqs[i])
+			}
+		}
+		if k := r.PopN(th, buf[:]); k != 2 {
+			t.Fatalf("second PopN = %d, want 2", k)
+		}
+		if buf[0] != reqs[4] || buf[1] != reqs[5] {
+			t.Fatalf("second PopN = %v, want tail of %v", buf[:2], reqs)
+		}
+		if k := r.PopN(th, buf[:]); k != 0 {
+			t.Fatalf("PopN on empty ring = %d, want 0", k)
+		}
+		s := r.Stats()
+		if s.Pushes != 6 || s.PushBatches != 1 {
+			t.Errorf("push stats = %+v, want 6 pushes in 1 batch", s)
+		}
+		if s.Pops != 6 || s.PopBatches != 2 {
+			t.Errorf("pop stats = %+v, want 6 pops in 2 batches", s)
+		}
+	})
+}
+
+// TestVectoredCheaperThanSingles pins the point of batching: moving the
+// same requests with PushN/PopN costs fewer simulated cycles than
+// one-at-a-time TryPush/TryPop, because the index publications are
+// amortized across each batch.
+func TestVectoredCheaperThanSingles(t *testing.T) {
+	cost := func(batched bool) (cycles uint64) {
+		m := sim.New(sim.DefaultConfig())
+		m.Spawn("t", 0, func(th *sim.Thread) {
+			r := New(th.Mmap(1), 16)
+			reqs := make([][2]uint64, 12)
+			start := th.Clock()
+			if batched {
+				for n := 0; n < 8; n++ {
+					r.PushN(th, reqs)
+					var buf [4][2]uint64
+					for drained := 0; drained < len(reqs); {
+						drained += r.PopN(th, buf[:])
+					}
+				}
+			} else {
+				for n := 0; n < 8; n++ {
+					for _, q := range reqs {
+						r.TryPush(th, q[0], q[1])
+					}
+					for drained := 0; drained < len(reqs); drained++ {
+						r.TryPop(th)
+					}
+				}
+			}
+			cycles = th.Clock() - start
+		})
+		m.Run()
+		return cycles
+	}
+	single, vectored := cost(false), cost(true)
+	if vectored >= single {
+		t.Errorf("vectored transfer cost %d cycles, singles %d — batching saved nothing", vectored, single)
+	}
+}
+
+// walkFill assigns a fresh nonzero value to every uint64 leaf of a
+// telemetry struct; walkCheck verifies leaf-by-leaf that sum == a + b.
+// Together they make aggregation tests fail automatically when a new
+// Stats field is added but not wired into Add.
+func walkFill(v reflect.Value, next *uint64, mul uint64) {
+	switch v.Kind() {
+	case reflect.Uint64:
+		*next++
+		v.SetUint(*next * mul)
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			walkFill(v.Index(i), next, mul)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			walkFill(v.Field(i), next, mul)
+		}
+	default:
+		panic("walkFill: unhandled kind " + v.Kind().String())
+	}
+}
+
+func walkCheck(t *testing.T, path string, a, b, sum reflect.Value) {
+	t.Helper()
+	switch a.Kind() {
+	case reflect.Uint64:
+		if sum.Uint() != a.Uint()+b.Uint() {
+			t.Errorf("%s: Add dropped the field (%d + %d gave %d)", path, a.Uint(), b.Uint(), sum.Uint())
+		}
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < a.Len(); i++ {
+			walkCheck(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i), sum.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			walkCheck(t, path+"."+a.Type().Field(i).Name, a.Field(i), b.Field(i), sum.Field(i))
+		}
+	default:
+		t.Fatalf("%s: unhandled kind %s", path, a.Kind())
+	}
+}
+
+// TestStatsAddCoversEveryField fails when a field is added to Stats but
+// not aggregated by Stats.Add.
+func TestStatsAddCoversEveryField(t *testing.T) {
+	var a, b Stats
+	n := uint64(0)
+	walkFill(reflect.ValueOf(&a).Elem(), &n, 1)
+	n = 0
+	walkFill(reflect.ValueOf(&b).Elem(), &n, 1000)
+	sum := a
+	sum.Add(b)
+	walkCheck(t, "Stats", reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(sum))
 }
 
 func TestPushStallCycles(t *testing.T) {

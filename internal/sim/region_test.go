@@ -7,6 +7,47 @@ import (
 	"nextgenmalloc/internal/region"
 )
 
+// TestMemoHitAttributionFree pins the cost model for region attribution:
+// on the micro-TLB memo hit path a load must cost the same simulated
+// cycles whether or not its page carries a non-default region mark, and
+// the host-side fast path must stay allocation-free. A regression here
+// would tax every hot-loop access to pay for telemetry.
+func TestMemoHitAttributionFree(t *testing.T) {
+	const loads = 1000
+	cost := func(mark bool) (cycles uint64, allocs float64) {
+		cfg := DefaultConfig()
+		cfg.Cores = 1
+		m := New(cfg)
+		base, _ := m.Kernel().Mmap(1)
+		m.Spawn("probe", 0, func(th *Thread) {
+			if mark {
+				th.MarkRegion(base, 1<<12, region.Ring)
+			}
+			th.Load64(base) // prime translation memo and cache line
+			start := th.Clock()
+			for i := 0; i < loads; i++ {
+				th.Load64(base)
+			}
+			cycles = th.Clock() - start
+			// A sole thread never yields mid-access, so the closure stays
+			// on this goroutine and AllocsPerRun measures only the load.
+			allocs = testing.AllocsPerRun(100, func() { th.Load64(base) })
+		})
+		m.Run()
+		return
+	}
+	plainCycles, plainAllocs := cost(false)
+	markedCycles, markedAllocs := cost(true)
+	if markedCycles != plainCycles {
+		t.Errorf("memo-hit loads on a marked page cost %d cycles vs %d unmarked; attribution must be free on the fast path",
+			markedCycles, plainCycles)
+	}
+	if plainAllocs != 0 || markedAllocs != 0 {
+		t.Errorf("memo-hit Load64 allocates on the host (plain %.1f, marked %.1f allocs/op)",
+			plainAllocs, markedAllocs)
+	}
+}
+
 func TestRegionStaticDefaults(t *testing.T) {
 	rt := newRegionTable()
 	for _, tc := range []struct {

@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"nextgenmalloc/internal/region"
+)
 
 // Host benchmarks for the Thread memory-op path: TLB model + translation
 // + cache model + backing store, the full per-access cost of the engine.
@@ -57,6 +61,39 @@ func BenchmarkThreadStore64Stride(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			t.Store64(base+off, uint64(i))
 			off = (off + 64) % span
+		}
+	})
+}
+
+// BenchmarkRegionClassify measures the host cost of the region-table
+// granule lookup that attributes every miss to an address class (the
+// PR 2 telemetry left this unmeasured).
+func BenchmarkRegionClassify(b *testing.B) {
+	rt := newRegionTable()
+	const npages = 16
+	span := uint64(npages) << 12
+	rt.Mark(0, int(span/2), region.Ring)
+	rt.Mark(span/2, int(span/2), region.Meta)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var off uint64
+	var sink region.Class
+	for i := 0; i < b.N; i++ {
+		sink = rt.Classify(off)
+		off = (off + 16) % span
+	}
+	_ = sink
+}
+
+// BenchmarkThreadLoad64SameMarked is BenchmarkThreadLoad64Same on a
+// page carrying a non-default region mark: the attributed fast path.
+func BenchmarkThreadLoad64SameMarked(b *testing.B) {
+	benchThread(b, 4, func(t *Thread, base uint64) {
+		t.MarkRegion(base, 4<<12, region.Ring)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t.Load64(base)
 		}
 	})
 }
