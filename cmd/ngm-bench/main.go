@@ -27,11 +27,16 @@ import (
 
 	"nextgenmalloc/internal/experiments"
 	"nextgenmalloc/internal/metrics"
+	"nextgenmalloc/internal/timeline"
 )
 
 func main() {
 	os.Exit(run())
 }
+
+// defaultTimelineInterval is the sampling interval -chrome-trace implies
+// when -timeline is not given explicitly.
+const defaultTimelineInterval = 50000
 
 func run() int {
 	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
@@ -43,6 +48,8 @@ func run() int {
 	prealloc := flag.String("prealloc", "", "override NextGen prealloc policy for standard experiments: off, static, or adaptive (empty = per-kind default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to this file at exit")
+	timelineIv := flag.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles on every run (0 = off; implied by -chrome-trace)")
+	tracePath := flag.String("chrome-trace", "", "write all runs as one Chrome trace-event JSON file (chrome://tracing / Perfetto)")
 	flag.Parse()
 
 	tune, err := experiments.ParseTransport(*batch, *prealloc)
@@ -51,6 +58,12 @@ func run() int {
 		return 2
 	}
 	experiments.SetTransport(tune)
+
+	interval := *timelineIv
+	if interval == 0 && *tracePath != "" {
+		interval = defaultTimelineInterval
+	}
+	experiments.SetTimeline(interval)
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -141,6 +154,14 @@ func run() int {
 		fmt.Printf("raw results written to %s\n", *jsonPath)
 	}
 
+	if *tracePath != "" {
+		if err := writeChromeTrace(*tracePath, outcomes); err != nil {
+			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("chrome trace written to %s\n", *tracePath)
+	}
+
 	if *metricsPath != "" {
 		var exps []metrics.Experiment
 		for _, out := range outcomes {
@@ -215,6 +236,37 @@ func runExperiments(ids []string, runners map[string]func() experiments.Outcome,
 
 func printOutcome(out experiments.Outcome, scale experiments.Scale, d time.Duration) {
 	fmt.Printf("=== %s (scale=%s) ===\n%s\n[%s elapsed]\n\n", out.ID, scale.Name, out.Text, d.Round(time.Millisecond))
+}
+
+// writeChromeTrace bundles every sampled run of every outcome into one
+// multi-process trace file (one pid per run).
+func writeChromeTrace(path string, outcomes []experiments.Outcome) error {
+	var runs []timeline.TraceRun
+	for _, out := range outcomes {
+		for _, r := range out.Results {
+			if r.Timeline == nil {
+				continue
+			}
+			runs = append(runs, timeline.TraceRun{
+				Name:       fmt.Sprintf("%s/%s/%s", out.ID, r.Allocator, r.Workload),
+				Series:     r.Timeline,
+				Latency:    r.Latency,
+				ServerCore: r.ServerCore,
+			})
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = timeline.WriteChromeTrace(f, runs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
 }
 
 func writeJSON(path string, outcomes []experiments.Outcome) error {

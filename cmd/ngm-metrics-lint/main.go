@@ -4,39 +4,62 @@
 //
 // Usage:
 //
-//	ngm-metrics-lint out.json [more.json ...]
+//	ngm-metrics-lint [-q] <file.json | -> ...
+//
+// The path "-" reads from stdin. -q suppresses the per-file "ok" lines
+// (errors still print). Exit codes: 0 all valid, 1 read or validation
+// failure, 2 usage error.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"nextgenmalloc/internal/metrics"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func run(paths []string) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ngm-metrics-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quiet := fs.Bool("q", false, "suppress per-file ok lines (errors still print)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	paths := fs.Args()
 	if len(paths) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: ngm-metrics-lint <file.json> ...")
+		fmt.Fprintln(stderr, "usage: ngm-metrics-lint [-q] <file.json | -> ...")
 		return 2
 	}
 	rc := 0
 	for _, p := range paths {
-		data, err := os.ReadFile(p)
+		var data []byte
+		var err error
+		label := p
+		if p == "-" {
+			label = "<stdin>"
+			data, err = io.ReadAll(stdin)
+		} else {
+			data, err = os.ReadFile(p)
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-metrics-lint: %v\n", err)
+			fmt.Fprintf(stderr, "ngm-metrics-lint: %v\n", err)
 			rc = 1
 			continue
 		}
 		if err := metrics.Validate(data); err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-metrics-lint: %s: %v\n", p, err)
+			fmt.Fprintf(stderr, "ngm-metrics-lint: %s: %v\n", label, err)
 			rc = 1
 			continue
 		}
-		fmt.Printf("%s: ok\n", p)
+		if !*quiet {
+			fmt.Fprintf(stdout, "%s: ok\n", label)
+		}
 	}
 	return rc
 }

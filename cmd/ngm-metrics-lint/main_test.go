@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const validDoc = `{"schema":"ngm-metrics/v1","experiments":[{"id":"a","results":[` +
+	`{"allocator":"x","workload":"w","classes":{"user":{},"metadata":{},"ring":{},"global":{}}}]}]}`
+
+const invalidDoc = `{"schema":"ngm-metrics/v0","experiments":[]}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestExitCodes(t *testing.T) {
+	valid := writeTemp(t, "valid.json", validDoc)
+	invalid := writeTemp(t, "invalid.json", invalidDoc)
+	missing := filepath.Join(t.TempDir(), "missing.json")
+
+	for name, tc := range map[string]struct {
+		args       []string
+		stdin      string
+		wantRC     int
+		wantOut    string // substring of stdout, "" = ignore
+		wantErr    string // substring of stderr, "" = ignore
+		wantNotOut string // must NOT appear on stdout
+	}{
+		"no args":       {args: nil, wantRC: 2, wantErr: "usage:"},
+		"bad flag":      {args: []string{"-nope"}, wantRC: 2},
+		"missing file":  {args: []string{missing}, wantRC: 1, wantErr: "no such file"},
+		"invalid doc":   {args: []string{invalid}, wantRC: 1, wantErr: "invalid.json"},
+		"valid doc":     {args: []string{valid}, wantRC: 0, wantOut: ": ok"},
+		"quiet valid":   {args: []string{"-q", valid}, wantRC: 0, wantNotOut: "ok"},
+		"stdin valid":   {args: []string{"-"}, stdin: validDoc, wantRC: 0, wantOut: "<stdin>: ok"},
+		"stdin invalid": {args: []string{"-"}, stdin: invalidDoc, wantRC: 1, wantErr: "<stdin>"},
+		"mixed validity keeps going": {
+			args: []string{invalid, valid}, wantRC: 1,
+			wantOut: ": ok", wantErr: "invalid.json",
+		},
+		"quiet still prints errors": {
+			args: []string{"-q", invalid}, wantRC: 1, wantErr: "invalid.json",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			rc := run(tc.args, strings.NewReader(tc.stdin), &out, &errb)
+			if rc != tc.wantRC {
+				t.Errorf("exit %d, want %d (stderr %q)", rc, tc.wantRC, errb.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(out.String(), tc.wantOut) {
+				t.Errorf("stdout %q lacks %q", out.String(), tc.wantOut)
+			}
+			if tc.wantErr != "" && !strings.Contains(errb.String(), tc.wantErr) {
+				t.Errorf("stderr %q lacks %q", errb.String(), tc.wantErr)
+			}
+			if tc.wantNotOut != "" && strings.Contains(out.String(), tc.wantNotOut) {
+				t.Errorf("stdout %q should not contain %q", out.String(), tc.wantNotOut)
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/metrics"
 	"nextgenmalloc/internal/report"
+	"nextgenmalloc/internal/timeline"
 	"nextgenmalloc/internal/workload"
 )
 
@@ -29,6 +30,10 @@ func main() {
 // sh6benchBatch is the fixed batch size ngm-run configures; -ops below
 // one batch would silently truncate to zero passes.
 const sh6benchBatch = 100
+
+// defaultTimelineInterval is the sampling interval -chrome-trace implies
+// when -timeline is not given explicitly.
+const defaultTimelineInterval = 50000
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ngm-run", flag.ContinueOnError)
@@ -41,6 +46,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	batch := fs.Int("batch", -1, "override NextGen free-coalescing width, 1-4 (-1 = per-kind default)")
 	prealloc := fs.String("prealloc", "", "override NextGen prealloc policy: off, static, or adaptive (empty = per-kind default)")
 	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
+	timelineIv := fs.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles (0 = off; implied by -chrome-trace)")
+	tracePath := fs.String("chrome-trace", "", "write a Chrome trace-event JSON file (chrome://tracing / Perfetto) to this path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -68,6 +75,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ngm-run: sh6bench needs -ops >= %d (one batch); got %d\n", sh6benchBatch, *ops)
 		return 2
 	}
+	// -chrome-trace without -timeline samples at the default interval;
+	// the trace needs a series to emit.
+	interval := *timelineIv
+	if interval == 0 && *tracePath != "" {
+		interval = defaultTimelineInterval
+	}
 
 	var w workload.Workload
 	switch *wname {
@@ -94,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res := harness.Run(harness.Options{Allocator: *kind, Workload: w, Tune: tune})
+	res := harness.Run(harness.Options{Allocator: *kind, Workload: w, Tune: tune, SampleInterval: interval})
 	fmt.Fprint(stdout, report.CounterTable(fmt.Sprintf("%s on %s", *wname, *kind), []harness.Result{res}))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.AttributionTable("miss attribution (worker cores)", []harness.Result{res}))
@@ -118,6 +131,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			100*busy)
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.TransportTable("offload transport telemetry", []harness.Result{res}))
+	}
+	if res.Timeline != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.TimelineTable("timeline (worker cores, per sample interval)", res.Timeline, res.ServerCore))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.LatencyTable("offload request latency (cycles)", res.Latency))
+	}
+
+	if *tracePath != "" {
+		if !res.Latency.HasSpans() {
+			fmt.Fprintf(stderr, "ngm-run: warning: %s records no offload spans (not an offload allocator); the trace carries counter series only\n", *kind)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+			return 1
+		}
+		err = timeline.WriteChromeTrace(f, []timeline.TraceRun{{
+			Name:       fmt.Sprintf("%s/%s", *kind, *wname),
+			Series:     res.Timeline,
+			Latency:    res.Latency,
+			ServerCore: res.ServerCore,
+		}})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "ngm-run: write %s: %v\n", *tracePath, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "chrome trace written to %s\n", *tracePath)
 	}
 
 	if *metricsPath != "" {

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRejectsBadTimelineFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"non-numeric": {"-timeline", "fast"},
+		"negative":    {"-timeline", "-100"},
+		"float":       {"-timeline", "1.5"},
+	} {
+		rc, _, stderr := runCLI(args...)
+		if rc != 2 {
+			t.Errorf("%s: exit code %d, want 2 (stderr %q)", name, rc, stderr)
+		}
+	}
+}
+
+func TestTimelinePrintsTables(t *testing.T) {
+	rc, stdout, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "2000", "-timeline", "5000")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	for _, want := range []string{
+		// Note: the printed interval can exceed the requested 5000 when
+		// decimation doubles it to bound memory.
+		"timeline (worker cores", "samples, interval ",
+		"offload request latency", "malloc end-to-end",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestNoTimelineWithoutFlag(t *testing.T) {
+	rc, stdout, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "1500")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if strings.Contains(stdout, "timeline (worker cores") {
+		t.Errorf("timeline printed without -timeline:\n%s", stdout)
+	}
+}
+
+// TestChromeTraceImpliesSampling: -chrome-trace alone must arm the
+// sampler at the default interval and write a parseable trace.
+func TestChromeTraceImpliesSampling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	rc, stdout, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "2000", "-chrome-trace", path)
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if !strings.Contains(stdout, "timeline (worker cores") {
+		t.Errorf("-chrome-trace did not imply sampling:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "chrome trace written to "+path) {
+		t.Errorf("no trace confirmation:\n%s", stdout)
+	}
+	if strings.Contains(stderr, "warning") {
+		t.Errorf("offload run should not warn: %s", stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	hasX := false
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			hasX = true
+			break
+		}
+	}
+	if !hasX {
+		t.Error("offload trace carries no span events")
+	}
+}
+
+// TestChromeTraceNonOffloadWarns: tracing an inline allocator still
+// writes the counter timeline but warns on stderr that no spans exist.
+func TestChromeTraceNonOffloadWarns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	rc, stdout, stderr := runCLI("-alloc", "ptmalloc2", "-workload", "xalanc", "-ops", "1500", "-chrome-trace", path)
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if !strings.Contains(stderr, "warning") || !strings.Contains(stderr, "no offload spans") {
+		t.Errorf("missing non-offload warning, stderr: %q", stderr)
+	}
+	if !strings.Contains(stdout, "chrome trace written to "+path) {
+		t.Errorf("trace not written despite warning:\n%s", stdout)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file invalid: %v", err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "X" {
+			t.Fatal("inline-allocator trace contains span events")
+		}
+	}
+}
+
+func TestChromeTraceUnwritablePath(t *testing.T) {
+	rc, _, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "1500",
+		"-chrome-trace", filepath.Join(t.TempDir(), "missing-dir", "trace.json"))
+	if rc != 1 {
+		t.Errorf("exit %d, want 1 for unwritable trace path (stderr %q)", rc, stderr)
+	}
+}
+
+// TestSampledMetricsValidate: -timeline plus -metrics must produce a
+// document that carries the timeline and still lints clean.
+func TestSampledMetricsValidate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	rc, _, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "2000",
+		"-timeline", "5000", "-metrics", path)
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"timeline"`, `"offload_latency"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("metrics output lacks %s", want)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/simsync"
+	"nextgenmalloc/internal/timeline"
 )
 
 // Layout selects the metadata encoding (paper Figure 2).
@@ -87,6 +88,12 @@ type Config struct {
 	// cycles re-scanning empty rings (any served request resets the
 	// backoff).
 	IdleBackoff bool
+	// Latency, when non-nil, receives one span per offload request:
+	// enqueue (ring stage, producer clock), dequeue, and completion
+	// (server clock). Host-side observation only — arming it enables
+	// ring stamping but issues zero simulated memory traffic, so
+	// counters are bit-identical with and without it.
+	Latency *timeline.LatencyRecorder
 }
 
 // DefaultConfig is the paper's proposal: offloaded, segregated, async
@@ -721,6 +728,10 @@ func (a *Allocator) clientOf(t *sim.Thread) *client {
 		mreq:     ring.New(page+mallocRingOff, mallocRingSlots),
 		freq:     ring.New(page+freeRingOff, a.cfg.RingSlots),
 	}
+	if a.cfg.Latency != nil {
+		c.mreq.EnableStamps()
+		c.freq.EnableStamps()
+	}
 	a.byThread[t.ID()] = c
 	// Publication to the server's poll set: the host slice append is the
 	// registration; determinism holds because only one simulated thread
@@ -742,6 +753,17 @@ func (a *Allocator) RingTelemetry() (malloc, free ring.Stats) {
 		free.Add(c.freq.Stats())
 	}
 	return malloc, free
+}
+
+// RingDepths sums the host-visible occupancy (published + staged slots)
+// of every client's rings — the timeline sampler's gauge. Zero
+// simulated cost.
+func (a *Allocator) RingDepths() (mallocDepth, freeDepth uint64) {
+	for _, c := range a.clients {
+		mallocDepth += uint64(c.mreq.HostDepth())
+		freeDepth += uint64(c.freq.HostDepth())
+	}
+	return mallocDepth, freeDepth
 }
 
 // --- server -----------------------------------------------------------------
@@ -856,7 +878,7 @@ func (s *Server) Poll(t *sim.Thread) bool {
 				break
 			}
 			busy = true
-			s.serve(t, c, w0, w1)
+			s.serveSpan(t, c, c.mreq, w0, w1)
 		}
 	}
 	// Background pass: drain free backlog, re-checking the malloc
@@ -866,18 +888,36 @@ func (s *Server) Poll(t *sim.Thread) bool {
 			// Vectored drain: one head publication per popped slot line
 			// instead of per free (the consumer-side half of batching).
 			var buf [maxBatch][2]uint64
+			var stamps [maxBatch]uint64
 			for n := 0; n < 16; n += a.cfg.Batch {
 				if w0, w1, ok := c.mreq.TryPop(t); ok {
 					busy = true
-					s.serve(t, c, w0, w1)
+					s.serveSpan(t, c, c.mreq, w0, w1)
 				}
 				k := c.freq.PopN(t, buf[:a.cfg.Batch])
 				if k == 0 {
 					break
 				}
 				busy = true
+				lat := a.cfg.Latency
+				var deq uint64
+				if lat != nil {
+					c.freq.PoppedStamps(k, stamps[:])
+					deq = t.Clock()
+				}
 				for i := 0; i < k; i++ {
-					s.serve(t, c, buf[i][0], buf[i][1])
+					complete := s.serve(t, c, buf[i][0], buf[i][1])
+					if lat == nil {
+						continue
+					}
+					if op, ok := spanOp(buf[i][0]); ok {
+						// Frees drained through the vectored path are
+						// classified as batch spans.
+						if op == timeline.OpFree {
+							op = timeline.OpBatch
+						}
+						lat.Record(op, c.threadID, stamps[i], deq, complete)
+					}
 				}
 			}
 			continue
@@ -885,14 +925,14 @@ func (s *Server) Poll(t *sim.Thread) bool {
 		for n := 0; n < 16; n++ {
 			if w0, w1, ok := c.mreq.TryPop(t); ok {
 				busy = true
-				s.serve(t, c, w0, w1)
+				s.serveSpan(t, c, c.mreq, w0, w1)
 			}
 			w0, w1, ok := c.freq.TryPop(t)
 			if !ok {
 				break
 			}
 			busy = true
-			s.serve(t, c, w0, w1)
+			s.serveSpan(t, c, c.freq, w0, w1)
 		}
 	}
 	return busy
@@ -954,20 +994,24 @@ func (s *Server) drain(t *sim.Thread) bool {
 			if !ok {
 				break
 			}
-			s.serve(t, c, w0, w1)
+			s.serveSpan(t, c, c.mreq, w0, w1)
 		}
 		for {
 			w0, w1, ok := c.freq.TryPop(t)
 			if !ok {
 				break
 			}
-			s.serve(t, c, w0, w1)
+			s.serveSpan(t, c, c.freq, w0, w1)
 		}
 	}
 	return true
 }
 
-func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) {
+// serve processes one request and returns the server clock at the point
+// the request's effect became visible to the client (for malloc, the
+// response publication — stash restocking afterwards is off the
+// critical path and not part of the span's service time).
+func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) (complete uint64) {
 	a := s.a
 	a.served++
 	switch w0 & 0xff {
@@ -976,6 +1020,7 @@ func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) {
 		addr := a.engineMalloc(t, size)
 		t.Store64(c.page+respAddr, addr)
 		t.AtomicStore64(c.page+respSeq, w1)
+		complete = t.Clock()
 		// The client is already unblocked; restock its stash off the
 		// critical path and remember the class for idle top-ups. The
 		// heat update precedes the top-up so the adaptive policy sizes
@@ -988,10 +1033,12 @@ func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) {
 		}
 	case opFree:
 		a.engineFreeCounted(t, w1)
+		complete = t.Clock()
 		// Asynchronous: no response. (The client's seq counter advanced,
 		// so a later sync op publishes the newest seq.)
 	case opSync:
 		t.AtomicStore64(c.page+respSeq, w1)
+		complete = t.Clock()
 	case opPreheat:
 		// Stock the class's stash and pre-carve its slab so the first
 		// real allocation after a cold start is a local pop. Heat first:
@@ -1004,7 +1051,39 @@ func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) {
 			blk := a.allocClass(t, class)
 			a.freeClass(t, a.pagemapGet(t, blk), class, blk)
 		}
+		complete = t.Clock()
 	default:
 		panic(fmt.Sprintf("core: unknown ring op %#x", w0))
+	}
+	return complete
+}
+
+// spanOp maps a ring op code to its latency-span kind; control ops
+// (sync barriers, preheat) are not allocation requests and get no span.
+func spanOp(w0 uint64) (timeline.Op, bool) {
+	switch w0 & 0xff {
+	case opMalloc:
+		return timeline.OpMalloc, true
+	case opFree:
+		return timeline.OpFree, true
+	}
+	return 0, false
+}
+
+// serveSpan services one singly-popped request and, when latency
+// recording is armed, folds its span: the ring's host-side stamp is the
+// enqueue time, and the pop just happened so the current server clock
+// is the dequeue time.
+func (s *Server) serveSpan(t *sim.Thread, c *client, r *ring.SPSC, w0, w1 uint64) {
+	lat := s.a.cfg.Latency
+	if lat == nil {
+		s.serve(t, c, w0, w1)
+		return
+	}
+	enq := r.PoppedStamp()
+	deq := t.Clock()
+	complete := s.serve(t, c, w0, w1)
+	if op, ok := spanOp(w0); ok {
+		lat.Record(op, c.threadID, enq, deq, complete)
 	}
 }

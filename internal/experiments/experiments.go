@@ -44,7 +44,7 @@ func runSet(w func() workload.Workload, kinds []string) []harness.Result {
 	return runAll(len(kinds), func(i int) harness.Result {
 		// Tune is the CLI's global -batch/-prealloc override (nil unless
 		// set); it only affects NextGen kinds.
-		return harness.Run(harness.Options{Allocator: kinds[i], Workload: w(), Tune: transportTune})
+		return run(harness.Options{Allocator: kinds[i], Workload: w(), Tune: transportTune})
 	})
 }
 
@@ -85,7 +85,7 @@ func Table2(s Scale) Outcome {
 	threads := []int{1, 2, 4, 8}
 	results := runAll(len(threads), func(i int) harness.Result {
 		w := &workload.Xmalloc{NThreads: threads[i], OpsPerThread: s.XmallocOps, TouchBytes: 128, Seed: 3}
-		return harness.Run(harness.Options{Allocator: "tcmalloc", Workload: w})
+		return run(harness.Options{Allocator: "tcmalloc", Workload: w})
 	})
 	header := []string{"# of threads"}
 	for _, n := range threads {
@@ -205,7 +205,7 @@ func Sensitivity(s Scale) Outcome {
 		} else {
 			w = &workload.CacheScratch{NThreads: 4, ObjSize: 8, Rounds: s.ScratchRounds, Inner: 50}
 		}
-		return harness.Run(harness.Options{Allocator: harness.ClassicKinds[i%nk], Workload: w})
+		return run(harness.Options{Allocator: harness.ClassicKinds[i%nk], Workload: w})
 	})
 	var b strings.Builder
 	for wi, wname := range wnames {

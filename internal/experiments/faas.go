@@ -49,7 +49,7 @@ func AblateFaaS(s Scale) Outcome {
 				}
 			}
 		}
-		harness.Run(opt)
+		run(opt)
 		cold, steady := w.ColdStart(), w.SteadyState()
 		return []string{
 			c.label,

@@ -29,7 +29,7 @@ func AblateScaling(s Scale) Outcome {
 	// independent machine.
 	grid := runAll(len(threads)*len(kinds), func(i int) harness.Result {
 		n := threads[i/len(kinds)]
-		return harness.Run(harness.Options{
+		return run(harness.Options{
 			Allocator: kinds[i%len(kinds)],
 			Workload: &workload.Churn{
 				NThreads: n, Slots: 4000, Rounds: rounds / n,

@@ -1,0 +1,21 @@
+package experiments
+
+import "nextgenmalloc/internal/harness"
+
+// timelineInterval is the global sampling interval installed by the
+// CLIs' -timeline flags; 0 leaves time-resolved sampling off (the
+// default — sampled and unsampled runs have bit-identical counters, but
+// sampling costs host memory per run).
+var timelineInterval uint64
+
+// SetTimeline arms the timeline sampler (cycle-interval counter
+// snapshots + offload latency spans) on every harness run launched
+// through the standard experiment sets. interval 0 disarms.
+func SetTimeline(interval uint64) { timelineInterval = interval }
+
+// run wraps harness.Run, applying the global timeline interval so every
+// experiment path gains time-resolved telemetry when the CLI arms it.
+func run(opt harness.Options) harness.Result {
+	opt.SampleInterval = timelineInterval
+	return harness.Run(opt)
+}

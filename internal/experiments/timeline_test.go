@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/sim"
+)
+
+// TestSetTimelineArmsRuns: the package-level tuning must thread a sample
+// interval into every experiment run, and resetting it must disarm.
+func TestSetTimelineArmsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	s := Quick
+	s.XalancOps = 5000
+	SetTimeline(5000)
+	defer SetTimeline(0)
+	res := run(harness.Options{Allocator: "nextgen", Workload: table3Xalanc(s)})
+	if res.Timeline == nil || len(res.Timeline.Samples) == 0 {
+		t.Fatal("SetTimeline did not arm the sampler")
+	}
+	SetTimeline(0)
+	res = run(harness.Options{Allocator: "nextgen", Workload: table3Xalanc(s)})
+	if res.Timeline != nil {
+		t.Fatal("SetTimeline(0) did not disarm the sampler")
+	}
+}
+
+// TestWarmupVersusSteadyState pins the qualitative shape the timeline
+// exists to expose: on the Table 3 xalanc workload under nextgen, the
+// steady-state (second half) LLC store MPKI on the worker cores must
+// not exceed the warm-up (first half) MPKI — first-touch stores miss
+// while the heap populates, so store misses concentrate at the front of
+// the run. (Load MPKI is the wrong pin: it grows with the working set.)
+func TestWarmupVersusSteadyState(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	s := Quick
+	SetTimeline(10000)
+	defer SetTimeline(0)
+	res := run(harness.Options{Allocator: "nextgen", Workload: table3Xalanc(s)})
+	series := res.Timeline
+	if len(series.Samples) < 4 {
+		t.Fatalf("only %d samples; need at least 4 to split halves", len(series.Samples))
+	}
+	keep := func(c int) bool { return c != res.ServerCore }
+	mid := len(series.Samples) / 2
+	warm := series.Delta(0, mid, keep)
+	steady := series.Delta(mid, len(series.Samples)-1, keep)
+	if warm.Instructions == 0 || steady.Instructions == 0 {
+		t.Fatalf("degenerate halves: warm %d instr, steady %d instr", warm.Instructions, steady.Instructions)
+	}
+	warmMPKI := sim.MPKI(warm.LLCStoreMisses, warm.Instructions)
+	steadyMPKI := sim.MPKI(steady.LLCStoreMisses, steady.Instructions)
+	t.Logf("warm-up LLC store MPKI %.3f (%d samples), steady-state %.3f (%d samples)",
+		warmMPKI, mid, steadyMPKI, len(series.Samples)-1-mid)
+	if steadyMPKI > warmMPKI {
+		t.Errorf("steady-state MPKI %.3f exceeds warm-up MPKI %.3f", steadyMPKI, warmMPKI)
+	}
+}

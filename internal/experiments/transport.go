@@ -92,7 +92,7 @@ func AblateTransport(s Scale) Outcome {
 	nv := len(variants)
 	all := runAll(nv*len(workloads), func(i int) harness.Result {
 		v := variants[i%nv]
-		r := harness.Run(harness.Options{Allocator: v.kind, Workload: workloads[i/nv](), Tune: v.tune})
+		r := run(harness.Options{Allocator: v.kind, Workload: workloads[i/nv](), Tune: v.tune})
 		r.Allocator = v.label // distinguish tuned variants of the same kind
 		return r
 	})

@@ -23,6 +23,7 @@ import (
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/timeline"
 	"nextgenmalloc/internal/workload"
 )
 
@@ -74,6 +75,15 @@ type Options struct {
 	// Prepare, when non-nil, runs on worker 0 after workload setup and
 	// before the measurement barrier (e.g. core.Allocator.Preheat).
 	Prepare func(t *sim.Thread, a alloc.Allocator)
+	// SampleInterval, when > 0, arms a timeline.Sampler snapshotting all
+	// cores every SampleInterval cycles and (for NextGen kinds) a
+	// latency recorder capturing per-request offload spans. Both are
+	// host-side observation only: counters stay bit-identical to an
+	// unsampled run (pinned by TestSamplerZeroTraffic).
+	SampleInterval uint64
+	// SampleCapacity bounds the sample series (timeline.DefaultCapacity
+	// when 0); the interval doubles when the buffer fills.
+	SampleCapacity int
 }
 
 // Result carries everything a table needs.
@@ -105,6 +115,16 @@ type Result struct {
 	ServerClasses sim.ClassBreakdown
 	// Offload carries ring/server telemetry; nil for non-offload runs.
 	Offload *OffloadTelemetry
+	// Timeline is the sampled counter series; nil unless
+	// Options.SampleInterval armed the sampler.
+	Timeline *timeline.Series
+	// Latency holds per-request offload spans and latency histograms;
+	// nil unless sampling was armed. It records zero spans for
+	// non-offload allocators (check Latency.HasSpans()).
+	Latency *timeline.LatencyRecorder
+	// ServerCore is the dedicated allocator core's index, or -1 when the
+	// run had no server daemon.
+	ServerCore int
 }
 
 // OffloadTelemetry is the transport-level view of an offload run: what
@@ -258,14 +278,44 @@ func Run(opt Options) Result {
 	}
 
 	res := Result{
-		Allocator: opt.Allocator,
-		Workload:  w.Name(),
-		PerThread: make([]sim.Counters, n),
+		Allocator:  opt.Allocator,
+		Workload:   w.Name(),
+		PerThread:  make([]sim.Counters, n),
+		ServerCore: -1,
+	}
+	if srv != nil {
+		res.ServerCore = serverCore
 	}
 	var a alloc.Allocator
 	var serverStart sim.Counters
 	var serverStartC sim.ClassBreakdown
 	perThreadC := make([]sim.ClassBreakdown, n)
+
+	// Time-resolved telemetry (observation-only; see Options).
+	var sampler *timeline.Sampler
+	var latRec *timeline.LatencyRecorder
+	if opt.SampleInterval > 0 {
+		sampler = timeline.NewSampler(opt.SampleInterval, opt.SampleCapacity)
+		sampler.Attach(m)
+		latRec = timeline.NewLatencyRecorder(0)
+		sampler.ProbeRings(func() timeline.RingState {
+			if ng, ok := a.(*core.Allocator); ok {
+				md, fd := ng.RingDepths()
+				return timeline.RingState{MallocDepth: md, FreeDepth: fd}
+			}
+			return timeline.RingState{}
+		})
+		if srv != nil {
+			sampler.ProbeServer(func() timeline.ServerState {
+				busy, idle := srv.Telemetry()
+				polls, pollCy := srv.PollStats()
+				return timeline.ServerState{
+					BusyCycles: busy, IdleCycles: idle,
+					EmptyPolls: polls, EmptyPollCycles: pollCy,
+				}
+			})
+		}
+	}
 
 	// Workers occupy cores in order, stepping over the server's core when
 	// one is reserved (with the default last-core server this is the
@@ -281,7 +331,7 @@ func Run(opt Options) Result {
 		part := i
 		m.Spawn(fmt.Sprintf("%s-worker-%d", w.Name(), part), workerCore(part), func(t *sim.Thread) {
 			if part == 0 {
-				a = makeAllocator(t, opt, srv)
+				a = makeAllocator(t, opt, srv, latRec)
 				if opt.Wrap != nil {
 					a = opt.Wrap(a)
 				}
@@ -341,11 +391,16 @@ func Run(opt Options) Result {
 			res.Offload = tel
 		}
 	}
+	if sampler != nil {
+		sampler.Finish()
+		res.Timeline = sampler.Series()
+		res.Latency = latRec
+	}
 	return res
 }
 
 // makeAllocator instantiates the requested allocator on thread t.
-func makeAllocator(t *sim.Thread, opt Options, srv *core.Server) alloc.Allocator {
+func makeAllocator(t *sim.Thread, opt Options, srv *core.Server, latRec *timeline.LatencyRecorder) alloc.Allocator {
 	switch kind := opt.Allocator; kind {
 	case "ptmalloc2":
 		return ptmalloc.New(t)
@@ -363,6 +418,7 @@ func makeAllocator(t *sim.Thread, opt Options, srv *core.Server) alloc.Allocator
 		if opt.Tune != nil {
 			opt.Tune(&cfg)
 		}
+		cfg.Latency = latRec
 		a := core.New(t, cfg)
 		if srv != nil {
 			srv.Attach(a)

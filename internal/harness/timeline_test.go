@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/timeline"
+	"nextgenmalloc/internal/workload"
+)
+
+// TestSamplerZeroTraffic pins the observability contract: arming the
+// sampler must add zero simulated traffic. Every counter the golden
+// tests pin — worker deltas, server delta, wall cycles, ring ops —
+// must be bit-identical between a sampled and an unsampled run.
+func TestSamplerZeroTraffic(t *testing.T) {
+	for _, kind := range []string{"nextgen", "ptmalloc2"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			opts := func() Options {
+				w := workload.DefaultXalanc(2000)
+				w.NodeSlots = 1500
+				return Options{Allocator: kind, Workload: w}
+			}
+			plain := Run(opts())
+			armed := opts()
+			armed.SampleInterval = 5000
+			sampled := Run(armed)
+
+			if plain.Total != sampled.Total {
+				t.Errorf("Total diverged:\n%+v\n%+v", plain.Total, sampled.Total)
+			}
+			if len(plain.PerThread) != len(sampled.PerThread) {
+				t.Fatalf("PerThread length diverged: %d vs %d", len(plain.PerThread), len(sampled.PerThread))
+			}
+			for i := range plain.PerThread {
+				if plain.PerThread[i] != sampled.PerThread[i] {
+					t.Errorf("PerThread[%d] diverged", i)
+				}
+			}
+			if plain.Server != sampled.Server {
+				t.Errorf("Server diverged:\n%+v\n%+v", plain.Server, sampled.Server)
+			}
+			if plain.WallCycles != sampled.WallCycles {
+				t.Errorf("WallCycles diverged: %d vs %d", plain.WallCycles, sampled.WallCycles)
+			}
+			if plain.Served != sampled.Served {
+				t.Errorf("Served diverged: %d vs %d", plain.Served, sampled.Served)
+			}
+			if plain.AllocStats != sampled.AllocStats {
+				t.Errorf("AllocStats diverged")
+			}
+
+			// And the sampled run must actually carry a timeline.
+			if sampled.Timeline == nil || len(sampled.Timeline.Samples) == 0 {
+				t.Fatal("sampled run produced no timeline")
+			}
+			if plain.Timeline != nil || plain.Latency != nil {
+				t.Error("unsampled run should carry no timeline or latency recorder")
+			}
+		})
+	}
+}
+
+// TestOffloadSpansRecorded checks the latency pipeline end to end on a
+// real offload run: spans appear, each histogram partitions (queue-wait
+// + service = end-to-end), and histogram mass matches across phases.
+func TestOffloadSpansRecorded(t *testing.T) {
+	w := workload.DefaultXalanc(2000)
+	w.NodeSlots = 1500
+	res := Run(Options{Allocator: "nextgen", Workload: w, SampleInterval: 5000})
+
+	if res.ServerCore < 0 {
+		t.Fatal("nextgen run reported no server core")
+	}
+	rec := res.Latency
+	if !rec.HasSpans() {
+		t.Fatal("offload run recorded no latency spans")
+	}
+	if rec.ByOp[timeline.OpMalloc].Total.Count == 0 {
+		t.Error("no malloc spans recorded")
+	}
+	for op := timeline.Op(0); op < timeline.NumOps; op++ {
+		l := rec.ByOp[op]
+		if l.Queue.Count != l.Service.Count || l.Service.Count != l.Total.Count {
+			t.Errorf("%s: histogram counts diverge: queue=%d service=%d total=%d",
+				op, l.Queue.Count, l.Service.Count, l.Total.Count)
+		}
+		// The partition identity holds exactly on sums even though
+		// buckets quantise: Sum(queue) + Sum(service) = Sum(end-to-end).
+		if l.Queue.Sum+l.Service.Sum != l.Total.Sum {
+			t.Errorf("%s: sum partition broken: %d + %d != %d",
+				op, l.Queue.Sum, l.Service.Sum, l.Total.Sum)
+		}
+	}
+	// Retained raw spans must each satisfy the partition too.
+	for i, s := range rec.Spans {
+		if s.QueueWait()+s.Service() != s.EndToEnd() {
+			t.Fatalf("span %d violates partition", i)
+		}
+		if s.Complete < s.Dequeue {
+			t.Fatalf("span %d completed before dequeue", i)
+		}
+	}
+}
+
+// TestNonOffloadRunHasNoSpans: sampling an inline allocator yields a
+// counter timeline but an empty recorder (the CLI warns on this).
+func TestNonOffloadRunHasNoSpans(t *testing.T) {
+	w := workload.DefaultXalanc(1500)
+	w.NodeSlots = 1000
+	res := Run(Options{Allocator: "ptmalloc2", Workload: w, SampleInterval: 5000})
+	if res.Timeline == nil || len(res.Timeline.Samples) == 0 {
+		t.Fatal("sampled non-offload run produced no timeline")
+	}
+	if res.Latency.HasSpans() {
+		t.Error("inline allocator should record no offload spans")
+	}
+	if res.ServerCore != -1 {
+		t.Errorf("inline run reports server core %d, want -1", res.ServerCore)
+	}
+}
+
+// TestTimelineCoversRun: the sampled series must span the measured
+// region and end at the machine's final counter state.
+func TestTimelineCoversRun(t *testing.T) {
+	w := workload.DefaultXalanc(2000)
+	w.NodeSlots = 1500
+	res := Run(Options{Allocator: "nextgen", Workload: w, SampleInterval: 5000})
+	s := res.Timeline
+	if len(s.Samples) < 2 {
+		t.Fatalf("only %d samples", len(s.Samples))
+	}
+	for i := 1; i < len(s.Samples); i++ {
+		if s.Samples[i].Cycle <= s.Samples[i-1].Cycle {
+			t.Fatalf("cycles not strictly increasing at %d", i)
+		}
+	}
+	// Worker-core instructions in the final sample should be at least the
+	// measured-region total (samples cover the whole run including
+	// warm-up, so >=).
+	keep := func(c int) bool { return c != res.ServerCore }
+	last := s.CoresAt(len(s.Samples)-1, keep).Counters
+	if last.Instructions < res.Total.Instructions {
+		t.Errorf("final sample instructions %d < measured total %d",
+			last.Instructions, res.Total.Instructions)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/timeline"
 )
 
 // Schema is the current schema identifier.
@@ -57,6 +58,12 @@ type Result struct {
 	ServerClasses map[string]ClassCounters `json:"server_classes,omitempty"`
 	// Offload is present for offload runs.
 	Offload *Offload `json:"offload,omitempty"`
+	// Timeline is present when the run sampled time-resolved telemetry
+	// (additive in schema v1).
+	Timeline *Timeline `json:"timeline,omitempty"`
+	// OffloadLatency is present when the run recorded offload request
+	// spans (additive in schema v1).
+	OffloadLatency *OffloadLatency `json:"offload_latency,omitempty"`
 }
 
 // ClassCounters mirrors sim.ClassCounters in snake_case.
@@ -99,6 +106,59 @@ type Ring struct {
 	Occupancy   []uint64 `json:"occupancy_log2"`
 }
 
+// Timeline is the sampled counter series: cumulative machine-wide
+// values (summed over cores) at each sample cycle, so a consumer
+// differences neighbours to get per-interval rates.
+type Timeline struct {
+	IntervalCycles uint64           `json:"interval_cycles"`
+	Samples        []TimelineSample `json:"samples"`
+}
+
+// TimelineSample is one cumulative snapshot.
+type TimelineSample struct {
+	Cycle           uint64 `json:"cycle"`
+	Instructions    uint64 `json:"instructions"`
+	LLCLoadMisses   uint64 `json:"llc_load_misses"`
+	LLCStoreMisses  uint64 `json:"llc_store_misses"`
+	DTLBLoadMisses  uint64 `json:"dtlb_load_misses"`
+	DTLBStoreMisses uint64 `json:"dtlb_store_misses"`
+	MallocRingDepth uint64 `json:"malloc_ring_depth"`
+	FreeRingDepth   uint64 `json:"free_ring_depth"`
+	ServerBusy      uint64 `json:"server_busy_cycles"`
+	ServerEmptyPoll uint64 `json:"server_empty_poll_cycles"`
+}
+
+// OffloadLatency carries the per-op offload latency digests. An op's
+// entry is present only when it recorded at least one span.
+type OffloadLatency struct {
+	Malloc *OpLatency `json:"malloc,omitempty"`
+	Free   *OpLatency `json:"free,omitempty"`
+	Batch  *OpLatency `json:"batch,omitempty"`
+	// DroppedSpans counts raw spans beyond the retention cap (the
+	// digests above still include them).
+	DroppedSpans uint64 `json:"dropped_spans"`
+}
+
+// OpLatency is one op kind's three distributions. Per span, queue-wait
+// + service = end-to-end exactly, so the Sums partition.
+type OpLatency struct {
+	QueueWait LatencyDigest `json:"queue_wait"`
+	Service   LatencyDigest `json:"service"`
+	EndToEnd  LatencyDigest `json:"end_to_end"`
+}
+
+// LatencyDigest summarizes one histogram in cycles. Percentiles are
+// log2-linear bucket lower bounds (≤12.5% relative error); max is
+// exact.
+type LatencyDigest struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P90   uint64  `json:"p90"`
+	P99   uint64  `json:"p99"`
+	Max   uint64  `json:"max"`
+}
+
 func ringMetrics(s ring.Stats) Ring {
 	return Ring{
 		Pushes:      s.Pushes,
@@ -109,6 +169,60 @@ func ringMetrics(s ring.Stats) Ring {
 		StallCycles: s.StallCycles,
 		Occupancy:   append([]uint64(nil), s.Occupancy[:]...),
 	}
+}
+
+func digest(h timeline.Hist) LatencyDigest {
+	return LatencyDigest{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max,
+	}
+}
+
+// opLatency converts one op's distributions; nil when the op never ran
+// (the schema omits empty ops rather than emitting all-zero digests).
+func opLatency(l timeline.OpLatency) *OpLatency {
+	if l.Total.Count == 0 {
+		return nil
+	}
+	return &OpLatency{
+		QueueWait: digest(l.Queue),
+		Service:   digest(l.Service),
+		EndToEnd:  digest(l.Total),
+	}
+}
+
+func latencyMetrics(rec *timeline.LatencyRecorder) *OffloadLatency {
+	return &OffloadLatency{
+		Malloc:       opLatency(rec.ByOp[timeline.OpMalloc]),
+		Free:         opLatency(rec.ByOp[timeline.OpFree]),
+		Batch:        opLatency(rec.ByOp[timeline.OpBatch]),
+		DroppedSpans: rec.Dropped,
+	}
+}
+
+func timelineMetrics(s *timeline.Series) *Timeline {
+	tl := &Timeline{IntervalCycles: s.Interval}
+	for i := range s.Samples {
+		cs := s.CoresAt(i, nil)
+		smp := s.Samples[i]
+		tl.Samples = append(tl.Samples, TimelineSample{
+			Cycle:           smp.Cycle,
+			Instructions:    cs.Counters.Instructions,
+			LLCLoadMisses:   cs.Counters.LLCLoadMisses,
+			LLCStoreMisses:  cs.Counters.LLCStoreMisses,
+			DTLBLoadMisses:  cs.Counters.DTLBLoadMisses,
+			DTLBStoreMisses: cs.Counters.DTLBStoreMisses,
+			MallocRingDepth: smp.Rings.MallocDepth,
+			FreeRingDepth:   smp.Rings.FreeDepth,
+			ServerBusy:      smp.Server.BusyCycles,
+			ServerEmptyPoll: smp.Server.EmptyPollCycles,
+		})
+	}
+	return tl
 }
 
 func classMap(b sim.ClassBreakdown) map[string]ClassCounters {
@@ -153,6 +267,12 @@ func FromResult(r harness.Result) Result {
 			ServerEmptyPollCycles: r.Offload.ServerEmptyPollCycles,
 			ServedOps:             r.Served,
 		}
+	}
+	if r.Timeline != nil {
+		out.Timeline = timelineMetrics(r.Timeline)
+	}
+	if r.Latency != nil && r.Latency.HasSpans() {
+		out.OffloadLatency = latencyMetrics(r.Latency)
 	}
 	return out
 }
@@ -225,7 +345,66 @@ func Validate(data []byte) error {
 						e.ID, i, r.Allocator, r.Workload, cls)
 				}
 			}
+			if err := validateTimeline(e.ID, i, r.Timeline); err != nil {
+				return err
+			}
+			if err := validateLatency(e.ID, i, r.OffloadLatency); err != nil {
+				return err
+			}
 		}
+	}
+	return nil
+}
+
+func validateTimeline(exp string, i int, tl *Timeline) error {
+	if tl == nil {
+		return nil
+	}
+	if tl.IntervalCycles == 0 {
+		return fmt.Errorf("metrics: experiment %q result %d timeline has zero interval", exp, i)
+	}
+	if len(tl.Samples) == 0 {
+		return fmt.Errorf("metrics: experiment %q result %d timeline has no samples", exp, i)
+	}
+	for j := 1; j < len(tl.Samples); j++ {
+		if tl.Samples[j].Cycle <= tl.Samples[j-1].Cycle {
+			return fmt.Errorf("metrics: experiment %q result %d timeline cycles not increasing at sample %d",
+				exp, i, j)
+		}
+	}
+	return nil
+}
+
+func validateLatency(exp string, i int, ol *OffloadLatency) error {
+	if ol == nil {
+		return nil
+	}
+	ops := []struct {
+		name string
+		op   *OpLatency
+	}{{"malloc", ol.Malloc}, {"free", ol.Free}, {"batch", ol.Batch}}
+	present := false
+	for _, o := range ops {
+		if o.op == nil {
+			continue
+		}
+		present = true
+		for _, d := range []struct {
+			name string
+			dig  LatencyDigest
+		}{{"queue_wait", o.op.QueueWait}, {"service", o.op.Service}, {"end_to_end", o.op.EndToEnd}} {
+			if d.dig.Count == 0 {
+				return fmt.Errorf("metrics: experiment %q result %d offload_latency %s.%s has zero count",
+					exp, i, o.name, d.name)
+			}
+			if d.dig.P50 > d.dig.P90 || d.dig.P90 > d.dig.P99 || d.dig.P99 > d.dig.Max {
+				return fmt.Errorf("metrics: experiment %q result %d offload_latency %s.%s percentiles not monotone",
+					exp, i, o.name, d.name)
+			}
+		}
+	}
+	if !present {
+		return fmt.Errorf("metrics: experiment %q result %d offload_latency present but empty", exp, i)
 	}
 	return nil
 }

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/workload"
+)
+
+func sampledResult(t *testing.T, kind string) harness.Result {
+	t.Helper()
+	return harness.Run(harness.Options{
+		Allocator:      kind,
+		Workload:       workload.DefaultXalanc(1500),
+		SampleInterval: 5000,
+	})
+}
+
+// TestTimelineRoundTrips: a sampled offload run must emit timeline and
+// offload_latency blocks that survive the encoder's own validation and
+// keep their snake_case schema keys.
+func TestTimelineRoundTrips(t *testing.T) {
+	res := sampledResult(t, "nextgen")
+	data, err := NewFile(FromResults("tl", []harness.Result{res})).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("sampled run fails own validation: %v", err)
+	}
+	s := string(data)
+	for _, key := range []string{
+		`"timeline"`, `"interval_cycles"`, `"samples"`, `"cycle"`,
+		`"malloc_ring_depth"`, `"free_ring_depth"`, `"server_empty_poll_cycles"`,
+		`"offload_latency"`, `"queue_wait"`, `"end_to_end"`,
+		`"p50"`, `"p90"`, `"p99"`, `"dropped_spans"`,
+	} {
+		if !strings.Contains(s, key) {
+			t.Errorf("schema key %s missing from sampled output", key)
+		}
+	}
+	doc := FromResult(res)
+	if doc.Timeline == nil || len(doc.Timeline.Samples) == 0 {
+		t.Fatal("FromResult dropped the timeline")
+	}
+	ol := doc.OffloadLatency
+	if ol == nil || ol.Malloc == nil {
+		t.Fatal("FromResult dropped malloc latency")
+	}
+	d := ol.Malloc.EndToEnd
+	if d.Count == 0 || d.P50 > d.P99 || d.P99 > d.Max {
+		t.Errorf("malloc end-to-end digest malformed: %+v", d)
+	}
+	// The digest partition: mean queue-wait + mean service equals mean
+	// end-to-end exactly (sums partition even though buckets quantise).
+	qs := ol.Malloc.QueueWait.Mean + ol.Malloc.Service.Mean
+	if diff := qs - ol.Malloc.EndToEnd.Mean; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("mean partition broken: %.3f + %.3f != %.3f",
+			ol.Malloc.QueueWait.Mean, ol.Malloc.Service.Mean, ol.Malloc.EndToEnd.Mean)
+	}
+}
+
+// TestNoLatencyBlockWithoutSpans: a sampled inline-allocator run carries
+// a timeline but must omit offload_latency entirely.
+func TestNoLatencyBlockWithoutSpans(t *testing.T) {
+	res := sampledResult(t, "ptmalloc2")
+	doc := FromResult(res)
+	if doc.Timeline == nil {
+		t.Fatal("timeline missing from sampled inline run")
+	}
+	if doc.OffloadLatency != nil {
+		t.Errorf("offload_latency present without spans: %+v", doc.OffloadLatency)
+	}
+	data, err := NewFile(FromResults("tl", []harness.Result{res})).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"offload_latency"`) {
+		t.Error("offload_latency key leaked into spanless output")
+	}
+	if err := Validate(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnsampledRunOmitsTimeline: without sampling, neither block appears
+// (the additions are strictly additive to schema v1).
+func TestUnsampledRunOmitsTimeline(t *testing.T) {
+	res := harness.Run(harness.Options{Allocator: "nextgen", Workload: workload.DefaultXalanc(1500)})
+	data, err := NewFile(FromResults("tl", []harness.Result{res})).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, key := range []string{`"timeline"`, `"offload_latency"`} {
+		if strings.Contains(s, key) {
+			t.Errorf("key %s present in unsampled output", key)
+		}
+	}
+}
+
+func TestValidateRejectsMalformedTimeline(t *testing.T) {
+	const prefix = `{"schema":"ngm-metrics/v1","experiments":[{"id":"a","results":[{"allocator":"x","workload":"w",`
+	const suffix = `}]}]}`
+	for name, body := range map[string]string{
+		"zero interval": `"timeline":{"interval_cycles":0,"samples":[{"cycle":10}]}`,
+		"no samples":    `"timeline":{"interval_cycles":100,"samples":[]}`,
+		"cycles repeat": `"timeline":{"interval_cycles":100,"samples":[{"cycle":10},{"cycle":10}]}`,
+		"cycles regress": `"timeline":{"interval_cycles":100,` +
+			`"samples":[{"cycle":20},{"cycle":10}]}`,
+		"latency empty": `"offload_latency":{"dropped_spans":0}`,
+		"zero count": `"offload_latency":{"malloc":{` +
+			`"queue_wait":{"count":0,"mean":0,"p50":0,"p90":0,"p99":0,"max":0},` +
+			`"service":{"count":1,"mean":1,"p50":1,"p90":1,"p99":1,"max":1},` +
+			`"end_to_end":{"count":1,"mean":1,"p50":1,"p90":1,"p99":1,"max":1}}}`,
+		"non-monotone percentiles": `"offload_latency":{"malloc":{` +
+			`"queue_wait":{"count":1,"mean":1,"p50":9,"p90":5,"p99":9,"max":9},` +
+			`"service":{"count":1,"mean":1,"p50":1,"p90":1,"p99":1,"max":1},` +
+			`"end_to_end":{"count":1,"mean":1,"p50":1,"p90":1,"p99":1,"max":1}}}`,
+		"p99 above max": `"offload_latency":{"malloc":{` +
+			`"queue_wait":{"count":1,"mean":1,"p50":1,"p90":1,"p99":10,"max":5},` +
+			`"service":{"count":1,"mean":1,"p50":1,"p90":1,"p99":1,"max":1},` +
+			`"end_to_end":{"count":1,"mean":1,"p50":1,"p90":1,"p99":1,"max":1}}}`,
+	} {
+		doc := prefix + classesJSON + "," + body + suffix
+		if err := Validate([]byte(doc)); err == nil {
+			t.Errorf("Validate accepted %s document", name)
+		}
+	}
+	// Sanity: the same scaffold with a well-formed timeline passes, so the
+	// rejections above come from the malformed blocks, not the scaffold.
+	good := prefix + classesJSON + `,"timeline":{"interval_cycles":100,"samples":[{"cycle":10},{"cycle":20}]}` + suffix
+	if err := Validate([]byte(good)); err != nil {
+		t.Fatalf("scaffold with valid timeline rejected: %v", err)
+	}
+}
+
+// classesJSON is the minimal classes block the scaffold needs to pass
+// the pre-existing per-class validation.
+const classesJSON = `"classes":{"user":{},"metadata":{},"ring":{},"global":{}}`

@@ -11,6 +11,7 @@ import (
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/timeline"
 )
 
 // Sci formats a counter the way the paper's tables do (e.g. 1.177E+12).
@@ -214,6 +215,179 @@ func TransportTable(title string, results []harness.Result) string {
 		header = append(header, r.Allocator)
 	}
 	return Table(title, header, TransportRows(results))
+}
+
+// sparkRamp orders the sparkline glyphs from empty to full.
+const sparkRamp = " .:-=+*#%@"
+
+// Sparkline renders vals as one line of ASCII glyphs scaled to the
+// series maximum. Series longer than width are bucket-averaged down; an
+// all-zero or empty series renders flat.
+func Sparkline(vals []float64, width int) string {
+	if width <= 0 || len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		squeezed := make([]float64, width)
+		for i := range squeezed {
+			lo := i * len(vals) / width
+			hi := (i + 1) * len(vals) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range vals[lo:hi] {
+				sum += v
+			}
+			squeezed[i] = sum / float64(hi-lo)
+		}
+		vals = squeezed
+	}
+	var maxV float64
+	for _, v := range vals {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]byte, len(vals))
+	for i, v := range vals {
+		idx := 0
+		if maxV > 0 && v > 0 {
+			idx = int(v / maxV * float64(len(sparkRamp)-1))
+			if idx >= len(sparkRamp) {
+				idx = len(sparkRamp) - 1
+			}
+			if idx == 0 {
+				idx = 1 // any positive value is visibly nonzero
+			}
+		}
+		out[i] = sparkRamp[idx]
+	}
+	return string(out)
+}
+
+// TimelineTable renders the sampled series as per-interval rates over
+// the worker cores (the server core, when any, is excluded so its
+// polling does not dilute the MPKI), one sparkline per metric with the
+// min/max range alongside. serverCore is -1 for runs without a server.
+func TimelineTable(title string, s *timeline.Series, serverCore int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if s == nil || len(s.Samples) < 2 {
+		b.WriteString("(no samples)\n")
+		return b.String()
+	}
+	keep := func(c int) bool { return c != serverCore }
+	n := len(s.Samples) - 1 // intervals
+	deltas := make([]sim.Counters, n)
+	for i := 0; i < n; i++ {
+		deltas[i] = s.Delta(i, i+1, keep)
+	}
+	series := func(get func(i int) float64) []float64 {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = get(i)
+		}
+		return vals
+	}
+	mpki := func(get func(sim.Counters) uint64) []float64 {
+		return series(func(i int) float64 {
+			return sim.MPKI(get(deltas[i]), deltas[i].Instructions)
+		})
+	}
+	type sparkRow struct {
+		name string
+		vals []float64
+		fmt  string
+	}
+	rows := []sparkRow{
+		{"instructions", series(func(i int) float64 { return float64(deltas[i].Instructions) }), "%.0f"},
+		{"LLC-load-MPKI", mpki(func(c sim.Counters) uint64 { return c.LLCLoadMisses }), "%.3f"},
+		{"LLC-store-MPKI", mpki(func(c sim.Counters) uint64 { return c.LLCStoreMisses }), "%.3f"},
+		{"dTLB-load-MPKI", mpki(func(c sim.Counters) uint64 { return c.DTLBLoadMisses }), "%.3f"},
+		{"dTLB-store-MPKI", mpki(func(c sim.Counters) uint64 { return c.DTLBStoreMisses }), "%.3f"},
+	}
+	if serverCore >= 0 {
+		rows = append(rows,
+			sparkRow{"malloc ring depth", series(func(i int) float64 {
+				return float64(s.Samples[i+1].Rings.MallocDepth)
+			}), "%.0f"},
+			sparkRow{"free ring depth", series(func(i int) float64 {
+				return float64(s.Samples[i+1].Rings.FreeDepth)
+			}), "%.0f"},
+			sparkRow{"server busy %", series(func(i int) float64 {
+				busy := float64(s.Samples[i+1].Server.BusyCycles - s.Samples[i].Server.BusyCycles)
+				idle := float64(s.Samples[i+1].Server.IdleCycles - s.Samples[i].Server.IdleCycles)
+				if busy+idle == 0 {
+					return 0
+				}
+				return 100 * busy / (busy + idle)
+			}), "%.1f"},
+		)
+	}
+	first := s.Samples[0].Cycle
+	last := s.Samples[len(s.Samples)-1].Cycle
+	fmt.Fprintf(&b, "%d samples, interval %d cycles, span [%d, %d]\n",
+		len(s.Samples), s.Interval, first, last)
+	wname := 0
+	for _, r := range rows {
+		if len(r.name) > wname {
+			wname = len(r.name)
+		}
+	}
+	const sparkWidth = 48
+	for _, r := range rows {
+		minV, maxV := r.vals[0], r.vals[0]
+		for _, v := range r.vals[1:] {
+			minV = min(minV, v)
+			maxV = max(maxV, v)
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s| min "+r.fmt+"  max "+r.fmt+"\n",
+			wname+1, r.name, sparkWidth, Sparkline(r.vals, sparkWidth), minV, maxV)
+	}
+	return b.String()
+}
+
+// LatencyTable renders the offload latency histograms: one row per
+// (op, phase) with count, mean, and the p50/p90/p99/max percentiles in
+// cycles. Ops that never ran are skipped; a nil or empty recorder
+// renders a placeholder.
+func LatencyTable(title string, rec *timeline.LatencyRecorder) string {
+	if rec == nil || !rec.HasSpans() {
+		return title + "\n(no offload spans recorded)\n"
+	}
+	header := []string{"op / phase", "count", "mean", "p50", "p90", "p99", "max"}
+	var rows [][]string
+	cyc := func(v uint64) string { return fmt.Sprintf("%d", v) }
+	for op := timeline.Op(0); op < timeline.NumOps; op++ {
+		l := rec.ByOp[op]
+		if l.Total.Count == 0 {
+			continue
+		}
+		for _, ph := range []struct {
+			name string
+			h    timeline.Hist
+		}{
+			{"queue-wait", l.Queue},
+			{"service", l.Service},
+			{"end-to-end", l.Total},
+		} {
+			rows = append(rows, []string{
+				fmt.Sprintf("%s %s", op, ph.name),
+				fmt.Sprintf("%d", ph.h.Count),
+				fmt.Sprintf("%.1f", ph.h.Mean()),
+				cyc(ph.h.Quantile(0.50)),
+				cyc(ph.h.Quantile(0.90)),
+				cyc(ph.h.Quantile(0.99)),
+				cyc(ph.h.Max),
+			})
+		}
+	}
+	out := Table(title, header, rows)
+	if rec.Dropped > 0 {
+		out += fmt.Sprintf("(%d spans beyond the retention cap; histograms include them)\n", rec.Dropped)
+	}
+	return out
 }
 
 // AttributionRows builds the miss-attribution layout: for every address

@@ -87,10 +87,56 @@ type SPSC struct {
 	shadowTail uint64 // consumer's last-read producer index
 
 	stats Stats
+
+	// stamps, when enabled, records the producer clock at stage time for
+	// each slot, indexed like the slot array. Host-side only: reading or
+	// writing a stamp issues no simulated traffic, so enabling them
+	// cannot perturb counters (the latency spans built from them are
+	// pure observation).
+	stamps []uint64
 }
 
 // Stats returns a copy of the ring's telemetry counters.
 func (r *SPSC) Stats() Stats { return r.stats }
+
+// EnableStamps turns on host-side enqueue-cycle stamping: every slot
+// staged afterwards remembers the producer clock at stage time, which
+// the consumer reads back through PoppedStamp/PoppedStamps to build
+// offload latency spans. Zero simulated cost.
+func (r *SPSC) EnableStamps() {
+	if r.stamps == nil {
+		r.stamps = make([]uint64, r.size)
+	}
+}
+
+// PoppedStamp returns the enqueue stamp of the slot most recently
+// consumed by TryPop (0 when stamping is disabled).
+func (r *SPSC) PoppedStamp() uint64 {
+	if r.stamps == nil {
+		return 0
+	}
+	return r.stamps[(r.consHead-1)&r.mask]
+}
+
+// PoppedStamps fills out with the enqueue stamps of the last k slots
+// consumed (oldest first), matching a PopN that returned k. A no-op
+// when stamping is disabled.
+func (r *SPSC) PoppedStamps(k int, out []uint64) {
+	if r.stamps == nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		out[i] = r.stamps[(r.consHead-uint64(k-i))&r.mask]
+	}
+}
+
+// HostDepth returns the ring occupancy visible to the host (published
+// plus staged slots), without issuing simulated traffic — the gauge the
+// timeline sampler reads. Compare Len, which models a real consumer
+// probe and costs a simulated atomic load.
+func (r *SPSC) HostDepth() int {
+	return int(r.prodTail + r.staged - r.consHead)
+}
 
 // BytesFor returns the mapped bytes needed for a ring with the given
 // slot count.
@@ -132,6 +178,9 @@ func (r *SPSC) TryStage(t *sim.Thread, w0, w1 uint64) bool {
 	slot := r.slotAddr(r.prodTail + r.staged)
 	t.Store64(slot, w0)
 	t.Store64(slot+8, w1)
+	if r.stamps != nil {
+		r.stamps[(r.prodTail+r.staged)&r.mask] = t.Clock()
+	}
 	r.staged++
 	return true
 }

@@ -33,6 +33,13 @@ type Machine struct {
 
 	running  bool
 	stopping bool
+
+	// probe, when non-nil, is invoked from the scheduler loop after every
+	// lease with the current wall clock. It runs host-side between thread
+	// resumptions: it may read counters and host state but must not issue
+	// simulated operations, so an armed probe cannot perturb the clock,
+	// the scheduling order, or any PMU counter.
+	probe func(wall uint64)
 }
 
 // New builds a machine from cfg.
@@ -131,6 +138,15 @@ func (m *Machine) spawn(name string, core int, fn func(*Thread), daemon bool) *T
 	return t
 }
 
+// SetProbe installs the scheduler-loop observation hook (see the probe
+// field). Install before Run; pass nil to disarm.
+func (m *Machine) SetProbe(fn func(wall uint64)) {
+	if m.running {
+		panic("sim: SetProbe after Run")
+	}
+	m.probe = fn
+}
+
 // Run executes every spawned thread to completion, interleaving them
 // deterministically: the thread with the lowest core clock always runs
 // next, holding a lease until just past the next-lowest clock plus the
@@ -204,6 +220,9 @@ func (m *Machine) Run() uint64 {
 		}
 		if t.clock > wall {
 			wall = t.clock
+		}
+		if m.probe != nil {
+			m.probe(wall)
 		}
 	}
 	return wall

@@ -1,0 +1,204 @@
+// Package timeline adds time resolution to the repository's telemetry:
+// instead of only end-of-run aggregates, an armed Sampler snapshots
+// every core's PMU counters, the per-class miss attribution, the
+// offload rings' occupancy, and the server daemon's busy/idle state at
+// a fixed cycle interval, and a LatencyRecorder turns per-request
+// enqueue/dequeue/completion stamps into offload latency histograms
+// (queue-wait and service time separated).
+//
+// Everything in this package is host-side observation state, in the
+// same sense as ring.Stats and the region table: arming a sampler or a
+// recorder issues zero simulated instructions, loads, or stores, so a
+// sampled run's PMU counters are bit-identical to an unsampled run's
+// (the harness pins this with a test). The series is bounded: when the
+// sample buffer fills, every other sample is dropped and the interval
+// doubles, so memory stays O(capacity) regardless of run length.
+package timeline
+
+import "nextgenmalloc/internal/sim"
+
+// DefaultCapacity bounds the series length when the caller does not.
+const DefaultCapacity = 512
+
+// CoreSample is one core's cumulative snapshot: the PMU counters and
+// the per-address-class attribution as of the sample's cycle.
+type CoreSample struct {
+	Counters sim.Counters
+	Classes  sim.ClassBreakdown
+}
+
+// Add accumulates o into cs field-wise (used when summing cores; kept
+// exhaustive by the reflection test in timeline_test.go).
+func (cs *CoreSample) Add(o CoreSample) {
+	cs.Counters.Add(o.Counters)
+	cs.Classes.Add(o.Classes)
+}
+
+// RingState is the host-visible occupancy of the offload rings at a
+// sample point (staged-but-unpublished slots included), summed over
+// clients. Zero for non-offload runs.
+type RingState struct {
+	MallocDepth uint64
+	FreeDepth   uint64
+}
+
+// ServerState is the dedicated core's cumulative loop accounting at a
+// sample point. Zero for non-offload runs.
+type ServerState struct {
+	BusyCycles      uint64
+	IdleCycles      uint64
+	EmptyPolls      uint64
+	EmptyPollCycles uint64
+}
+
+// Sample is one snapshot of the whole machine.
+type Sample struct {
+	// Cycle is the wall clock (max core clock) at snapshot time.
+	Cycle uint64
+	// Cores holds one cumulative snapshot per core.
+	Cores []CoreSample
+	// Rings / Server are the transport gauges (offload runs only).
+	Rings  RingState
+	Server ServerState
+}
+
+// Series is the finished sampled timeline.
+type Series struct {
+	// Interval is the final sampling interval in cycles (it doubles each
+	// time the bounded buffer fills, so it can exceed the armed value).
+	Interval uint64
+	Samples  []Sample
+}
+
+// CoresAt sums sample i's per-core snapshots over the cores keep admits
+// (every core when keep is nil).
+func (s *Series) CoresAt(i int, keep func(core int) bool) CoreSample {
+	var out CoreSample
+	for c := range s.Samples[i].Cores {
+		if keep == nil || keep(c) {
+			out.Add(s.Samples[i].Cores[c])
+		}
+	}
+	return out
+}
+
+// Delta returns the summed counter change from sample i to sample j
+// over the admitted cores (snapshots are cumulative, so this is the
+// traffic of the (i, j] window).
+func (s *Series) Delta(i, j int, keep func(core int) bool) sim.Counters {
+	return s.CoresAt(j, keep).Counters.Sub(s.CoresAt(i, keep).Counters)
+}
+
+// Sampler snapshots a machine at a fixed cycle interval through the
+// scheduler's observation probe (sim.Machine.SetProbe).
+type Sampler struct {
+	interval uint64
+	capacity int
+	next     uint64
+
+	m           *sim.Machine
+	ringProbe   func() RingState
+	serverProbe func() ServerState
+
+	samples []Sample
+}
+
+// NewSampler builds a sampler that snapshots every interval cycles into
+// a buffer of at most capacity samples (DefaultCapacity when <= 0).
+func NewSampler(interval uint64, capacity int) *Sampler {
+	if interval == 0 {
+		panic("timeline: zero sampling interval")
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if capacity < 2 {
+		capacity = 2 // decimation needs room to keep at least two samples
+	}
+	return &Sampler{interval: interval, capacity: capacity}
+}
+
+// Attach arms the sampler on m (before m.Run).
+func (s *Sampler) Attach(m *sim.Machine) {
+	s.m = m
+	s.next = s.interval
+	m.SetProbe(s.tick)
+}
+
+// ProbeRings installs the ring-occupancy gauge evaluated at each sample
+// (host-side; may return zeros before the allocator exists).
+func (s *Sampler) ProbeRings(fn func() RingState) { s.ringProbe = fn }
+
+// ProbeServer installs the server-state gauge evaluated at each sample.
+func (s *Sampler) ProbeServer(fn func() ServerState) { s.serverProbe = fn }
+
+// tick is the scheduler probe: cheap threshold check, snapshot when the
+// wall clock crosses the next sample point.
+func (s *Sampler) tick(wall uint64) {
+	if wall < s.next {
+		return
+	}
+	s.snapshot(wall)
+	for s.next <= wall {
+		s.next += s.interval
+	}
+}
+
+// snapshot appends one cumulative sample, decimating first if the
+// buffer is full.
+func (s *Sampler) snapshot(cycle uint64) {
+	if len(s.samples) >= s.capacity {
+		s.decimate()
+	}
+	cores := make([]CoreSample, s.m.Cores())
+	for c := range cores {
+		cores[c] = CoreSample{
+			Counters: s.m.CoreCounters(c),
+			Classes:  s.m.CoreClassCounters(c),
+		}
+	}
+	smp := Sample{Cycle: cycle, Cores: cores}
+	if s.ringProbe != nil {
+		smp.Rings = s.ringProbe()
+	}
+	if s.serverProbe != nil {
+		smp.Server = s.serverProbe()
+	}
+	s.samples = append(s.samples, smp)
+}
+
+// decimate drops every other sample and doubles the interval, keeping
+// memory O(capacity) in run length.
+func (s *Sampler) decimate() {
+	k := 0
+	for i := 0; i < len(s.samples); i += 2 {
+		s.samples[k] = s.samples[i]
+		k++
+	}
+	// Zero the dropped tail so the backing array releases its Cores
+	// slices.
+	for i := k; i < len(s.samples); i++ {
+		s.samples[i] = Sample{}
+	}
+	s.samples = s.samples[:k]
+	s.interval *= 2
+}
+
+// Finish appends a final snapshot at the machine's end-of-run clock if
+// the run advanced past the last sample (call after Machine.Run).
+func (s *Sampler) Finish() {
+	var wall uint64
+	for c := 0; c < s.m.Cores(); c++ {
+		if cy := s.m.CoreCounters(c).Cycles; cy > wall {
+			wall = cy
+		}
+	}
+	if n := len(s.samples); n == 0 || s.samples[n-1].Cycle < wall {
+		s.snapshot(wall)
+	}
+}
+
+// Series returns the sampled timeline collected so far.
+func (s *Sampler) Series() *Series {
+	return &Series{Interval: s.interval, Samples: s.samples}
+}

@@ -166,7 +166,14 @@ func Decode(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: bad count: %w", err)
 	}
-	tr := &Trace{Ops: make([]Op, 0, count)}
+	// The count is attacker-controlled input: cap the preallocation hint
+	// so a corrupt header can't drive a multi-gigabyte make. The slice
+	// still grows to the real op count as ops decode.
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	tr := &Trace{Ops: make([]Op, 0, capHint)}
 	for i := uint64(0); i < count; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {

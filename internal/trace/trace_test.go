@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -137,4 +139,51 @@ func TestRecorderPanicsOnForeignFree(t *testing.T) {
 		rec.Free(th, 0x1234)
 	})
 	m.Run()
+}
+
+// TestDecodeTruncatedInputs: every truncation of a valid encoding must
+// produce an error — never a panic and never a silently short trace.
+func TestDecodeTruncatedInputs(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{OpMalloc, 64}, {OpMalloc, 300}, {OpFree, 0}, {OpMalloc, 1 << 40}, {OpFree, 1},
+	}}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		got, err := Decode(bytes.NewReader(full[:n]))
+		if err == nil {
+			t.Errorf("truncation to %d/%d bytes decoded silently (%d ops)", n, len(full), len(got.Ops))
+		}
+	}
+}
+
+// TestDecodeHugeCountDoesNotPreallocate: a corrupt header claiming
+// billions of ops must fail cleanly once the data runs out, without
+// first allocating a slice sized to the lie.
+func TestDecodeHugeCountDoesNotPreallocate(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var tmp [10]byte
+	n := binary.PutUvarint(tmp[:], 1<<40) // a trillion ops, zero present
+	buf.Write(tmp[:n])
+	before := heapAllocBytes()
+	_, err := Decode(&buf)
+	grew := heapAllocBytes() - before
+	if err == nil {
+		t.Fatal("huge-count empty trace accepted")
+	}
+	// The 1<<16 cap bounds the hint to ~1 MiB of Ops; anything beyond a
+	// few MiB means the count drove the allocation.
+	if grew > 8<<20 {
+		t.Errorf("decode of empty payload grew the heap by %d bytes", grew)
+	}
+}
+
+func heapAllocBytes() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
 }
