@@ -48,6 +48,8 @@ func run() int {
 	prealloc := flag.String("prealloc", "", "override NextGen prealloc policy for standard experiments: off, static, or adaptive (empty = per-kind default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a host heap profile to this file at exit")
+	faultSpec := flag.String("fault", "", "inject offload faults on every standard-experiment run: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
+	resSpec := flag.String("resilience", "", "offload degradation policy for standard-experiment runs: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
 	timelineIv := flag.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles on every run (0 = off; implied by -chrome-trace)")
 	tracePath := flag.String("chrome-trace", "", "write all runs as one Chrome trace-event JSON file (chrome://tracing / Perfetto)")
 	flag.Parse()
@@ -58,6 +60,18 @@ func run() int {
 		return 2
 	}
 	experiments.SetTransport(tune)
+
+	faultPlan, err := experiments.ParseFault(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+		return 2
+	}
+	resilience, err := experiments.ParseResilience(*resSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+		return 2
+	}
+	experiments.SetFault(faultPlan, resilience)
 
 	interval := *timelineIv
 	if interval == 0 && *tracePath != "" {
@@ -92,12 +106,14 @@ func run() int {
 		"ablate-gpu":       func() experiments.Outcome { return experiments.AblateGPU(scale) },
 		"ablate-scaling":   func() experiments.Outcome { return experiments.AblateScaling(scale) },
 		"ablate-room":      func() experiments.Outcome { return experiments.AblateRoom(scale) },
+		"fault-sweep":      func() experiments.Outcome { return experiments.FaultSweep(scale) },
 	}
 	order := []string{
 		"figure1", "table1", "table2", "table3", "model",
 		"ablate-layout", "ablate-core", "ablate-prealloc", "ablate-transport",
 		"sensitivity",
 		"ablate-gc", "ablate-faas", "ablate-gpu", "ablate-scaling", "ablate-room",
+		"fault-sweep",
 	}
 
 	if *list {

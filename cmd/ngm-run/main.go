@@ -45,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "workload seed")
 	batch := fs.Int("batch", -1, "override NextGen free-coalescing width, 1-4 (-1 = per-kind default)")
 	prealloc := fs.String("prealloc", "", "override NextGen prealloc policy: off, static, or adaptive (empty = per-kind default)")
+	faultSpec := fs.String("fault", "", "inject offload faults: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
+	resSpec := fs.String("resilience", "", "offload degradation policy: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
 	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
 	timelineIv := fs.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles (0 = off; implied by -chrome-trace)")
 	tracePath := fs.String("chrome-trace", "", "write a Chrome trace-event JSON file (chrome://tracing / Perfetto) to this path")
@@ -61,6 +63,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tune, err := experiments.ParseTransport(*batch, *prealloc)
 	if err != nil {
 		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	faultPlan, err := experiments.ParseFault(*faultSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	resilience, err := experiments.ParseResilience(*resSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	if faultPlan != nil && !harness.OffloadKind(*kind) {
+		fmt.Fprintf(stderr, "ngm-run: -fault targets the offload path; %q runs no offload server\n", *kind)
 		return 2
 	}
 	if *threads < 1 {
@@ -107,7 +123,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	res := harness.Run(harness.Options{Allocator: *kind, Workload: w, Tune: tune, SampleInterval: interval})
+	res := harness.Run(harness.Options{
+		Allocator:      *kind,
+		Workload:       w,
+		Tune:           tune,
+		SampleInterval: interval,
+		FaultPlan:      faultPlan,
+		Resilience:     resilience,
+	})
 	fmt.Fprint(stdout, report.CounterTable(fmt.Sprintf("%s on %s", *wname, *kind), []harness.Result{res}))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.AttributionTable("miss attribution (worker cores)", []harness.Result{res}))
@@ -131,6 +154,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			100*busy)
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.TransportTable("offload transport telemetry", []harness.Result{res}))
+	}
+	if res.Resilience != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.ResilienceTable("offload degradation telemetry", []harness.Result{res}))
+		if err := res.CheckLiveness(); err != nil {
+			fmt.Fprintf(stderr, "ngm-run: liveness: %v\n", err)
+			return 1
+		}
 	}
 	if res.Timeline != nil {
 		fmt.Fprintln(stdout)

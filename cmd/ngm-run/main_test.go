@@ -31,6 +31,10 @@ func TestRejectsBadFlags(t *testing.T) {
 		"batch too wide":     {[]string{"-batch", "7"}, "out of range"},
 		"batch zero":         {[]string{"-batch", "0"}, "out of range"},
 		"bad prealloc":       {[]string{"-prealloc", "bogus"}, "unknown prealloc policy"},
+		"bad fault key":      {[]string{"-fault", "warp=1"}, "unknown key"},
+		"bad fault value":    {[]string{"-fault", "drop=abc"}, "bad value"},
+		"bad resilience":     {[]string{"-resilience", "timeout"}, "not key=value"},
+		"fault off offload":  {[]string{"-alloc", "mimalloc", "-fault", "slow=2"}, "no offload server"},
 	} {
 		rc, _, stderr := runCLI(tc.args...)
 		if rc != 2 {
@@ -59,6 +63,42 @@ func TestRunPrintsAttributionAndWritesMetrics(t *testing.T) {
 	}
 	if err := metrics.Validate(data); err != nil {
 		t.Errorf("emitted metrics file invalid: %v", err)
+	}
+}
+
+func TestFaultRunPrintsDegradationAndWritesMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	rc, stdout, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "3000",
+		"-fault", "stall-len=60000,stall-start=30000,stall-period=240000,seed=7",
+		"-resilience", "timeout=4000,retries=1,fallback=1",
+		"-metrics", path)
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	for _, want := range []string{"offload degradation telemetry", "fallback entries", "injected stalls"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Validate(data); err != nil {
+		t.Errorf("emitted metrics file invalid: %v", err)
+	}
+	if !strings.Contains(string(data), "\"resilience\"") {
+		t.Error("metrics file lacks the resilience block")
+	}
+}
+
+func TestCleanRunPrintsNoDegradation(t *testing.T) {
+	rc, stdout, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "1500")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if strings.Contains(stdout, "offload degradation telemetry") {
+		t.Errorf("unarmed run printed degradation telemetry:\n%s", stdout)
 	}
 }
 

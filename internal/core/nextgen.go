@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/fault"
 	"nextgenmalloc/internal/mem"
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
@@ -94,6 +95,17 @@ type Config struct {
 	// ring stamping but issues zero simulated memory traffic, so
 	// counters are bit-identical with and without it.
 	Latency *timeline.LatencyRecorder
+	// Resilience configures graceful degradation of the offload path
+	// (timeouts, retries, local fallback) and the server's request
+	// validation; see resilience.go. Zero value = disabled = seed
+	// protocol.
+	Resilience Resilience
+	// Faults, when non-nil, is the armed fault injector the server and
+	// transport consult (see internal/fault). Stall windows and slow-down
+	// apply whenever armed; doorbell drops and word corruption are only
+	// injected when Resilience.Enabled, because the seed blocking
+	// protocol cannot survive them.
+	Faults *fault.Injector
 }
 
 // DefaultConfig is the paper's proposal: offloaded, segregated, async
@@ -168,6 +180,7 @@ type client struct {
 	mreq     *ring.SPSC         // synchronous malloc/sync requests
 	freq     *ring.SPSC         // asynchronous frees (+ flush barriers)
 	seq      uint64             // host mirror of the next sequence number
+	res      *clientResilience  // degradation state (nil when disabled)
 	readIdx  [stashSlots]uint64 // client-register mirrors of stash read indices
 	// hot tracks the classes this client allocated recently; the server
 	// tops up their stashes from its idle cycles.
@@ -223,6 +236,9 @@ func New(t *sim.Thread, cfg Config) *Allocator {
 	}
 	if cfg.Batch > maxBatch {
 		cfg.Batch = maxBatch
+	}
+	if cfg.Resilience.Enabled {
+		cfg.Resilience.applyDefaults()
 	}
 	a := &Allocator{
 		cfg:      cfg,
@@ -603,6 +619,9 @@ func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
 			}
 		}
 	}
+	if a.cfg.Resilience.Enabled {
+		return a.resilientMalloc(t, c, size)
+	}
 	// Synchronous request: push and spin on the response line (the two
 	// flag variables of the paper's prototype collapse onto seq).
 	c.seq++
@@ -626,6 +645,10 @@ func (a *Allocator) Free(t *sim.Thread, addr uint64) {
 		return
 	}
 	c := a.clientOf(t)
+	if a.cfg.Resilience.Enabled {
+		a.resilientFree(t, c, addr)
+		return
+	}
 	c.seq++
 	if a.cfg.Batch > 1 && a.cfg.AsyncFree {
 		// Free coalescing: stage the request now (slot stores on a line
@@ -686,6 +709,10 @@ func (a *Allocator) Preheat(t *sim.Thread, sizes []uint64) {
 			continue
 		}
 		c := a.clientOf(t)
+		if a.cfg.Resilience.Enabled {
+			a.resilientPreheat(t, c, class)
+			continue
+		}
 		c.seq++
 		c.freq.Push(t, opPreheat|uint64(class)<<8, 0)
 	}
@@ -704,6 +731,10 @@ func (a *Allocator) Flush(t *sim.Thread) {
 		return
 	}
 	c := a.clientOf(t)
+	if a.cfg.Resilience.Enabled {
+		a.resilientFlush(t, c)
+		return
+	}
 	c.seq++
 	c.freq.Push(t, opSync, c.seq)
 	for t.AtomicLoad64(c.page+respSeq) != c.seq {
@@ -731,6 +762,15 @@ func (a *Allocator) clientOf(t *sim.Thread) *client {
 	if a.cfg.Latency != nil {
 		c.mreq.EnableStamps()
 		c.freq.EnableStamps()
+	}
+	if a.cfg.Resilience.Enabled || a.cfg.Faults != nil {
+		c.res = newClientResilience()
+	}
+	if inj := a.cfg.Faults; inj != nil && a.cfg.Resilience.Enabled && inj.Plan().DropEveryN > 0 {
+		// Doorbell loss is only injected when the client can recover
+		// (Republish after a timeout); the seed protocol would hang.
+		c.mreq.SetDropHook(inj.DropDoorbell)
+		c.freq.SetDropHook(inj.DropDoorbell)
 	}
 	a.byThread[t.ID()] = c
 	// Publication to the server's poll set: the host slice append is the
@@ -823,6 +863,17 @@ func (s *Server) PollStats() (emptyPolls, emptyPollCycles uint64) {
 func (s *Server) Run(t *sim.Thread) {
 	for {
 		start := t.Clock()
+		if inj := s.injector(); inj != nil {
+			if d := inj.StallPause(t.Clock()); d > 0 {
+				// The room was taken away: lease cycles without serving.
+				// Pauses are chunked so Stopping stays polled; drain (and
+				// with it shutdown) waits for the window to close, exactly
+				// like the applications do.
+				t.Pause(int(d))
+				s.idleCycles += t.Clock() - start
+				continue
+			}
+		}
 		if t.Stopping() {
 			if s.a == nil || s.drain(t) {
 				s.busyCycles += t.Clock() - start
@@ -873,7 +924,7 @@ func (s *Server) Poll(t *sim.Thread) bool {
 	// Priority pass: synchronous malloc requests first.
 	for _, c := range a.clients {
 		for {
-			w0, w1, ok := c.mreq.TryPop(t)
+			w0, w1, ok := s.pop(t, c.mreq)
 			if !ok {
 				break
 			}
@@ -890,13 +941,18 @@ func (s *Server) Poll(t *sim.Thread) bool {
 			var buf [maxBatch][2]uint64
 			var stamps [maxBatch]uint64
 			for n := 0; n < 16; n += a.cfg.Batch {
-				if w0, w1, ok := c.mreq.TryPop(t); ok {
+				if w0, w1, ok := s.pop(t, c.mreq); ok {
 					busy = true
 					s.serveSpan(t, c, c.mreq, w0, w1)
 				}
 				k := c.freq.PopN(t, buf[:a.cfg.Batch])
 				if k == 0 {
 					break
+				}
+				if inj := a.cfg.Faults; inj != nil && a.cfg.Resilience.Enabled {
+					for i := 0; i < k; i++ {
+						buf[i][0], buf[i][1] = inj.Corrupt(buf[i][0], buf[i][1])
+					}
 				}
 				busy = true
 				lat := a.cfg.Latency
@@ -906,8 +962,8 @@ func (s *Server) Poll(t *sim.Thread) bool {
 					deq = t.Clock()
 				}
 				for i := 0; i < k; i++ {
-					complete := s.serve(t, c, buf[i][0], buf[i][1])
-					if lat == nil {
+					complete, served := s.serve(t, c, false, buf[i][0], buf[i][1])
+					if lat == nil || !served {
 						continue
 					}
 					if op, ok := spanOp(buf[i][0]); ok {
@@ -923,11 +979,11 @@ func (s *Server) Poll(t *sim.Thread) bool {
 			continue
 		}
 		for n := 0; n < 16; n++ {
-			if w0, w1, ok := c.mreq.TryPop(t); ok {
+			if w0, w1, ok := s.pop(t, c.mreq); ok {
 				busy = true
 				s.serveSpan(t, c, c.mreq, w0, w1)
 			}
-			w0, w1, ok := c.freq.TryPop(t)
+			w0, w1, ok := s.pop(t, c.freq)
 			if !ok {
 				break
 			}
@@ -988,16 +1044,25 @@ func (s *Server) topUp(t *sim.Thread, c *client, class int) {
 
 // drain services any remaining queued operations; reports completion.
 func (s *Server) drain(t *sim.Thread) bool {
+	faulty := s.a.cfg.Faults != nil
 	for _, c := range s.a.clients {
+		if faulty {
+			// A dropped doorbell must not strand published slots at
+			// shutdown: re-ring both doorbells (the producers have exited,
+			// so the tail lines are quiescent) before the final pops. This
+			// is what keeps the liveness invariant pushes == pops.
+			c.mreq.Republish(t)
+			c.freq.Republish(t)
+		}
 		for {
-			w0, w1, ok := c.mreq.TryPop(t)
+			w0, w1, ok := s.pop(t, c.mreq)
 			if !ok {
 				break
 			}
 			s.serveSpan(t, c, c.mreq, w0, w1)
 		}
 		for {
-			w0, w1, ok := c.freq.TryPop(t)
+			w0, w1, ok := s.pop(t, c.freq)
 			if !ok {
 				break
 			}
@@ -1007,16 +1072,49 @@ func (s *Server) drain(t *sim.Thread) bool {
 	return true
 }
 
+// injector returns the armed fault injector, if any.
+func (s *Server) injector() *fault.Injector {
+	if s.a == nil {
+		return nil
+	}
+	return s.a.cfg.Faults
+}
+
+// pop is TryPop plus the corruption injection point: every word pair
+// the server receives may have a bit flipped by an armed plan (only
+// with resilience on — the seed protocol cannot survive it).
+func (s *Server) pop(t *sim.Thread, r *ring.SPSC) (uint64, uint64, bool) {
+	w0, w1, ok := r.TryPop(t)
+	if ok {
+		if inj := s.a.cfg.Faults; inj != nil && s.a.cfg.Resilience.Enabled {
+			w0, w1 = inj.Corrupt(w0, w1)
+		}
+	}
+	return w0, w1, ok
+}
+
 // serve processes one request and returns the server clock at the point
 // the request's effect became visible to the client (for malloc, the
 // response publication — stash restocking afterwards is off the
-// critical path and not part of the span's service time).
-func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) (complete uint64) {
+// critical path and not part of the span's service time). served is
+// false when the request was rejected (NACKed) instead: failed seal,
+// invalid payload, or an op code the protocol doesn't know.
+func (s *Server) serve(t *sim.Thread, c *client, fromMalloc bool, w0, w1 uint64) (complete uint64, served bool) {
 	a := s.a
-	a.served++
+	svcStart := t.Clock()
+	if a.cfg.Resilience.Enabled {
+		t.Exec(sealCost)
+		if !checkSeal(w0, w1) {
+			return s.nack(t, c, fromMalloc), false
+		}
+		w0 = unseal(w0)
+	}
 	switch w0 & 0xff {
 	case opMalloc:
 		size := w0 >> 8
+		if a.cfg.Resilience.Enabled && size > a.cfg.Resilience.MaxRequestBytes {
+			return s.nack(t, c, fromMalloc), false
+		}
 		addr := a.engineMalloc(t, size)
 		t.Store64(c.page+respAddr, addr)
 		t.AtomicStore64(c.page+respSeq, w1)
@@ -1032,7 +1130,15 @@ func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) (complete uint64
 			}
 		}
 	case opFree:
-		a.engineFreeCounted(t, w1)
+		if a.cfg.Resilience.Enabled {
+			// Validated path: an unmappable or misaligned address is a
+			// corrupt request, not a crash.
+			if !a.serveFreeValidated(t, w1) {
+				return s.nack(t, c, fromMalloc), false
+			}
+		} else {
+			a.engineFreeCounted(t, w1)
+		}
 		complete = t.Clock()
 		// Asynchronous: no response. (The client's seq counter advanced,
 		// so a later sync op publishes the newest seq.)
@@ -1044,6 +1150,9 @@ func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) (complete uint64
 		// real allocation after a cold start is a local pop. Heat first:
 		// the adaptive depth for a never-seen class is zero.
 		class := int(w0 >> 8)
+		if a.cfg.Resilience.Enabled && class >= a.sc.NumClasses() {
+			return s.nack(t, c, fromMalloc), false
+		}
 		c.noteHot(class)
 		if a.preallocOn() {
 			s.topUp(t, c, class)
@@ -1053,9 +1162,20 @@ func (s *Server) serve(t *sim.Thread, c *client, w0, w1 uint64) (complete uint64
 		}
 		complete = t.Clock()
 	default:
+		if a.cfg.Resilience.Enabled || a.cfg.Faults != nil {
+			return s.nack(t, c, fromMalloc), false
+		}
 		panic(fmt.Sprintf("core: unknown ring op %#x", w0))
 	}
-	return complete
+	a.served++
+	if inj := a.cfg.Faults; inj != nil {
+		if extra := inj.SlowPause(t.Clock() - svcStart); extra > 0 {
+			// A slow room: the response is already out, so the injected
+			// service-time multiple lands as delay on every later request.
+			t.Pause(int(extra))
+		}
+	}
+	return complete, true
 }
 
 // spanOp maps a ring op code to its latency-span kind; control ops
@@ -1075,14 +1195,18 @@ func spanOp(w0 uint64) (timeline.Op, bool) {
 // enqueue time, and the pop just happened so the current server clock
 // is the dequeue time.
 func (s *Server) serveSpan(t *sim.Thread, c *client, r *ring.SPSC, w0, w1 uint64) {
+	fromMalloc := r == c.mreq
 	lat := s.a.cfg.Latency
 	if lat == nil {
-		s.serve(t, c, w0, w1)
+		s.serve(t, c, fromMalloc, w0, w1)
 		return
 	}
 	enq := r.PoppedStamp()
 	deq := t.Clock()
-	complete := s.serve(t, c, w0, w1)
+	complete, served := s.serve(t, c, fromMalloc, w0, w1)
+	if !served {
+		return
+	}
 	if op, ok := spanOp(w0); ok {
 		lat.Record(op, c.threadID, enq, deq, complete)
 	}

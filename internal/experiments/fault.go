@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nextgenmalloc/internal/core"
+	"nextgenmalloc/internal/fault"
+	"nextgenmalloc/internal/harness"
+	"nextgenmalloc/internal/report"
+	"nextgenmalloc/internal/timeline"
+)
+
+// faultPlan / faultResilience are the global overrides installed by the
+// CLIs' -fault/-resilience flags; they apply to every harness run
+// launched through the standard experiment sets. The FaultSweep owns
+// its per-cell plans and ignores them.
+var (
+	faultPlan       *fault.Plan
+	faultResilience *core.Resilience
+)
+
+// SetFault installs a fault plan and resilience policy applied to every
+// run launched through the standard experiment sets (nil disarms).
+func SetFault(p *fault.Plan, r *core.Resilience) {
+	faultPlan = p
+	faultResilience = r
+}
+
+// ParseFault converts the CLI's -fault spec into a plan ("" or "none"
+// yields nil). It wraps fault.ParsePlan so command packages don't need
+// the fault import.
+func ParseFault(spec string) (*fault.Plan, error) { return fault.ParsePlan(spec) }
+
+// ParseResilience converts the CLI's -resilience spec into a policy.
+// "" keeps the kind default (nil); "off" pins the seed protocol even
+// under a fault plan; "on"/"default" is core.DefaultResilience; and a
+// comma list of timeout/retries/backoff/fallback/probe/max-request
+// key=value pairs tunes individual knobs (unset knobs take defaults).
+func ParseResilience(spec string) (*core.Resilience, error) {
+	switch strings.TrimSpace(spec) {
+	case "":
+		return nil, nil
+	case "off":
+		return &core.Resilience{}, nil
+	case "on", "default":
+		r := core.DefaultResilience()
+		return &r, nil
+	}
+	r := core.DefaultResilience()
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("resilience: %q is not key=value", part)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("resilience: bad value in %q: %v", part, err)
+		}
+		switch strings.TrimSpace(k) {
+		case "timeout":
+			r.TimeoutCycles = n
+		case "retries":
+			r.MaxRetries = int(n)
+		case "backoff":
+			r.BackoffCycles = n
+		case "fallback":
+			r.FallbackAfter = int(n)
+		case "probe":
+			r.ProbeCycles = n
+		case "max-request":
+			r.MaxRequestBytes = n
+		default:
+			return nil, fmt.Errorf("resilience: unknown key %q (want timeout, retries, backoff, fallback, probe, or max-request)", k)
+		}
+	}
+	return &r, nil
+}
+
+// faultCell is one column of the FaultSweep grid.
+type faultCell struct {
+	label string
+	kind  string
+	plan  *fault.Plan
+	res   *core.Resilience
+	slots int // free-ring depth (0 = kind default)
+}
+
+// faultCells builds the sweep grid: stall length × client timeout ×
+// free-ring depth, each cell also carrying background doorbell drops
+// and word corruption, with Mimalloc and a fault-free NextGen run as
+// reference columns.
+func faultCells() []faultCell {
+	cells := []faultCell{
+		{label: "mimalloc", kind: "mimalloc"},
+		{label: "ngm clean", kind: "nextgen"},
+	}
+	for _, stall := range []uint64{20000, 120000} {
+		for _, timeout := range []uint64{4000, 16000} {
+			for _, slots := range []int{64, 256} {
+				plan := &fault.Plan{
+					Seed:          1,
+					StallStart:    50000,
+					StallCycles:   stall,
+					StallPeriod:   4 * stall,
+					DropEveryN:    64,
+					CorruptEveryN: 256,
+				}
+				res := &core.Resilience{
+					Enabled:       true,
+					TimeoutCycles: timeout,
+					MaxRetries:    2,
+					BackoffCycles: timeout / 4,
+					FallbackAfter: 1,
+					ProbeCycles:   4 * timeout,
+				}
+				cells = append(cells, faultCell{
+					label: fmt.Sprintf("ngm s%dk t%dk r%d", stall/1000, timeout/1000, slots),
+					kind:  "nextgen",
+					plan:  plan,
+					res:   res,
+					slots: slots,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// FaultSweep measures graceful degradation under injected offload
+// faults: periodic server-core stalls crossed with the client's patience
+// (timeout) and the free-ring depth, with background doorbell loss and
+// ring-word corruption. Reported per cell: the usual counters, the
+// degradation ledger, offload malloc p99, the share of mallocs served
+// by the local fallback, and the cycle cost against Mimalloc (the
+// "allocator without a room") and against fault-free NextGen.
+func FaultSweep(s Scale) Outcome {
+	cells := faultCells()
+	// The sweep arms its own latency sampling (the global -timeline
+	// interval still wins when set) and calls harness.Run directly so
+	// per-cell plans are not overridden by the CLI globals.
+	interval := timelineInterval
+	if interval == 0 {
+		interval = 4096
+	}
+	all := runAll(len(cells), func(i int) harness.Result {
+		c := cells[i]
+		var tune func(*core.Config)
+		if c.slots > 0 {
+			slots := c.slots
+			tune = func(cfg *core.Config) { cfg.RingSlots = slots }
+		}
+		r := harness.Run(harness.Options{
+			Allocator:      c.kind,
+			Workload:       table3Xalanc(s),
+			Tune:           tune,
+			FaultPlan:      c.plan,
+			Resilience:     c.res,
+			SampleInterval: interval,
+		})
+		r.Allocator = c.label
+		return r
+	})
+
+	var b strings.Builder
+	b.WriteString(report.CounterTable("Fault sweep: periodic server stalls on xalanc (application cores)", all))
+	b.WriteByte('\n')
+	b.WriteString(report.ResilienceTable("Degradation telemetry (stall length × timeout × ring depth)", all))
+	b.WriteByte('\n')
+	mi, clean := all[0], all[1]
+	fmt.Fprintf(&b, "%-16s %12s %12s %14s %12s\n",
+		"cell", "p99 malloc", "fallback %", "vs mimalloc", "vs clean")
+	for _, r := range all {
+		p99 := "-"
+		if r.Latency.HasSpans() {
+			p99 = fmt.Sprintf("%d", r.Latency.ByOp[timeline.OpMalloc].Total.Quantile(0.99))
+		}
+		fb := "-"
+		if r.Resilience != nil && r.AllocStats.MallocCalls > 0 {
+			fb = fmt.Sprintf("%.2f%%",
+				float64(r.Resilience.Client.EmergencyMallocs)/float64(r.AllocStats.MallocCalls)*100)
+		}
+		rel := func(base harness.Result) string {
+			return fmt.Sprintf("%+.2f%%",
+				(float64(r.Total.Cycles)-float64(base.Total.Cycles))/float64(base.Total.Cycles)*100)
+		}
+		fmt.Fprintf(&b, "%-16s %12s %12s %14s %12s\n", r.Allocator, p99, fb, rel(mi), rel(clean))
+	}
+	b.WriteString("(vs columns: total application-core cycles, positive = slower than the reference)\n")
+	return Outcome{ID: "fault-sweep", Results: all, Text: b.String()}
+}

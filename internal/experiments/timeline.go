@@ -13,9 +13,18 @@ var timelineInterval uint64
 // through the standard experiment sets. interval 0 disarms.
 func SetTimeline(interval uint64) { timelineInterval = interval }
 
-// run wraps harness.Run, applying the global timeline interval so every
-// experiment path gains time-resolved telemetry when the CLI arms it.
+// run wraps harness.Run, applying the global timeline interval and the
+// global fault plan / resilience policy so every experiment path gains
+// time-resolved telemetry and fault injection when the CLI arms them.
+// Paths that own these knobs (the FaultSweep's per-cell plans) call
+// harness.Run directly instead.
 func run(opt harness.Options) harness.Result {
 	opt.SampleInterval = timelineInterval
+	if opt.FaultPlan == nil {
+		opt.FaultPlan = faultPlan
+	}
+	if opt.Resilience == nil {
+		opt.Resilience = faultResilience
+	}
 	return harness.Run(opt)
 }

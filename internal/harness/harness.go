@@ -19,6 +19,7 @@ import (
 	"nextgenmalloc/internal/allocators/ptmalloc"
 	"nextgenmalloc/internal/allocators/tcmalloc"
 	"nextgenmalloc/internal/core"
+	"nextgenmalloc/internal/fault"
 	"nextgenmalloc/internal/mem"
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
@@ -84,6 +85,19 @@ type Options struct {
 	// SampleCapacity bounds the sample series (timeline.DefaultCapacity
 	// when 0); the interval doubles when the buffer fills.
 	SampleCapacity int
+	// FaultPlan arms deterministic fault injection on offload runs (see
+	// internal/fault); nil or unarmed means a clean run. When a plan is
+	// armed and Resilience is nil, core.DefaultResilience is applied
+	// automatically — doorbell drops and corruption are unsurvivable for
+	// the seed blocking protocol, and even a bare stall plan is only
+	// worth measuring with the degradation machinery on. Pass an explicit
+	// Resilience (possibly zero-valued) to override.
+	FaultPlan *fault.Plan
+	// Resilience overrides NextGen's graceful-degradation policy (applied
+	// after Tune). nil keeps the kind's default: disabled, unless
+	// FaultPlan forces the default policy on (see above). Ignored for
+	// non-NextGen allocators.
+	Resilience *core.Resilience
 }
 
 // Result carries everything a table needs.
@@ -125,6 +139,27 @@ type Result struct {
 	// ServerCore is the dedicated allocator core's index, or -1 when the
 	// run had no server daemon.
 	ServerCore int
+	// Resilience carries the degradation/fault telemetry; nil unless the
+	// run armed Options.FaultPlan or a resilience policy.
+	Resilience *ResilienceTelemetry
+}
+
+// ResilienceTelemetry pairs the client-side degradation counters with
+// what the fault injector actually did to the run.
+type ResilienceTelemetry struct {
+	// Client merges every offload client's degradation counters
+	// (timeouts, retries, NACKs, fallback transitions, emergency ops).
+	Client core.ResilienceStats
+	// Injected is the fault injector's own ledger (zero-valued when a
+	// resilience policy ran without a fault plan).
+	Injected fault.Stats
+}
+
+// Add accumulates o into tel, covering every field (kept exhaustive by
+// the reflection test in telemetry_test.go).
+func (tel *ResilienceTelemetry) Add(o ResilienceTelemetry) {
+	tel.Client.Add(o.Client)
+	tel.Injected.Add(o.Injected)
 }
 
 // OffloadTelemetry is the transport-level view of an offload run: what
@@ -195,6 +230,35 @@ func needsServer(kind string) bool {
 		return true
 	}
 	return false
+}
+
+// OffloadKind reports whether kind runs the offload transport — the
+// kinds a fault plan can target (CLI validation shares this check).
+func OffloadKind(kind string) bool { return needsServer(kind) }
+
+// CheckLiveness verifies the offload accounting invariant on a finished
+// run: every pushed request was popped (nothing stranded in a ring at
+// shutdown), and every popped request was either served or NACKed.
+// nil Offload (non-offload run) trivially passes.
+func (r Result) CheckLiveness() error {
+	if r.Offload == nil {
+		return nil
+	}
+	pushes := r.Offload.MallocRing.Pushes + r.Offload.FreeRing.Pushes
+	pops := r.Offload.MallocRing.Pops + r.Offload.FreeRing.Pops
+	if pushes != pops {
+		return fmt.Errorf("liveness: %d requests pushed but %d popped (%d lost in the rings)",
+			pushes, pops, pushes-pops)
+	}
+	var nacks uint64
+	if r.Resilience != nil {
+		nacks = r.Resilience.Client.MallocNacks + r.Resilience.Client.FreeNacks
+	}
+	if r.Served+nacks != pops {
+		return fmt.Errorf("liveness: %d popped but only %d served + %d nacked",
+			pops, r.Served, nacks)
+	}
+	return nil
 }
 
 // nextgenConfig maps a kind to the core.Config variant.
@@ -277,6 +341,14 @@ func Run(opt Options) Result {
 		m.SpawnDaemon("ngm-server", serverCore, srv.Run)
 	}
 
+	// Deterministic fault injection (offload runs only; a plan against an
+	// inline allocator has no transport to break).
+	var inj *fault.Injector
+	if opt.FaultPlan != nil && opt.FaultPlan.Armed() && srv != nil {
+		inj = fault.NewInjector(*opt.FaultPlan)
+		inj.Attach(m)
+	}
+
 	res := Result{
 		Allocator:  opt.Allocator,
 		Workload:   w.Name(),
@@ -331,7 +403,7 @@ func Run(opt Options) Result {
 		part := i
 		m.Spawn(fmt.Sprintf("%s-worker-%d", w.Name(), part), workerCore(part), func(t *sim.Thread) {
 			if part == 0 {
-				a = makeAllocator(t, opt, srv, latRec)
+				a = makeAllocator(t, opt, srv, latRec, inj)
 				if opt.Wrap != nil {
 					a = opt.Wrap(a)
 				}
@@ -390,6 +462,13 @@ func Run(opt Options) Result {
 			tel.ServerEmptyPolls, tel.ServerEmptyPollCycles = srv.PollStats()
 			res.Offload = tel
 		}
+		if ng.ResilienceEnabled() || inj != nil {
+			rt := &ResilienceTelemetry{Client: ng.ResilienceTelemetry()}
+			if inj != nil {
+				rt.Injected = inj.Stats()
+			}
+			res.Resilience = rt
+		}
 	}
 	if sampler != nil {
 		sampler.Finish()
@@ -400,7 +479,7 @@ func Run(opt Options) Result {
 }
 
 // makeAllocator instantiates the requested allocator on thread t.
-func makeAllocator(t *sim.Thread, opt Options, srv *core.Server, latRec *timeline.LatencyRecorder) alloc.Allocator {
+func makeAllocator(t *sim.Thread, opt Options, srv *core.Server, latRec *timeline.LatencyRecorder, inj *fault.Injector) alloc.Allocator {
 	switch kind := opt.Allocator; kind {
 	case "ptmalloc2":
 		return ptmalloc.New(t)
@@ -419,6 +498,12 @@ func makeAllocator(t *sim.Thread, opt Options, srv *core.Server, latRec *timelin
 			opt.Tune(&cfg)
 		}
 		cfg.Latency = latRec
+		if opt.Resilience != nil {
+			cfg.Resilience = *opt.Resilience
+		} else if inj != nil {
+			cfg.Resilience = core.DefaultResilience()
+		}
+		cfg.Faults = inj
 		a := core.New(t, cfg)
 		if srv != nil {
 			srv.Attach(a)

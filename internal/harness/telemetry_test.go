@@ -60,3 +60,15 @@ func TestOffloadTelemetryAddCoversEveryField(t *testing.T) {
 	walkCheck(t, "OffloadTelemetry",
 		reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(sum))
 }
+
+func TestResilienceTelemetryAddCoversEveryField(t *testing.T) {
+	var a, b ResilienceTelemetry
+	n := uint64(0)
+	walkFill(reflect.ValueOf(&a).Elem(), &n, 1)
+	n = 0
+	walkFill(reflect.ValueOf(&b).Elem(), &n, 1000)
+	sum := a
+	sum.Add(b)
+	walkCheck(t, "ResilienceTelemetry",
+		reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(sum))
+}

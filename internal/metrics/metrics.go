@@ -64,6 +64,9 @@ type Result struct {
 	// OffloadLatency is present when the run recorded offload request
 	// spans (additive in schema v1).
 	OffloadLatency *OffloadLatency `json:"offload_latency,omitempty"`
+	// Resilience is present when the run armed the graceful-degradation
+	// policy or a fault plan (additive in schema v1).
+	Resilience *Resilience `json:"resilience,omitempty"`
 }
 
 // ClassCounters mirrors sim.ClassCounters in snake_case.
@@ -126,6 +129,29 @@ type TimelineSample struct {
 	FreeRingDepth   uint64 `json:"free_ring_depth"`
 	ServerBusy      uint64 `json:"server_busy_cycles"`
 	ServerEmptyPoll uint64 `json:"server_empty_poll_cycles"`
+}
+
+// Resilience is the graceful-degradation and fault-injection ledger of
+// a run: client-side policy events plus what the injector actually did.
+type Resilience struct {
+	Timeouts          uint64 `json:"timeouts"`
+	Retries           uint64 `json:"retries"`
+	MallocNacks       uint64 `json:"malloc_nacks"`
+	FreeNacks         uint64 `json:"free_nacks"`
+	FallbackEntries   uint64 `json:"fallback_entries"`
+	FallbackExits     uint64 `json:"fallback_exits"`
+	DegradedCycles    uint64 `json:"degraded_cycles"`
+	EmergencyMallocs  uint64 `json:"emergency_mallocs"`
+	EmergencyFrees    uint64 `json:"emergency_frees"`
+	DeferredFrees     uint64 `json:"deferred_frees"`
+	AbandonedRequests uint64 `json:"abandoned_requests"`
+	ReclaimedBlocks   uint64 `json:"reclaimed_blocks"`
+
+	InjectedStalls         uint64 `json:"injected_stalls"`
+	InjectedStallCycles    uint64 `json:"injected_stall_cycles"`
+	InjectedDoorbellDrops  uint64 `json:"injected_doorbell_drops"`
+	InjectedCorruptWords   uint64 `json:"injected_corrupt_words"`
+	InjectedSlowdownCycles uint64 `json:"injected_slowdown_cycles"`
 }
 
 // OffloadLatency carries the per-op offload latency digests. An op's
@@ -274,6 +300,29 @@ func FromResult(r harness.Result) Result {
 	if r.Latency != nil && r.Latency.HasSpans() {
 		out.OffloadLatency = latencyMetrics(r.Latency)
 	}
+	if r.Resilience != nil {
+		c, inj := r.Resilience.Client, r.Resilience.Injected
+		out.Resilience = &Resilience{
+			Timeouts:          c.Timeouts,
+			Retries:           c.Retries,
+			MallocNacks:       c.MallocNacks,
+			FreeNacks:         c.FreeNacks,
+			FallbackEntries:   c.FallbackEntries,
+			FallbackExits:     c.FallbackExits,
+			DegradedCycles:    c.DegradedCycles,
+			EmergencyMallocs:  c.EmergencyMallocs,
+			EmergencyFrees:    c.EmergencyFrees,
+			DeferredFrees:     c.DeferredFrees,
+			AbandonedRequests: c.AbandonedRequests,
+			ReclaimedBlocks:   c.ReclaimedBlocks,
+
+			InjectedStalls:         inj.Stalls,
+			InjectedStallCycles:    inj.StallCycles,
+			InjectedDoorbellDrops:  inj.DoorbellDrops,
+			InjectedCorruptWords:   inj.CorruptWords,
+			InjectedSlowdownCycles: inj.SlowdownCycles,
+		}
+	}
 	return out
 }
 
@@ -351,7 +400,33 @@ func Validate(data []byte) error {
 			if err := validateLatency(e.ID, i, r.OffloadLatency); err != nil {
 				return err
 			}
+			if err := validateResilience(e.ID, i, r.Resilience); err != nil {
+				return err
+			}
 		}
+	}
+	return nil
+}
+
+func validateResilience(exp string, i int, rz *Resilience) error {
+	if rz == nil {
+		return nil
+	}
+	if rz.FallbackExits > rz.FallbackEntries {
+		return fmt.Errorf("metrics: experiment %q result %d resilience has %d fallback exits but %d entries",
+			exp, i, rz.FallbackExits, rz.FallbackEntries)
+	}
+	if rz.DegradedCycles > 0 && rz.FallbackEntries == 0 {
+		return fmt.Errorf("metrics: experiment %q result %d resilience has degraded cycles without a fallback entry",
+			exp, i)
+	}
+	if rz.ReclaimedBlocks > rz.AbandonedRequests {
+		return fmt.Errorf("metrics: experiment %q result %d resilience reclaimed %d blocks of %d abandoned",
+			exp, i, rz.ReclaimedBlocks, rz.AbandonedRequests)
+	}
+	if rz.Retries > rz.Timeouts+rz.MallocNacks+rz.FreeNacks {
+		return fmt.Errorf("metrics: experiment %q result %d resilience has %d retries for %d timeouts+nacks",
+			exp, i, rz.Retries, rz.Timeouts+rz.MallocNacks+rz.FreeNacks)
 	}
 	return nil
 }

@@ -2,11 +2,14 @@ package metrics
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"nextgenmalloc/internal/core"
+	"nextgenmalloc/internal/fault"
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/workload"
@@ -115,5 +118,77 @@ func TestWriteFile(t *testing.T) {
 	}
 	if err := Validate(data); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestResilienceMetricsRoundTrip(t *testing.T) {
+	res := harness.Run(harness.Options{
+		Allocator: "nextgen",
+		Workload:  workload.DefaultXalanc(1500),
+		FaultPlan: &fault.Plan{Seed: 4, StallCycles: 80000, StallStart: 30000},
+		Resilience: &core.Resilience{
+			Enabled: true, TimeoutCycles: 4000, MaxRetries: 1,
+			BackoffCycles: 512, FallbackAfter: 1, ProbeCycles: 10000,
+		},
+	})
+	if res.Resilience == nil {
+		t.Fatal("fault run produced no resilience telemetry")
+	}
+	data, err := NewFile(FromResults("fault-sweep", []harness.Result{res})).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("fault-run metrics fail validation: %v", err)
+	}
+	s := string(data)
+	for _, key := range []string{
+		`"resilience"`, `"timeouts"`, `"retries"`, `"malloc_nacks"`, `"free_nacks"`,
+		`"fallback_entries"`, `"fallback_exits"`, `"degraded_cycles"`,
+		`"emergency_mallocs"`, `"emergency_frees"`, `"deferred_frees"`,
+		`"abandoned_requests"`, `"reclaimed_blocks"`,
+		`"injected_stalls"`, `"injected_stall_cycles"`, `"injected_doorbell_drops"`,
+		`"injected_corrupt_words"`, `"injected_slowdown_cycles"`,
+	} {
+		if !strings.Contains(s, key) {
+			t.Errorf("schema key %s missing from output", key)
+		}
+	}
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	rz := back.Experiments[0].Results[0].Resilience
+	if rz == nil {
+		t.Fatal("resilience block lost in round trip")
+	}
+	if rz.InjectedStalls != res.Resilience.Injected.Stalls ||
+		rz.FallbackEntries != res.Resilience.Client.FallbackEntries {
+		t.Errorf("resilience counters did not round-trip: %+v vs %+v", rz, res.Resilience)
+	}
+	// A clean run must not grow the block.
+	clean := sampleResult(t)
+	cleanData, err := NewFile(FromResults("clean", []harness.Result{clean})).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(cleanData), `"resilience"`) {
+		t.Error("clean run emitted a resilience block")
+	}
+}
+
+func TestValidateRejectsBadResilience(t *testing.T) {
+	base := `{"schema":"ngm-metrics/v1","experiments":[{"id":"a","results":[{"allocator":"x","workload":"w",` +
+		`"classes":{"user":{},"metadata":{},"ring":{},"global":{}},"resilience":%s}]}]}`
+	for name, rz := range map[string]string{
+		"exits > entries":          `{"fallback_entries":1,"fallback_exits":2}`,
+		"degraded without entry":   `{"degraded_cycles":5}`,
+		"reclaimed > abandoned":    `{"abandoned_requests":1,"reclaimed_blocks":2}`,
+		"retries without timeouts": `{"retries":3}`,
+	} {
+		doc := fmt.Sprintf(base, rz)
+		if err := Validate([]byte(doc)); err == nil {
+			t.Errorf("Validate accepted resilience document with %s", name)
+		}
 	}
 }

@@ -217,6 +217,54 @@ func TransportTable(title string, results []harness.Result) string {
 	return Table(title, header, TransportRows(results))
 }
 
+// ResilienceRows builds the graceful-degradation layout: one row per
+// resilience/fault metric, one column per result. Columns for runs
+// without resilience telemetry (clean seed runs, classic allocators)
+// render as "-".
+func ResilienceRows(results []harness.Result) [][]string {
+	row := func(name string, get func(harness.Result) string) []string {
+		cells := []string{name}
+		for _, r := range results {
+			if r.Resilience == nil {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, get(r))
+		}
+		return cells
+	}
+	count := func(v uint64) string { return fmt.Sprintf("%d", v) }
+	return [][]string{
+		row("timeouts", func(r harness.Result) string { return count(r.Resilience.Client.Timeouts) }),
+		row("retries", func(r harness.Result) string { return count(r.Resilience.Client.Retries) }),
+		row("malloc NACKs", func(r harness.Result) string { return count(r.Resilience.Client.MallocNacks) }),
+		row("free NACKs", func(r harness.Result) string { return count(r.Resilience.Client.FreeNacks) }),
+		row("fallback entries", func(r harness.Result) string { return count(r.Resilience.Client.FallbackEntries) }),
+		row("fallback exits", func(r harness.Result) string { return count(r.Resilience.Client.FallbackExits) }),
+		row("degraded cycles", func(r harness.Result) string { return Sci(float64(r.Resilience.Client.DegradedCycles)) }),
+		row("emergency mallocs", func(r harness.Result) string { return count(r.Resilience.Client.EmergencyMallocs) }),
+		row("emergency frees", func(r harness.Result) string { return count(r.Resilience.Client.EmergencyFrees) }),
+		row("deferred frees", func(r harness.Result) string { return count(r.Resilience.Client.DeferredFrees) }),
+		row("abandoned requests", func(r harness.Result) string { return count(r.Resilience.Client.AbandonedRequests) }),
+		row("reclaimed blocks", func(r harness.Result) string { return count(r.Resilience.Client.ReclaimedBlocks) }),
+		row("injected stalls", func(r harness.Result) string { return count(r.Resilience.Injected.Stalls) }),
+		row("injected stall cycles", func(r harness.Result) string { return Sci(float64(r.Resilience.Injected.StallCycles)) }),
+		row("injected drops", func(r harness.Result) string { return count(r.Resilience.Injected.DoorbellDrops) }),
+		row("injected corruptions", func(r harness.Result) string { return count(r.Resilience.Injected.CorruptWords) }),
+		row("injected slow cycles", func(r harness.Result) string { return Sci(float64(r.Resilience.Injected.SlowdownCycles)) }),
+	}
+}
+
+// ResilienceTable renders the degradation/fault telemetry in the
+// counter table's layout (metrics × allocators).
+func ResilienceTable(title string, results []harness.Result) string {
+	header := []string{"Allocator"}
+	for _, r := range results {
+		header = append(header, r.Allocator)
+	}
+	return Table(title, header, ResilienceRows(results))
+}
+
 // sparkRamp orders the sparkline glyphs from empty to full.
 const sparkRamp = " .:-=+*#%@"
 

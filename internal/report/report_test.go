@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"nextgenmalloc/internal/core"
+	"nextgenmalloc/internal/fault"
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
@@ -146,5 +148,34 @@ func TestAttributionTable(t *testing.T) {
 	out = AttributionTable("attr", []harness.Result{empty})
 	if strings.Contains(out, "NaN") {
 		t.Errorf("attribution table emitted NaN:\n%s", out)
+	}
+}
+
+func TestResilienceTable(t *testing.T) {
+	faulty := harness.Result{
+		Allocator: "ngm s120k t4k",
+		Resilience: &harness.ResilienceTelemetry{
+			Client: core.ResilienceStats{
+				Timeouts: 12, Retries: 9, MallocNacks: 3, FreeNacks: 2,
+				FallbackEntries: 4, FallbackExits: 3, DegradedCycles: 250000,
+				EmergencyMallocs: 180, EmergencyFrees: 170, DeferredFrees: 15,
+				AbandonedRequests: 5, ReclaimedBlocks: 4,
+			},
+			Injected: fault.Stats{Stalls: 2, StallCycles: 240000, DoorbellDrops: 6, CorruptWords: 11},
+		},
+	}
+	clean := harness.Result{Allocator: "mimalloc"} // no Resilience: renders "-"
+	out := ResilienceTable("resilience", []harness.Result{faulty, clean})
+	for _, want := range []string{
+		"fallback entries", "4",
+		"emergency mallocs", "180",
+		"malloc NACKs", "3",
+		"injected corruptions", "11",
+		"reclaimed blocks",
+		"-", // clean column has no telemetry
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
 	}
 }

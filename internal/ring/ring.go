@@ -86,6 +86,15 @@ type SPSC struct {
 	consHead   uint64 // consumer's private head mirror
 	shadowTail uint64 // consumer's last-read producer index
 
+	// pubTail is the tail value actually delivered to the consumer's
+	// line. It trails prodTail only while a fault-injected doorbell drop
+	// is outstanding; Republish (or the next surviving Publish) catches
+	// it up.
+	pubTail uint64
+	// dropHook, when set, is consulted on each tail publication;
+	// returning true suppresses the tail store (a lost doorbell).
+	dropHook func() bool
+
 	stats Stats
 
 	// stamps, when enabled, records the producer clock at stage time for
@@ -188,6 +197,28 @@ func (r *SPSC) TryStage(t *sim.Thread, w0, w1 uint64) bool {
 // Staged reports how many slots are written but not yet published.
 func (r *SPSC) Staged() int { return int(r.staged) }
 
+// SetDropHook installs a fault-injection hook consulted on every tail
+// publication; returning true loses that doorbell (the slot words are
+// written, but the consumer keeps seeing the old tail until a later
+// publication or Republish delivers it). Nil disarms. Test/injection
+// use only — with no hook the transport is byte-identical to the seed.
+func (r *SPSC) SetDropHook(fn func() bool) { r.dropHook = fn }
+
+// Republish re-rings the doorbell: an unconditional release store of
+// the producer's true tail, recovering any publication a drop hook
+// suppressed. The retry path's store is deliberately not droppable —
+// it models a synchronous re-ring, not a fire-and-forget doorbell.
+// Producer-side state; the shutdown drain may also call it to surface
+// hidden slots before the final pops.
+func (r *SPSC) Republish(t *sim.Thread) {
+	r.pubTail = r.prodTail
+	t.AtomicStore64(r.tailAddr(), r.prodTail)
+}
+
+// Dropped reports whether a suppressed doorbell is outstanding (the
+// consumer's tail line is stale). Host-side observation only.
+func (r *SPSC) Dropped() bool { return r.pubTail != r.prodTail }
+
 // Publish makes every staged slot visible with one release store of the
 // new tail. A no-op (no simulated traffic) when nothing is staged.
 func (r *SPSC) Publish(t *sim.Thread) {
@@ -197,7 +228,14 @@ func (r *SPSC) Publish(t *sim.Thread) {
 	k := r.staged
 	r.staged = 0
 	r.prodTail += k
-	t.AtomicStore64(r.tailAddr(), r.prodTail)
+	if r.dropHook != nil && r.dropHook() {
+		// Doorbell lost: the producer still pays the store (it executed
+		// the instruction), but the line delivers the stale tail.
+		t.AtomicStore64(r.tailAddr(), r.pubTail)
+	} else {
+		r.pubTail = r.prodTail
+		t.AtomicStore64(r.tailAddr(), r.prodTail)
+	}
 	r.stats.Pushes += k
 	r.stats.PushBatches++
 	// The histogram counts per request (its sum stays equal to Pushes):

@@ -435,3 +435,78 @@ func TestPushStallCycles(t *testing.T) {
 		t.Error("full-ring Push recorded no full retries")
 	}
 }
+
+// TestDropHookSuppressesDoorbell: a dropped publication leaves the
+// consumer blind to the new slots until Republish re-rings the bell.
+func TestDropHookSuppressesDoorbell(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		r := New(th.Mmap(1), 8)
+		drop := true
+		r.SetDropHook(func() bool { return drop })
+		if !r.TryPush(th, 1, 10) {
+			t.Fatal("push failed")
+		}
+		if !r.Dropped() {
+			t.Error("Dropped() false after a suppressed publication")
+		}
+		if _, _, ok := r.TryPop(th); ok {
+			t.Fatal("consumer saw a slot whose doorbell was dropped")
+		}
+		r.Republish(th)
+		if r.Dropped() {
+			t.Error("Dropped() still true after Republish")
+		}
+		w0, w1, ok := r.TryPop(th)
+		if !ok || w0 != 1 || w1 != 10 {
+			t.Fatalf("pop after Republish = (%d,%d,%v), want (1,10,true)", w0, w1, ok)
+		}
+		// A surviving publication also catches up the lost ones.
+		if !r.TryPush(th, 2, 20) {
+			t.Fatal("push 2 failed")
+		}
+		drop = false
+		if !r.TryPush(th, 3, 30) {
+			t.Fatal("push 3 failed")
+		}
+		for want := uint64(2); want <= 3; want++ {
+			w0, _, ok := r.TryPop(th)
+			if !ok || w0 != want {
+				t.Fatalf("pop = (%d,%v), want (%d,true)", w0, ok, want)
+			}
+		}
+	})
+}
+
+// TestDropHookCountsUnchanged: drops perturb delivery, not accounting —
+// Pushes still counts every published slot, so the harness liveness
+// invariant (pushes == pops after a drain with Republish) can rely on it.
+func TestDropHookStatsStable(t *testing.T) {
+	withThread(t, func(th *sim.Thread) {
+		clean := New(th.Mmap(1), 8)
+		faulty := New(th.Mmap(1), 8)
+		i := 0
+		faulty.SetDropHook(func() bool { i++; return i%2 == 0 })
+		for k := uint64(0); k < 6; k++ {
+			clean.TryPush(th, k, k)
+			faulty.TryPush(th, k, k)
+		}
+		faulty.Republish(th)
+		for {
+			if _, _, ok := clean.TryPop(th); !ok {
+				break
+			}
+		}
+		for {
+			if _, _, ok := faulty.TryPop(th); !ok {
+				break
+			}
+		}
+		cs, fs := clean.Stats(), faulty.Stats()
+		if cs.Pushes != fs.Pushes || cs.Pops != fs.Pops {
+			t.Errorf("drop hook changed push/pop accounting: clean %+v faulty %+v", cs, fs)
+		}
+		if fs.Pushes != fs.Pops {
+			t.Errorf("faulty ring lost slots: %d pushed, %d popped", fs.Pushes, fs.Pops)
+		}
+	})
+}

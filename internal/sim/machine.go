@@ -147,6 +147,24 @@ func (m *Machine) SetProbe(fn func(wall uint64)) {
 	m.probe = fn
 }
 
+// AddProbe chains fn onto any probe already installed, so independent
+// observers (the timeline sampler, the fault injector) can share the
+// scheduler hook. Probes run in installation order under the same
+// contract as SetProbe: host-side observation only.
+func (m *Machine) AddProbe(fn func(wall uint64)) {
+	if m.running {
+		panic("sim: AddProbe after Run")
+	}
+	if prev := m.probe; prev != nil {
+		m.probe = func(wall uint64) {
+			prev(wall)
+			fn(wall)
+		}
+		return
+	}
+	m.probe = fn
+}
+
 // Run executes every spawned thread to completion, interleaving them
 // deterministically: the thread with the lowest core clock always runs
 // next, holding a lease until just past the next-lowest clock plus the

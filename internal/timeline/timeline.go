@@ -118,11 +118,12 @@ func NewSampler(interval uint64, capacity int) *Sampler {
 	return &Sampler{interval: interval, capacity: capacity}
 }
 
-// Attach arms the sampler on m (before m.Run).
+// Attach arms the sampler on m (before m.Run). The sampler shares the
+// scheduler hook with other observers (AddProbe chains them).
 func (s *Sampler) Attach(m *sim.Machine) {
 	s.m = m
 	s.next = s.interval
-	m.SetProbe(s.tick)
+	m.AddProbe(s.tick)
 }
 
 // ProbeRings installs the ring-occupancy gauge evaluated at each sample
