@@ -27,6 +27,7 @@ import (
 
 	"nextgenmalloc/internal/experiments"
 	"nextgenmalloc/internal/metrics"
+	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/timeline"
 )
 
@@ -52,7 +53,18 @@ func run() int {
 	resSpec := flag.String("resilience", "", "offload degradation policy for standard-experiment runs: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
 	timelineIv := flag.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles on every run (0 = off; implied by -chrome-trace)")
 	tracePath := flag.String("chrome-trace", "", "write all runs as one Chrome trace-event JSON file (chrome://tracing / Perfetto)")
+	warp := flag.Bool("warp", true, "skip provably-idle wait windows in the scheduler (bit-identical counters; -warp=false forces fully-stepped execution)")
+	quantum := flag.Int64("quantum", 64, "scheduler lease slack in cycles (must be > 0)")
 	flag.Parse()
+
+	if *quantum <= 0 {
+		fmt.Fprintf(os.Stderr, "ngm-bench: -quantum must be > 0 (got %d)\n", *quantum)
+		return 2
+	}
+	mcfg := sim.ScaledConfig()
+	mcfg.Warp = *warp
+	mcfg.Quantum = uint64(*quantum)
+	experiments.SetMachine(&mcfg)
 
 	tune, err := experiments.ParseTransport(*batch, *prealloc)
 	if err != nil {

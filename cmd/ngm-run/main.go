@@ -19,6 +19,7 @@ import (
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/metrics"
 	"nextgenmalloc/internal/report"
+	"nextgenmalloc/internal/sim"
 	"nextgenmalloc/internal/timeline"
 	"nextgenmalloc/internal/workload"
 )
@@ -50,6 +51,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
 	timelineIv := fs.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles (0 = off; implied by -chrome-trace)")
 	tracePath := fs.String("chrome-trace", "", "write a Chrome trace-event JSON file (chrome://tracing / Perfetto) to this path")
+	warp := fs.Bool("warp", true, "skip provably-idle wait windows in the scheduler (bit-identical counters; -warp=false forces fully-stepped execution)")
+	quantum := fs.Int64("quantum", 64, "scheduler lease slack in cycles (must be > 0)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +88,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *ops < 1 {
 		fmt.Fprintf(stderr, "ngm-run: -ops must be >= 1 (got %d)\n", *ops)
+		return 2
+	}
+	if *quantum <= 0 {
+		fmt.Fprintf(stderr, "ngm-run: -quantum must be > 0 (got %d)\n", *quantum)
 		return 2
 	}
 	if *wname == "sh6bench" && *ops < sh6benchBatch {
@@ -123,6 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	mcfg := sim.ScaledConfig()
+	mcfg.Warp = *warp
+	mcfg.Quantum = uint64(*quantum)
+
 	res := harness.Run(harness.Options{
 		Allocator:      *kind,
 		Workload:       w,
@@ -130,6 +141,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SampleInterval: interval,
 		FaultPlan:      faultPlan,
 		Resilience:     resilience,
+		Machine:        &mcfg,
 	})
 	fmt.Fprint(stdout, report.CounterTable(fmt.Sprintf("%s on %s", *wname, *kind), []harness.Result{res}))
 	fmt.Fprintln(stdout)
@@ -139,6 +151,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "heap bytes:     %d (fragmentation %.3f)\n", res.AllocStats.HeapBytes, res.AllocStats.Fragmentation())
 	fmt.Fprintf(stdout, "kernel:         %d mmap, %d brk, %d pages, %s cycles\n",
 		res.Kernel.Mmap, res.Kernel.Brk, res.Kernel.Pages, report.Sci(float64(res.Kernel.Cycles)))
+	if res.Warp.Windows > 0 {
+		fmt.Fprintf(stdout, "time warp:      %d windows, %d rounds skipped, %s cycles (largest skip %d)\n",
+			res.Warp.Windows, res.Warp.Rounds, report.Sci(float64(res.Warp.CyclesWarped)), res.Warp.LargestSkip)
+	}
 	if res.Served > 0 {
 		fmt.Fprintf(stdout, "offload server: %s cycles, %d ops served\n", report.Sci(float64(res.Server.Cycles)), res.Served)
 	}

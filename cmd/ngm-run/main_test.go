@@ -34,6 +34,8 @@ func TestRejectsBadFlags(t *testing.T) {
 		"bad fault key":      {[]string{"-fault", "warp=1"}, "unknown key"},
 		"bad fault value":    {[]string{"-fault", "drop=abc"}, "bad value"},
 		"bad resilience":     {[]string{"-resilience", "timeout"}, "not key=value"},
+		"zero quantum":       {[]string{"-quantum", "0"}, "-quantum must be > 0"},
+		"negative quantum":   {[]string{"-quantum", "-8"}, "-quantum must be > 0"},
 		"fault off offload":  {[]string{"-alloc", "mimalloc", "-fault", "slow=2"}, "no offload server"},
 	} {
 		rc, _, stderr := runCLI(tc.args...)
@@ -110,5 +112,36 @@ func TestSh6benchMinimumBatchRuns(t *testing.T) {
 	}
 	if strings.Contains(stdout, "mallocs/frees:  0 / 0") {
 		t.Errorf("one-batch sh6bench did no allocations:\n%s", stdout)
+	}
+}
+
+// stripWarpLines drops the "time warp:" host-telemetry line, the only
+// stdout line allowed to differ between -warp settings.
+func stripWarpLines(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "time warp:") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestWarpFlagBitIdenticalOutput(t *testing.T) {
+	args := []string{"-alloc", "nextgen", "-workload", "xmalloc", "-threads", "2", "-ops", "400"}
+	rcOn, on, errOn := runCLI(args...)
+	rcOff, off, errOff := runCLI(append([]string{"-warp=false"}, args...)...)
+	if rcOn != 0 || rcOff != 0 {
+		t.Fatalf("exits %d/%d, stderr: %s%s", rcOn, rcOff, errOn, errOff)
+	}
+	if !strings.Contains(on, "time warp:") {
+		t.Errorf("default (warp-on) offload run reported no warp activity:\n%s", on)
+	}
+	if strings.Contains(off, "time warp:") {
+		t.Errorf("-warp=false run still reported warp activity:\n%s", off)
+	}
+	if stripWarpLines(on) != stripWarpLines(off) {
+		t.Errorf("-warp changed the simulation output:\n--- on ---\n%s\n--- off ---\n%s", on, off)
 	}
 }

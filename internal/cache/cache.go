@@ -756,3 +756,50 @@ func (s *System) Contains(c int, paddr uint64) bool {
 	}
 	return cc.l2 != nil && cc.l2.find(tag) != nil
 }
+
+// ProbeL1 returns the dense way index of the L1 line holding tag in core
+// c's L1, or -1. Pure lookup: unlike find, it updates neither the set's
+// MRU hint nor any LRU state, so callers can interrogate residency
+// without perturbing the model (the time-warp replay path depends on
+// this).
+func (s *System) ProbeL1(c int, tag uint64) int {
+	l1 := s.cores[c].l1
+	base := l1.setBase(tag)
+	want := tag + 1
+	for i, tg := range l1.tags[base : base+l1.ways] {
+		if tg == want {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// ReplayL1Loads applies the exact model-state delta of k repetitions of
+// a load-only round that hit core c's L1 at the dense way indexes idxs
+// (in issue order; duplicates allowed), access i attributed to cls[i].
+//
+// The caller must have established — by running the round concretely —
+// that every access is an L1 load hit and that no other core touches the
+// hierarchy in between (the scheduler's lease guarantees this). Under
+// those conditions each concrete access performs exactly one demand
+// count and one LRU touch (tick advance + way stamp), so k rounds leave:
+// the demand counters advanced by k per access, the LRU tick advanced by
+// k*len(idxs), and each way stamped where its last occurrence in the
+// final round would have stamped it. MRU hints are already at their
+// fixed point after the concrete round (identical rounds re-establish
+// the same hints) and are left untouched.
+func (s *System) ReplayL1Loads(c int, idxs []int, cls []region.Class, k uint64) {
+	a := uint64(len(idxs))
+	if a == 0 || k == 0 {
+		return
+	}
+	s.stats[c].Loads += k * a
+	for _, cl := range cls {
+		s.classStat(c, cl).Loads += k
+	}
+	l1 := s.cores[c].l1
+	l1.tick += k * a
+	for i, idx := range idxs {
+		l1.used[idx] = l1.tick - (a - 1 - uint64(i))
+	}
+}

@@ -626,10 +626,26 @@ func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
 	// flag variables of the paper's prototype collapse onto seq).
 	c.seq++
 	c.mreq.Push(t, opMalloc|size<<8, c.seq)
-	for t.AtomicLoad64(c.page+respSeq) != c.seq {
-		t.Pause(4)
-	}
+	a.awaitSeq(t, c)
 	return t.Load64(c.page + respAddr)
+}
+
+// awaitSeq spins on the response line until the server publishes c.seq.
+// The wait is declared to the scheduler's time warp: a steady round is
+// one response-word load plus the inter-poll pause, so long waits are
+// skipped in bulk with bit-identical counters.
+func (a *Allocator) awaitSeq(t *sim.Thread, c *client) {
+	addrs := [1]uint64{c.page + respSeq}
+	t.WarpLoop(sim.WaitSpec{
+		Round: func() bool {
+			if t.AtomicLoad64(c.page+respSeq) == c.seq {
+				return true
+			}
+			t.Pause(4)
+			return false
+		},
+		Addrs: func() []uint64 { return addrs[:] },
+	})
 }
 
 // Free implements alloc.Allocator.
@@ -666,9 +682,7 @@ func (a *Allocator) Free(t *sim.Thread, addr uint64) {
 		// the client observes completion (the ring is FIFO per client).
 		c.seq++
 		c.freq.Push(t, opSync, c.seq)
-		for t.AtomicLoad64(c.page+respSeq) != c.seq {
-			t.Pause(4)
-		}
+		a.awaitSeq(t, c)
 	}
 }
 
@@ -737,9 +751,7 @@ func (a *Allocator) Flush(t *sim.Thread) {
 	}
 	c.seq++
 	c.freq.Push(t, opSync, c.seq)
-	for t.AtomicLoad64(c.page+respSeq) != c.seq {
-		t.Pause(4)
-	}
+	a.awaitSeq(t, c)
 }
 
 // clientOf lazily registers the calling thread with the server.
@@ -833,6 +845,13 @@ type Server struct {
 	// idlePause is the current doorbell-backoff pause (IdleBackoff only);
 	// any served request resets it.
 	idlePause int
+	// lastEmptyPoll is the scan cost of the most recent empty poll pass,
+	// used to scale emptyPollCycles exactly when the scheduler's time
+	// warp skips steady idle rounds (identical rounds scan identically).
+	lastEmptyPoll uint64
+	// addrScratch backs idleLoadAddrs so steady idle windows allocate
+	// nothing per bulk skip.
+	addrScratch []uint64
 }
 
 // Doorbell-backoff bounds: the pause starts at the fixed poll pause and
@@ -860,54 +879,117 @@ func (s *Server) PollStats() (emptyPolls, emptyPollCycles uint64) {
 
 // Run is the daemon body: poll every client ring round-robin, service
 // requests with the (atomics-free) slab engine, publish responses.
+//
+// The loop is declared to the scheduler's time warp (sim.WaitSpec): a
+// quiescent ring set makes every iteration an identical sequence of
+// empty tail probes, stash gauge reads, and a capped backoff pause, and
+// those rounds are skipped in bulk instead of being stepped on the
+// host. The declaration covers exactly the steady idle round — the tail
+// words the empty polls reload and the stash index words the idle
+// top-up gauges — and the horizon pins warped rounds strictly below the
+// next fault-stall window, so an armed plan observes the identical
+// stall entry clock. Per-round idle accounting is scaled through
+// Skipped, making busy/idle/empty-poll telemetry bit-identical too.
 func (s *Server) Run(t *sim.Thread) {
-	for {
-		start := t.Clock()
-		if inj := s.injector(); inj != nil {
-			if d := inj.StallPause(t.Clock()); d > 0 {
-				// The room was taken away: lease cycles without serving.
-				// Pauses are chunked so Stopping stays polled; drain (and
-				// with it shutdown) waits for the window to close, exactly
-				// like the applications do.
-				t.Pause(int(d))
-				s.idleCycles += t.Clock() - start
-				continue
+	t.WarpLoop(sim.WaitSpec{
+		Round: func() bool { return s.iterate(t) },
+		Addrs: s.idleLoadAddrs,
+		Horizon: func() uint64 {
+			if inj := s.injector(); inj != nil {
+				return inj.NextStall(t.Clock())
 			}
-		}
-		if t.Stopping() {
-			if s.a == nil || s.drain(t) {
-				s.busyCycles += t.Clock() - start
-				return
-			}
-		}
-		if s.a == nil {
-			t.Pause(200)
+			return 0
+		},
+		Skipped: func(rounds, cycles uint64) {
+			s.emptyPolls += rounds
+			s.emptyPollCycles += rounds * s.lastEmptyPoll
+			s.idleCycles += cycles
+		},
+	})
+}
+
+// iterate is one iteration of the daemon loop; it reports whether the
+// server is done (shutdown drain complete).
+func (s *Server) iterate(t *sim.Thread) bool {
+	start := t.Clock()
+	if inj := s.injector(); inj != nil {
+		if d := inj.StallPause(t.Clock()); d > 0 {
+			// The room was taken away: lease cycles without serving.
+			// Pauses are chunked so Stopping stays polled; drain (and
+			// with it shutdown) waits for the window to close, exactly
+			// like the applications do.
+			t.Pause(int(d))
 			s.idleCycles += t.Clock() - start
-			continue
-		}
-		if s.Poll(t) {
-			s.busyCycles += t.Clock() - start
-			s.idlePause = 0
-		} else {
-			s.emptyPolls++
-			s.emptyPollCycles += t.Clock() - start
-			s.Idle(t)
-			pause := idlePauseMin
-			if s.a != nil && s.a.cfg.IdleBackoff {
-				// Doorbell backoff: each consecutive empty poll doubles
-				// the pause, so a quiescent ring set costs O(log) scans
-				// instead of one per idlePauseMin cycles.
-				if s.idlePause == 0 {
-					s.idlePause = idlePauseMin
-				} else if s.idlePause < idlePauseMax {
-					s.idlePause *= 2
-				}
-				pause = s.idlePause
-			}
-			t.Pause(pause)
-			s.idleCycles += t.Clock() - start
+			return false
 		}
 	}
+	if t.Stopping() {
+		if s.a == nil || s.drain(t) {
+			s.busyCycles += t.Clock() - start
+			return true
+		}
+	}
+	if s.a == nil {
+		t.Pause(200)
+		s.idleCycles += t.Clock() - start
+		return false
+	}
+	if s.Poll(t) {
+		s.busyCycles += t.Clock() - start
+		s.idlePause = 0
+	} else {
+		s.emptyPolls++
+		s.lastEmptyPoll = t.Clock() - start
+		s.emptyPollCycles += s.lastEmptyPoll
+		s.Idle(t)
+		pause := idlePauseMin
+		if s.a != nil && s.a.cfg.IdleBackoff {
+			// Doorbell backoff: each consecutive empty poll doubles
+			// the pause, so a quiescent ring set costs O(log) scans
+			// instead of one per idlePauseMin cycles.
+			if s.idlePause == 0 {
+				s.idlePause = idlePauseMin
+			} else if s.idlePause < idlePauseMax {
+				s.idlePause *= 2
+			}
+			pause = s.idlePause
+		}
+		t.Pause(pause)
+		s.idleCycles += t.Clock() - start
+	}
+	return false
+}
+
+// idleLoadAddrs declares the load sequence of one steady idle round to
+// the time-warp detector: the malloc-ring tail probed by the priority
+// pass, the malloc- and free-ring tails probed by the first background
+// iteration, per client, then the stash write/read index words the idle
+// top-up reads for every hot class whose stash is already full. Host
+// side only — building the list issues no simulated operations.
+func (s *Server) idleLoadAddrs() []uint64 {
+	a := s.a
+	if a == nil {
+		return nil
+	}
+	addrs := s.addrScratch[:0]
+	for _, c := range a.clients {
+		addrs = append(addrs, c.mreq.TailAddr())
+	}
+	for _, c := range a.clients {
+		addrs = append(addrs, c.mreq.TailAddr(), c.freq.TailAddr())
+	}
+	if a.preallocOn() {
+		for _, c := range a.clients {
+			for _, h := range c.hot {
+				if h > 0 && a.stashDepth(c, h-1) > 0 {
+					slot := stashSlot(c.page, h-1)
+					addrs = append(addrs, slot+stashWrite, slot+stashRead)
+				}
+			}
+		}
+	}
+	s.addrScratch = addrs
+	return addrs
 }
 
 // Poll performs one service pass over every client (malloc rings with

@@ -354,37 +354,52 @@ func (a *Allocator) mallocFailed(t *sim.Thread, c *client, seq, size uint64) uin
 
 // awaitMalloc waits for seq's response: rounds of TimeoutCycles spinning
 // separated by a doorbell re-ring and an exponentially growing pause.
+// Each spinning round is declared to the time warp — a steady round
+// loads the response word and the malloc NACK word (one shared line)
+// and pauses — with the attempt deadline as the warp's Until bound, so
+// timeout expiry lands on the identical clock with warp on and off.
 func (a *Allocator) awaitMalloc(t *sim.Thread, c *client, seq, size uint64) (uint64, bool) {
 	r := &a.cfg.Resilience
 	rs := c.res
 	backoff := r.BackoffCycles
 	repush := false
+	addrs := [2]uint64{c.page + respSeq, c.page + respNackM}
 	for attempt := 0; ; attempt++ {
-		deadline := t.Clock() + r.TimeoutCycles
-		for t.Clock() < deadline {
-			if repush {
-				t.Exec(sealCost)
-				if c.mreq.TryPush(t, sealWord(opMalloc|size<<8, seq, seq), seq) {
-					repush = false
+		var addr uint64
+		got := false
+		t.WarpLoop(sim.WaitSpec{
+			Round: func() bool {
+				if repush {
+					t.Exec(sealCost)
+					if c.mreq.TryPush(t, sealWord(opMalloc|size<<8, seq, seq), seq) {
+						repush = false
+					}
 				}
-			}
-			v := t.AtomicLoad64(c.page + respSeq)
-			if v == seq {
-				return t.Load64(c.page + respAddr), true
-			}
-			a.maybeReclaim(t, c, v)
-			if nk := t.AtomicLoad64(c.page + respNackM); nk != rs.nackSeenM {
-				rs.nackSeenM = nk
-				// Only re-push when our request is provably the NACK's
-				// subject: with abandoned requests still queued on this
-				// ring, the rejection could be one of theirs, and a
-				// speculative duplicate would leak its second response.
-				if len(rs.abandoned) == 0 {
-					rs.stats.Retries++
-					repush = true
+				v := t.AtomicLoad64(c.page + respSeq)
+				if v == seq {
+					addr, got = t.Load64(c.page+respAddr), true
+					return true
 				}
-			}
-			t.Pause(4)
+				a.maybeReclaim(t, c, v)
+				if nk := t.AtomicLoad64(c.page + respNackM); nk != rs.nackSeenM {
+					rs.nackSeenM = nk
+					// Only re-push when our request is provably the NACK's
+					// subject: with abandoned requests still queued on this
+					// ring, the rejection could be one of theirs, and a
+					// speculative duplicate would leak its second response.
+					if len(rs.abandoned) == 0 {
+						rs.stats.Retries++
+						repush = true
+					}
+				}
+				t.Pause(4)
+				return false
+			},
+			Addrs: func() []uint64 { return addrs[:] },
+			Until: t.Clock() + r.TimeoutCycles,
+		})
+		if got {
+			return addr, true
 		}
 		rs.stats.Timeouts++
 		if attempt >= r.MaxRetries {
@@ -490,29 +505,39 @@ func (a *Allocator) awaitSync(t *sim.Thread, c *client, seq uint64) bool {
 	rs := c.res
 	backoff := r.BackoffCycles
 	repush := false
+	addrs := [2]uint64{c.page + respSeq, c.page + respNackF}
 	for attempt := 0; ; attempt++ {
-		deadline := t.Clock() + r.TimeoutCycles
-		for t.Clock() < deadline {
-			if repush {
-				t.Exec(sealCost)
-				if c.freq.TryPush(t, sealWord(opSync, seq, seq), seq) {
-					repush = false
+		got := false
+		t.WarpLoop(sim.WaitSpec{
+			Round: func() bool {
+				if repush {
+					t.Exec(sealCost)
+					if c.freq.TryPush(t, sealWord(opSync, seq, seq), seq) {
+						repush = false
+					}
 				}
-			}
-			v := t.AtomicLoad64(c.page + respSeq)
-			if v == seq {
-				return true
-			}
-			a.maybeReclaim(t, c, v)
-			if nk := t.AtomicLoad64(c.page + respNackF); nk != rs.nackSeenF {
-				rs.nackSeenF = nk
-				// A free-ring NACK may be for a free rather than this
-				// barrier, but a duplicate barrier is idempotent — re-push
-				// unconditionally.
-				rs.stats.Retries++
-				repush = true
-			}
-			t.Pause(4)
+				v := t.AtomicLoad64(c.page + respSeq)
+				if v == seq {
+					got = true
+					return true
+				}
+				a.maybeReclaim(t, c, v)
+				if nk := t.AtomicLoad64(c.page + respNackF); nk != rs.nackSeenF {
+					rs.nackSeenF = nk
+					// A free-ring NACK may be for a free rather than this
+					// barrier, but a duplicate barrier is idempotent — re-push
+					// unconditionally.
+					rs.stats.Retries++
+					repush = true
+				}
+				t.Pause(4)
+				return false
+			},
+			Addrs: func() []uint64 { return addrs[:] },
+			Until: t.Clock() + r.TimeoutCycles,
+		})
+		if got {
+			return true
 		}
 		rs.stats.Timeouts++
 		if attempt >= r.MaxRetries {
@@ -619,15 +644,25 @@ func (a *Allocator) tryRejoin(t *sim.Thread, c *client, force bool) bool {
 		return false // the ring is still jammed: plainly not recovered
 	}
 	c.freq.Republish(t) // this probe's doorbell must not be the dropped one
-	deadline := t.Clock() + r.TimeoutCycles
-	for t.Clock() < deadline {
-		v := t.AtomicLoad64(c.page + respSeq)
-		if v == seq {
-			a.exitDegraded(t, c)
-			return true
-		}
-		a.maybeReclaim(t, c, v)
-		t.Pause(4)
+	got := false
+	addrs := [1]uint64{c.page + respSeq}
+	t.WarpLoop(sim.WaitSpec{
+		Round: func() bool {
+			v := t.AtomicLoad64(c.page + respSeq)
+			if v == seq {
+				got = true
+				return true
+			}
+			a.maybeReclaim(t, c, v)
+			t.Pause(4)
+			return false
+		},
+		Addrs: func() []uint64 { return addrs[:] },
+		Until: t.Clock() + r.TimeoutCycles,
+	})
+	if got {
+		a.exitDegraded(t, c)
+		return true
 	}
 	rs.stats.Timeouts++
 	return false

@@ -158,6 +158,7 @@ func FaultSweep(s Scale) Outcome {
 			FaultPlan:      c.plan,
 			Resilience:     c.res,
 			SampleInterval: interval,
+			Machine:        schedCfg,
 		})
 		r.Allocator = c.label
 		return r

@@ -21,7 +21,7 @@ type gcResult struct {
 // built and dropped, forcing regular collections. offload selects where
 // those collections run.
 func runGCBench(offload bool, shortTrees, treeDepth int) gcResult {
-	m := sim.New(sim.ScaledConfig())
+	m := sim.New(scaledConfig())
 	gcCore := m.Cores() - 1
 	var h *gcheap.Heap
 	var off *gcheap.Offloader

@@ -17,7 +17,7 @@ import (
 // buffer reuse (double buffering) — allocation latency disappears into
 // the copy, the paper's §3.3.1 proposal.
 func runGPUPipeline(async bool, batches int, bufBytes uint64) (cpuCycles uint64, st gpu.Stats) {
-	m := sim.New(sim.ScaledConfig())
+	m := sim.New(scaledConfig())
 	var e *gpu.Engine
 	m.SpawnDaemon("gpu-engine", m.Cores()-1, func(th *sim.Thread) {
 		for e == nil {

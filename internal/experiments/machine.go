@@ -1,0 +1,25 @@
+package experiments
+
+import "nextgenmalloc/internal/sim"
+
+// schedCfg is the machine configuration installed by the CLIs'
+// -warp/-quantum flags; nil leaves every run on sim.ScaledConfig
+// defaults (time warp on, quantum 64). Warp is bit-identical either
+// way, so flipping it never changes any experiment's numbers — only
+// the host time they take.
+var schedCfg *sim.Config
+
+// SetMachine overrides the simulated-machine configuration for every
+// run launched through the standard experiment sets (nil restores the
+// default). It must not be called while experiments are running.
+func SetMachine(cfg *sim.Config) { schedCfg = cfg }
+
+// scaledConfig is what experiments that build their own machines (GC,
+// GPU, room ablations) use in place of sim.ScaledConfig, so the CLI
+// scheduler override reaches them too.
+func scaledConfig() sim.Config {
+	if schedCfg != nil {
+		return *schedCfg
+	}
+	return sim.ScaledConfig()
+}

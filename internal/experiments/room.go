@@ -16,7 +16,7 @@ import (
 // closing intro question: "Can the room be used for other functions
 // instead of exclusively for memory allocation?"
 func runSharedRoom(shared bool, rounds int) (appCycles uint64, serviceCores int, pause uint64) {
-	m := sim.New(sim.ScaledConfig())
+	m := sim.New(scaledConfig())
 	allocCore := m.Cores() - 1
 	gcCore := m.Cores() - 2
 

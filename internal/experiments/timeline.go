@@ -20,6 +20,9 @@ func SetTimeline(interval uint64) { timelineInterval = interval }
 // harness.Run directly instead.
 func run(opt harness.Options) harness.Result {
 	opt.SampleInterval = timelineInterval
+	if opt.Machine == nil {
+		opt.Machine = schedCfg
+	}
 	if opt.FaultPlan == nil {
 		opt.FaultPlan = faultPlan
 	}

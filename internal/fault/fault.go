@@ -263,6 +263,43 @@ func (in *Injector) StallPause(now uint64) uint64 {
 	return chunk
 }
 
+// NextStall returns the clock at which the next stall window opens for
+// a caller whose clock is now, or 0 when no window ever will. It is the
+// time-warp event horizon for the server's wait loop: for every clock c
+// with now <= c < NextStall(now), StallPause(c) takes the same
+// outside-window branch and returns 0, so idle rounds may be skipped up
+// to (but never across) the returned boundary. Pure: no injector state
+// changes. It mirrors StallPause's clamping of now to the wall clock,
+// which is frozen between scheduler probes.
+func (in *Injector) NextStall(now uint64) uint64 {
+	p := in.plan
+	if p.StallCycles == 0 {
+		return 0
+	}
+	eff := now
+	if in.wall > eff {
+		eff = in.wall
+	}
+	if eff < p.StallStart {
+		return p.StallStart
+	}
+	off := eff - p.StallStart
+	if p.StallPeriod > 0 {
+		off %= p.StallPeriod
+		if off < p.StallCycles {
+			// Inside a window right now: return the caller's own clock
+			// (not the wall-clamped time, which may lie ahead of it) so
+			// no round at or after now is ever skipped.
+			return now
+		}
+		return eff + (p.StallPeriod - off)
+	}
+	if off < p.StallCycles {
+		return now // inside the one-shot window
+	}
+	return 0 // one-shot window already passed
+}
+
 // DropDoorbell decides whether this tail publication is lost.
 func (in *Injector) DropDoorbell() bool {
 	if !in.oneIn(in.plan.DropEveryN) {

@@ -142,6 +142,11 @@ type Result struct {
 	// Resilience carries the degradation/fault telemetry; nil unless the
 	// run armed Options.FaultPlan or a resilience policy.
 	Resilience *ResilienceTelemetry
+	// Warp is the scheduler's time-warp ledger: how many steady wait
+	// windows were skipped instead of stepped. Host-side observation
+	// only — every other field of Result is bit-identical whether warp
+	// was on or off (pinned by TestWarpEquivalence).
+	Warp sim.WarpStats
 }
 
 // ResilienceTelemetry pairs the client-side degradation counters with
@@ -402,6 +407,8 @@ func Run(opt Options) Result {
 	for i := 0; i < n; i++ {
 		part := i
 		m.Spawn(fmt.Sprintf("%s-worker-%d", w.Name(), part), workerCore(part), func(t *sim.Thread) {
+			readyAddrs := [1]uint64{ctrl}
+			barrierAddrs := [1]uint64{ctrl + 64}
 			if part == 0 {
 				a = makeAllocator(t, opt, srv, latRec, inj)
 				if opt.Wrap != nil {
@@ -413,15 +420,31 @@ func Run(opt Options) Result {
 				}
 				t.AtomicStore64(ctrl, 1)
 			} else {
-				for t.Load64(ctrl) == 0 {
-					t.Pause(100)
-				}
+				// Wait for worker 0 to construct the allocator; declared
+				// to the time warp (one flag load per round).
+				t.WarpLoop(sim.WaitSpec{
+					Round: func() bool {
+						if t.Load64(ctrl) != 0 {
+							return true
+						}
+						t.Pause(100)
+						return false
+					},
+					Addrs: func() []uint64 { return readyAddrs[:] },
+				})
 			}
 			// Barrier: everyone measures from a common point.
 			t.FetchAdd64(ctrl+64, 1)
-			for t.Load64(ctrl+64) != uint64(n) {
-				t.Pause(50)
-			}
+			t.WarpLoop(sim.WaitSpec{
+				Round: func() bool {
+					if t.Load64(ctrl+64) == uint64(n) {
+						return true
+					}
+					t.Pause(50)
+					return false
+				},
+				Addrs: func() []uint64 { return barrierAddrs[:] },
+			})
 			if part == 0 && srv != nil {
 				serverStart = t.Machine().CoreCounters(serverCore)
 				serverStartC = t.Machine().CoreClassCounters(serverCore)
@@ -475,6 +498,7 @@ func Run(opt Options) Result {
 		res.Timeline = sampler.Series()
 		res.Latency = latRec
 	}
+	res.Warp = m.WarpStats()
 	return res
 }
 

@@ -67,6 +67,22 @@ type Result struct {
 	// Resilience is present when the run armed the graceful-degradation
 	// policy or a fault plan (additive in schema v1).
 	Resilience *Resilience `json:"resilience,omitempty"`
+	// Warp is present when the scheduler's time warp skipped at least
+	// one idle window (additive in schema v1). Host telemetry only:
+	// every simulated counter above is bit-identical with warp off.
+	Warp *Warp `json:"warp,omitempty"`
+}
+
+// Warp is the time-warp ledger: how much host work the cycle-skipping
+// scheduler avoided. Windows counts bulk skips, Rounds the wait-loop
+// iterations those skips replayed arithmetically, CyclesWarped the
+// simulated cycles covered (summed across threads, so it can exceed
+// the wall clock), LargestSkip the biggest single window in cycles.
+type Warp struct {
+	Windows      uint64 `json:"windows"`
+	Rounds       uint64 `json:"rounds"`
+	CyclesWarped uint64 `json:"cycles_warped"`
+	LargestSkip  uint64 `json:"largest_skip"`
 }
 
 // ClassCounters mirrors sim.ClassCounters in snake_case.
@@ -323,6 +339,14 @@ func FromResult(r harness.Result) Result {
 			InjectedSlowdownCycles: inj.SlowdownCycles,
 		}
 	}
+	if r.Warp.Windows > 0 {
+		out.Warp = &Warp{
+			Windows:      r.Warp.Windows,
+			Rounds:       r.Warp.Rounds,
+			CyclesWarped: r.Warp.CyclesWarped,
+			LargestSkip:  r.Warp.LargestSkip,
+		}
+	}
 	return out
 }
 
@@ -403,6 +427,9 @@ func Validate(data []byte) error {
 			if err := validateResilience(e.ID, i, r.Resilience); err != nil {
 				return err
 			}
+			if err := validateWarp(e.ID, i, r.Warp); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -427,6 +454,35 @@ func validateResilience(exp string, i int, rz *Resilience) error {
 	if rz.Retries > rz.Timeouts+rz.MallocNacks+rz.FreeNacks {
 		return fmt.Errorf("metrics: experiment %q result %d resilience has %d retries for %d timeouts+nacks",
 			exp, i, rz.Retries, rz.Timeouts+rz.MallocNacks+rz.FreeNacks)
+	}
+	return nil
+}
+
+// validateWarp checks the time-warp ledger's internal arithmetic:
+// every window skips at least one round, every skipped round advances
+// a thread clock by at least one cycle (so rounds ≤ cycles), and no
+// single skip exceeds the total skipped. The ledger is deliberately
+// not compared against the PMU cycle totals: those cover the measured
+// region of the worker cores, while warp also fires on the server core
+// and outside the measured region (startup barriers, teardown drains).
+func validateWarp(exp string, i int, w *Warp) error {
+	if w == nil {
+		return nil
+	}
+	if w.Windows == 0 {
+		return fmt.Errorf("metrics: experiment %q result %d warp block present with zero windows", exp, i)
+	}
+	if w.Rounds < w.Windows {
+		return fmt.Errorf("metrics: experiment %q result %d warp has %d windows but only %d rounds",
+			exp, i, w.Windows, w.Rounds)
+	}
+	if w.CyclesWarped < w.Rounds {
+		return fmt.Errorf("metrics: experiment %q result %d warp skipped %d rounds but only %d cycles",
+			exp, i, w.Rounds, w.CyclesWarped)
+	}
+	if w.LargestSkip > w.CyclesWarped {
+		return fmt.Errorf("metrics: experiment %q result %d warp largest skip %d exceeds total %d warped",
+			exp, i, w.LargestSkip, w.CyclesWarped)
 	}
 	return nil
 }

@@ -265,6 +265,39 @@ func ResilienceTable(title string, results []harness.Result) string {
 	return Table(title, header, ResilienceRows(results))
 }
 
+// WarpRows renders the time-warp ledger (host-side telemetry: how much
+// idle stepping the scheduler skipped; all simulated counters are
+// bit-identical with warp off). Runs where warp never engaged show "-".
+func WarpRows(results []harness.Result) [][]string {
+	row := func(name string, get func(harness.Result) string) []string {
+		cells := []string{name}
+		for _, r := range results {
+			if r.Warp.Windows == 0 {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, get(r))
+		}
+		return cells
+	}
+	return [][]string{
+		row("windows skipped", func(r harness.Result) string { return fmt.Sprintf("%d", r.Warp.Windows) }),
+		row("rounds skipped", func(r harness.Result) string { return fmt.Sprintf("%d", r.Warp.Rounds) }),
+		row("cycles warped", func(r harness.Result) string { return Sci(float64(r.Warp.CyclesWarped)) }),
+		row("largest skip", func(r harness.Result) string { return fmt.Sprintf("%d", r.Warp.LargestSkip) }),
+	}
+}
+
+// WarpTable renders the time-warp ledger in the counter table's layout
+// (metrics × allocators).
+func WarpTable(title string, results []harness.Result) string {
+	header := []string{"Allocator"}
+	for _, r := range results {
+		header = append(header, r.Allocator)
+	}
+	return Table(title, header, WarpRows(results))
+}
+
 // sparkRamp orders the sparkline glyphs from empty to full.
 const sparkRamp = " .:-=+*#%@"
 

@@ -179,3 +179,21 @@ func TestResilienceTable(t *testing.T) {
 		}
 	}
 }
+
+func TestWarpTable(t *testing.T) {
+	warped := harness.Result{Allocator: "nextgen"}
+	warped.Warp = sim.WarpStats{Windows: 12, Rounds: 340, CyclesWarped: 5100, LargestSkip: 900}
+	inline := harness.Result{Allocator: "mimalloc"} // never warped: renders "-"
+	out := WarpTable("time warp", []harness.Result{warped, inline})
+	for _, want := range []string{
+		"windows skipped", "12",
+		"rounds skipped", "340",
+		"cycles warped", "5.100E+03",
+		"largest skip", "900",
+		"-", // inline column has no warp activity
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

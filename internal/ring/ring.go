@@ -169,6 +169,11 @@ func (r *SPSC) headAddr() uint64         { return r.base }
 func (r *SPSC) tailAddr() uint64         { return r.base + sim.LineSize }
 func (r *SPSC) slotAddr(i uint64) uint64 { return r.base + headerSize + (i&r.mask)*SlotSize }
 
+// TailAddr exposes the producer tail word's address — the word an empty
+// TryPop/PopN reloads — so the consumer can declare its idle-poll load
+// sequence to the scheduler's time-warp detector (sim.WaitSpec.Addrs).
+func (r *SPSC) TailAddr() uint64 { return r.tailAddr() }
+
 // TryStage writes (w0, w1) into the next free slot without publishing
 // it; it returns false when the ring (counting earlier staged slots) is
 // full. Staged slots stay invisible to the consumer until Publish, so a

@@ -64,6 +64,15 @@ type Config struct {
 	// Quantum is the scheduler lease slack in cycles; smaller values
 	// interleave threads more finely at higher simulation cost.
 	Quantum uint64
+	// Warp enables the time-warp fast path for declared wait loops
+	// (Thread.WarpLoop): once a wait round is observed to be steady, the
+	// remaining rounds that fit inside the current lease are applied
+	// arithmetically instead of being executed on the host. Every
+	// counter, clock, and scheduling decision is bit-identical either
+	// way — warp only removes host work, never simulated work — so the
+	// golden suite runs with it on. The zero value (off) preserves the
+	// fully-stepped engine for A/B verification.
+	Warp bool
 }
 
 // DefaultConfig mirrors the paper's 16-core evaluation machine.
@@ -79,6 +88,7 @@ func DefaultConfig() Config {
 		// realistic latency (coarser leases would inflate every
 		// cross-core interaction by the lease length).
 		Quantum: 64,
+		Warp:    true,
 	}
 }
 

@@ -39,7 +39,49 @@ type Machine struct {
 	// resumptions: it may read counters and host state but must not issue
 	// simulated operations, so an armed probe cannot perturb the clock,
 	// the scheduling order, or any PMU counter.
+	//
+	// Time warp (Config.Warp) never changes the probe cadence: warped
+	// wait rounds are always interior to one lease, so probes fire at
+	// every lease end — every warp landing — and never inside a skipped
+	// window. An armed probe observes the exact same wall-clock sequence
+	// with warp on and off.
 	probe func(wall uint64)
+
+	// heap is the run queue: an indexed min-heap of live threads ordered
+	// by (clock, id), so the scheduler picks the next thread and its
+	// lease base in O(log n) instead of scanning every thread per lease.
+	heap []*Thread
+
+	warp WarpStats
+}
+
+// WarpStats is the machine-wide time-warp ledger: how much host stepping
+// the warp fast path avoided. Purely host-side observation — warped
+// cycles are simulated cycles that were accounted without being stepped.
+type WarpStats struct {
+	// Windows counts bulk skips applied.
+	Windows uint64
+	// Rounds counts wait-loop rounds skipped across all windows.
+	Rounds uint64
+	// CyclesWarped is the total simulated cycles covered by skipped
+	// rounds (each also appears in the owning core's Cycles, exactly as
+	// if stepped).
+	CyclesWarped uint64
+	// LargestSkip is the largest single window, in cycles.
+	LargestSkip uint64
+}
+
+// WarpStats returns the time-warp ledger (zero when Config.Warp is off
+// or no wait loop reached a steady state).
+func (m *Machine) WarpStats() WarpStats { return m.warp }
+
+func (m *Machine) noteWarp(rounds, cycles uint64) {
+	m.warp.Windows++
+	m.warp.Rounds += rounds
+	m.warp.CyclesWarped += cycles
+	if cycles > m.warp.LargestSkip {
+		m.warp.LargestSkip = cycles
+	}
 }
 
 // New builds a machine from cfg.
@@ -187,8 +229,20 @@ func (m *Machine) Run() uint64 {
 		t.start()
 	}
 
-	live := make([]*Thread, len(m.threads))
-	copy(live, m.threads)
+	// Build the run heap: live threads ordered by (clock, id). The root
+	// is always the unique scheduling minimum — the same thread the old
+	// one-pass scan picked — and the lease base (lowest clock among the
+	// others) is the smaller of the root's children: the heap property
+	// orders parent clocks below descendant clocks, so every non-root
+	// thread's clock is bounded below by a child of the root.
+	m.heap = make([]*Thread, len(m.threads))
+	copy(m.heap, m.threads)
+	for i, t := range m.heap {
+		t.heapIdx = i
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
 	userCount := 0
 	for _, t := range m.threads {
 		if !t.daemon {
@@ -197,44 +251,40 @@ func (m *Machine) Run() uint64 {
 	}
 
 	var wall uint64
-	for len(live) > 0 {
+	for len(m.heap) > 0 {
 		if userCount == 0 {
 			m.stopping = true
 		}
-		// Pick the runnable thread with the minimum clock (ties by id)
-		// and the lease base (lowest clock among the others) in one
-		// pass: when a new minimum displaces the old one, the old
-		// minimum becomes a candidate for the runner-up slot.
-		min := live[0]
+		t := m.heap[0]
 		lease := ^uint64(0)
-		for _, t := range live[1:] {
-			if t.clock < min.clock || (t.clock == min.clock && t.id < min.id) {
-				if min.clock < lease {
-					lease = min.clock
-				}
-				min = t
-			} else if t.clock < lease {
-				lease = t.clock
+		if len(m.heap) > 1 {
+			lease = m.heap[1].clock
+			if len(m.heap) > 2 && m.heap[2].clock < lease {
+				lease = m.heap[2].clock
 			}
 		}
 		// Lease until just past the next-lowest clock.
 		if lease != ^uint64(0) {
 			lease += m.cfg.Quantum
 		}
-		t := min
 		t.lease = lease
 		if _, more := t.next(); !more {
 			t.done = true
 			m.retire(t)
-			for i, lt := range live {
-				if lt == t {
-					live = append(live[:i], live[i+1:]...)
-					break
-				}
+			last := len(m.heap) - 1
+			m.heapSwap(0, last)
+			m.heap[last] = nil
+			m.heap = m.heap[:last]
+			if last > 0 {
+				m.siftDown(0)
 			}
 			if !t.daemon {
 				userCount--
 			}
+		} else {
+			// The lease only ever moves the root's clock forward, so a
+			// single sift-down restores the heap.
+			m.siftDown(0)
 		}
 		if t.clock > wall {
 			wall = t.clock
@@ -244,6 +294,38 @@ func (m *Machine) Run() uint64 {
 		}
 	}
 	return wall
+}
+
+// heapLess orders the run heap by (clock, id) — the scheduler's total
+// order (ids are unique, so there are no equal keys).
+func (m *Machine) heapLess(i, j int) bool {
+	a, b := m.heap[i], m.heap[j]
+	return a.clock < b.clock || (a.clock == b.clock && a.id < b.id)
+}
+
+func (m *Machine) heapSwap(i, j int) {
+	h := m.heap
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+
+func (m *Machine) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if r := c + 1; r < n && m.heapLess(r, c) {
+			c = r
+		}
+		if !m.heapLess(c, i) {
+			return
+		}
+		m.heapSwap(i, c)
+		i = c
+	}
 }
 
 // retire folds a finished thread's private counters into the per-core

@@ -68,6 +68,18 @@ type Thread struct {
 	next  func() (struct{}, bool)
 	lease uint64
 	done  bool
+	// yields counts lease expirations (scheduler suspensions). WarpLoop
+	// compares it across wait rounds: a round during which the thread
+	// yielded may have observed memory written by another thread, so it
+	// can never serve as a bulk-replay template.
+	yields uint64
+	// heapIdx is this thread's position in the scheduler's run heap.
+	heapIdx int
+	// Scratch buffers for warpApply's probe results, reused across bulk
+	// skips so a steady wait allocates nothing per window.
+	warpIdxs []int
+	warpWays []int
+	warpCls  []region.Class
 
 	mtlb      [mtlbSize]mtlbEntry
 	mtlbEpoch uint64
@@ -123,6 +135,7 @@ func (t *Thread) step() {
 	if t.clock <= t.lease {
 		return
 	}
+	t.yields++
 	t.yield(struct{}{})
 }
 

@@ -23,20 +23,29 @@ func NewSpinLock(addr uint64) SpinLock { return SpinLock{addr: addr} }
 // Addr returns the lock word's address.
 func (l SpinLock) Addr() uint64 { return l.addr }
 
-// Lock acquires the lock, spinning with backoff under contention.
+// Lock acquires the lock, spinning with backoff under contention. The
+// contended wait is declared to the scheduler's time warp: once the
+// backoff caps, a held lock makes every round an identical lock-word
+// load plus pause, which the engine skips in bulk (the simulated spin
+// cost is charged exactly; only host stepping is saved).
 func (l SpinLock) Lock(t *sim.Thread) {
 	backoff := 4
-	for {
-		// Test-and-test-and-set: spin on a plain load first so the line
-		// stays Shared until it looks free.
-		if t.Load64(l.addr) == 0 && t.CAS64(l.addr, 0, 1) {
-			return
-		}
-		t.Pause(backoff)
-		if backoff < 256 {
-			backoff *= 2
-		}
-	}
+	addrs := [1]uint64{l.addr}
+	t.WarpLoop(sim.WaitSpec{
+		Round: func() bool {
+			// Test-and-test-and-set: spin on a plain load first so the line
+			// stays Shared until it looks free.
+			if t.Load64(l.addr) == 0 && t.CAS64(l.addr, 0, 1) {
+				return true
+			}
+			t.Pause(backoff)
+			if backoff < 256 {
+				backoff *= 2
+			}
+			return false
+		},
+		Addrs: func() []uint64 { return addrs[:] },
+	})
 }
 
 // TryLock attempts a single acquisition.
@@ -58,12 +67,21 @@ type TicketLock struct {
 // NewTicketLock places a ticket lock at addr (16 mapped, zeroed bytes).
 func NewTicketLock(addr uint64) TicketLock { return TicketLock{addr: addr} }
 
-// Lock takes a ticket and waits for service.
+// Lock takes a ticket and waits for service. The wait is declared to
+// the time warp (one now-serving load per round).
 func (l TicketLock) Lock(t *sim.Thread) {
 	ticket := t.FetchAdd64(l.addr, 1)
-	for t.Load64(l.addr+8) != ticket {
-		t.Pause(16)
-	}
+	addrs := [1]uint64{l.addr + 8}
+	t.WarpLoop(sim.WaitSpec{
+		Round: func() bool {
+			if t.Load64(l.addr+8) == ticket {
+				return true
+			}
+			t.Pause(16)
+			return false
+		},
+		Addrs: func() []uint64 { return addrs[:] },
+	})
 }
 
 // Unlock advances the serving counter.

@@ -267,6 +267,46 @@ func (t *TLB) AccessBatchMRU(isStore bool, k uint64) {
 	}
 }
 
+// ProbeL1Way returns the dense way index of the L1 entry translating
+// vaddr's page, or -1. Pure lookup: no tick, LRU, MRU, or counter side
+// effects (the time-warp replay path depends on this).
+func (t *TLB) ProbeL1Way(vaddr uint64, pageShift uint) int {
+	vpn := vaddr>>pageShift<<1 | uint64(pageShift>>4&1)
+	l1 := t.l1
+	base := l1.setIndex(vpn) * l1.ways
+	want := vpn + 1
+	for i, v := range l1.vpns[base : base+l1.ways] {
+		if v == want {
+			return base + i
+		}
+	}
+	return -1
+}
+
+// ReplayL1LoadHits applies the exact model-state delta of k repetitions
+// of a load-only round whose translations all hit the L1 at the dense
+// way indexes ways (in issue order; duplicates allowed).
+//
+// The caller must have established — by running the round concretely
+// under a scheduler lease — that every translation is an L1 load hit.
+// Each concrete hit (MRU fast path or full probe) performs exactly one
+// tick advance, one way stamp, and one LoadHits count, so k rounds
+// leave: LoadHits advanced by k*len(ways), the tick advanced by
+// k*len(ways), and each way stamped where its last occurrence in the
+// final round would have stamped it. The MRU hint is already at its
+// fixed point after the concrete round and is left untouched.
+func (t *TLB) ReplayL1LoadHits(ways []int, k uint64) {
+	a := uint64(len(ways))
+	if a == 0 || k == 0 {
+		return
+	}
+	t.stats.LoadHits += k * a
+	t.l1.tick += k * a
+	for i, w := range ways {
+		t.l1.used[w] = t.l1.tick - (a - 1 - uint64(i))
+	}
+}
+
 // Invalidate flushes both levels (e.g. after munmap).
 func (t *TLB) Invalidate() {
 	t.l1.flush()
