@@ -20,11 +20,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
+	"nextgenmalloc/internal/core"
 	"nextgenmalloc/internal/experiments"
 	"nextgenmalloc/internal/metrics"
 	"nextgenmalloc/internal/sim"
@@ -32,33 +34,40 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // defaultTimelineInterval is the sampling interval -chrome-trace implies
 // when -timeline is not given explicitly.
 const defaultTimelineInterval = 50000
 
-func run() int {
-	scaleName := flag.String("scale", "full", "experiment scale: quick or full")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	jsonPath := flag.String("json", "", "also write raw results (PMU counters per run) as JSON to this file")
-	metricsPath := flag.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "max simulated machines running concurrently (1 = serial)")
-	batch := flag.Int("batch", -1, "override NextGen free-coalescing width for standard experiments, 1-4 (-1 = per-kind default)")
-	prealloc := flag.String("prealloc", "", "override NextGen prealloc policy for standard experiments: off, static, or adaptive (empty = per-kind default)")
-	cpuProfile := flag.String("cpuprofile", "", "write a host CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a host heap profile to this file at exit")
-	faultSpec := flag.String("fault", "", "inject offload faults on every standard-experiment run: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
-	resSpec := flag.String("resilience", "", "offload degradation policy for standard-experiment runs: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
-	timelineIv := flag.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles on every run (0 = off; implied by -chrome-trace)")
-	tracePath := flag.String("chrome-trace", "", "write all runs as one Chrome trace-event JSON file (chrome://tracing / Perfetto)")
-	warp := flag.Bool("warp", true, "skip provably-idle wait windows in the scheduler (bit-identical counters; -warp=false forces fully-stepped execution)")
-	quantum := flag.Int64("quantum", 64, "scheduler lease slack in cycles (must be > 0)")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ngm-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleName := fs.String("scale", "full", "experiment scale: quick or full")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	jsonPath := fs.String("json", "", "also write raw results (PMU counters per run) as JSON to this file")
+	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max simulated machines running concurrently (1 = serial)")
+	batch := fs.Int("batch", -1, "override NextGen free-coalescing width for standard experiments, 1-4 (-1 = per-kind default)")
+	prealloc := fs.String("prealloc", "", "override NextGen prealloc policy for standard experiments: off, static, or adaptive (empty = per-kind default)")
+	cpuProfile := fs.String("cpuprofile", "", "write a host CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a host heap profile to this file at exit")
+	faultSpec := fs.String("fault", "", "inject offload faults on every standard-experiment run: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
+	resSpec := fs.String("resilience", "", "offload degradation policy for standard-experiment runs: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
+	timelineIv := fs.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles on every run (0 = off; implied by -chrome-trace)")
+	tracePath := fs.String("chrome-trace", "", "write all runs as one Chrome trace-event JSON file (chrome://tracing / Perfetto)")
+	warp := fs.Bool("warp", true, "skip provably-idle wait windows in the scheduler (bit-identical counters; -warp=false forces fully-stepped execution)")
+	quantum := fs.Int64("quantum", 64, "scheduler lease slack in cycles (must be > 0)")
+	servers := fs.Int("servers", 1, "offload server shard count for standard-experiment runs (the fleet-sweep owns its per-cell topology)")
+	schedSpec := fs.String("sched", "", "offload ring service order for standard-experiment runs: fixed-scan, round-robin, doorbell-priority, or batch-drain (empty = fixed-scan)")
+	partSpec := fs.String("partition", "", "fleet shard partition for standard-experiment runs: client or class (empty = client)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *quantum <= 0 {
-		fmt.Fprintf(os.Stderr, "ngm-bench: -quantum must be > 0 (got %d)\n", *quantum)
+		fmt.Fprintf(stderr, "ngm-bench: -quantum must be > 0 (got %d)\n", *quantum)
 		return 2
 	}
 	mcfg := sim.ScaledConfig()
@@ -68,22 +77,38 @@ func run() int {
 
 	tune, err := experiments.ParseTransport(*batch, *prealloc)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 		return 2
 	}
 	experiments.SetTransport(tune)
 
 	faultPlan, err := experiments.ParseFault(*faultSpec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 		return 2
 	}
 	resilience, err := experiments.ParseResilience(*resSpec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 		return 2
 	}
 	experiments.SetFault(faultPlan, resilience)
+
+	sched, err := core.ParseSched(*schedSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
+		return 2
+	}
+	part, err := core.ParsePartition(*partSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
+		return 2
+	}
+	if *servers < 0 {
+		fmt.Fprintf(stderr, "ngm-bench: negative server count %d\n", *servers)
+		return 2
+	}
+	experiments.SetFleet(*servers, sched, part)
 
 	interval := *timelineIv
 	if interval == 0 && *tracePath != "" {
@@ -98,7 +123,7 @@ func run() int {
 	case "full":
 		scale = experiments.Full
 	default:
-		fmt.Fprintf(os.Stderr, "ngm-bench: unknown scale %q\n", *scaleName)
+		fmt.Fprintf(stderr, "ngm-bench: unknown scale %q\n", *scaleName)
 		return 2
 	}
 
@@ -119,23 +144,24 @@ func run() int {
 		"ablate-scaling":   func() experiments.Outcome { return experiments.AblateScaling(scale) },
 		"ablate-room":      func() experiments.Outcome { return experiments.AblateRoom(scale) },
 		"fault-sweep":      func() experiments.Outcome { return experiments.FaultSweep(scale) },
+		"fleet-sweep":      func() experiments.Outcome { return experiments.FleetSweep(scale) },
 	}
 	order := []string{
 		"figure1", "table1", "table2", "table3", "model",
 		"ablate-layout", "ablate-core", "ablate-prealloc", "ablate-transport",
 		"sensitivity",
 		"ablate-gc", "ablate-faas", "ablate-gpu", "ablate-scaling", "ablate-room",
-		"fault-sweep",
+		"fault-sweep", "fleet-sweep",
 	}
 
 	if *list {
 		for _, id := range order {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
 		return 0
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		ids = order
 	}
@@ -143,13 +169,13 @@ func run() int {
 	// must not throw away minutes of completed experiments.
 	for _, id := range ids {
 		if _, ok := runners[id]; !ok {
-			fmt.Fprintf(os.Stderr, "ngm-bench: unknown experiment %q (try -list)\n", id)
+			fmt.Fprintf(stderr, "ngm-bench: unknown experiment %q (try -list)\n", id)
 			return 2
 		}
 	}
 
 	if *parallel < 1 {
-		fmt.Fprintf(os.Stderr, "ngm-bench: -parallel must be >= 1\n")
+		fmt.Fprintf(stderr, "ngm-bench: -parallel must be >= 1\n")
 		return 2
 	}
 	experiments.SetParallelism(*parallel)
@@ -157,37 +183,37 @@ func run() int {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "ngm-bench: close %s: %v\n", *cpuProfile, err)
+				fmt.Fprintf(stderr, "ngm-bench: close %s: %v\n", *cpuProfile, err)
 			}
 		}()
 	}
 
-	outcomes := runExperiments(ids, runners, scale, *parallel)
+	outcomes := runExperiments(ids, runners, scale, *parallel, stdout, stderr)
 
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, outcomes); err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 			return 1
 		}
-		fmt.Printf("raw results written to %s\n", *jsonPath)
+		fmt.Fprintf(stdout, "raw results written to %s\n", *jsonPath)
 	}
 
 	if *tracePath != "" {
 		if err := writeChromeTrace(*tracePath, outcomes); err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 			return 1
 		}
-		fmt.Printf("chrome trace written to %s\n", *tracePath)
+		fmt.Fprintf(stdout, "chrome trace written to %s\n", *tracePath)
 	}
 
 	if *metricsPath != "" {
@@ -199,25 +225,25 @@ func run() int {
 			exps = append(exps, metrics.FromResults(out.ID, out.Results))
 		}
 		if err := metrics.NewFile(exps...).WriteFile(*metricsPath); err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 			return 1
 		}
-		fmt.Printf("metrics written to %s\n", *metricsPath)
+		fmt.Fprintf(stdout, "metrics written to %s\n", *metricsPath)
 	}
 
 	if *memProfile != "" {
 		f, err := os.Create(*memProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 			return 1
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: %v\n", err)
+			fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 			return 1
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "ngm-bench: close %s: %v\n", *memProfile, err)
+			fmt.Fprintf(stderr, "ngm-bench: close %s: %v\n", *memProfile, err)
 			return 1
 		}
 	}
@@ -230,7 +256,7 @@ func run() int {
 // launch at once (their machine fan-out is bounded by the shared
 // semaphore in internal/experiments), completions are announced on
 // stderr, and stdout still renders strictly in order.
-func runExperiments(ids []string, runners map[string]func() experiments.Outcome, scale experiments.Scale, parallel int) []experiments.Outcome {
+func runExperiments(ids []string, runners map[string]func() experiments.Outcome, scale experiments.Scale, parallel int, stdout, stderr io.Writer) []experiments.Outcome {
 	outcomes := make([]experiments.Outcome, len(ids))
 	elapsed := make([]time.Duration, len(ids))
 	if parallel == 1 {
@@ -238,7 +264,7 @@ func runExperiments(ids []string, runners map[string]func() experiments.Outcome,
 			start := time.Now()
 			outcomes[i] = runners[id]()
 			elapsed[i] = time.Since(start)
-			printOutcome(outcomes[i], scale, elapsed[i])
+			printOutcome(stdout, outcomes[i], scale, elapsed[i])
 		}
 		return outcomes
 	}
@@ -252,18 +278,18 @@ func runExperiments(ids []string, runners map[string]func() experiments.Outcome,
 			start := time.Now()
 			outcomes[i] = runners[id]()
 			elapsed[i] = time.Since(start)
-			fmt.Fprintf(os.Stderr, "ngm-bench: %s done (%s)\n", id, elapsed[i].Round(time.Millisecond))
+			fmt.Fprintf(stderr, "ngm-bench: %s done (%s)\n", id, elapsed[i].Round(time.Millisecond))
 		}(i, id)
 	}
 	for i := range ids {
 		<-done[i]
-		printOutcome(outcomes[i], scale, elapsed[i])
+		printOutcome(stdout, outcomes[i], scale, elapsed[i])
 	}
 	return outcomes
 }
 
-func printOutcome(out experiments.Outcome, scale experiments.Scale, d time.Duration) {
-	fmt.Printf("=== %s (scale=%s) ===\n%s\n[%s elapsed]\n\n", out.ID, scale.Name, out.Text, d.Round(time.Millisecond))
+func printOutcome(w io.Writer, out experiments.Outcome, scale experiments.Scale, d time.Duration) {
+	fmt.Fprintf(w, "=== %s (scale=%s) ===\n%s\n[%s elapsed]\n\n", out.ID, scale.Name, out.Text, d.Round(time.Millisecond))
 }
 
 // writeChromeTrace bundles every sampled run of every outcome into one

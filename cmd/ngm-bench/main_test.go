@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nextgenmalloc/internal/core"
+	"nextgenmalloc/internal/experiments"
+)
+
+func runCLI(args ...string) (int, string, string) {
+	var out, errb bytes.Buffer
+	rc := run(args, &out, &errb)
+	return rc, out.String(), errb.String()
+}
+
+// resetGlobals undoes the package-level experiment configuration a run
+// installs, so tests stay independent.
+func resetGlobals() {
+	experiments.SetMachine(nil)
+	experiments.SetTransport(nil)
+	experiments.SetFault(nil, nil)
+	experiments.SetTimeline(0)
+	experiments.SetFleet(0, core.FixedScan, core.ByClient)
+	experiments.SetParallelism(1)
+}
+
+func TestRejectsBadFlags(t *testing.T) {
+	defer resetGlobals()
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"bad scale":          {[]string{"-scale", "huge"}, "unknown scale"},
+		"zero quantum":       {[]string{"-quantum", "0"}, "-quantum must be > 0"},
+		"bad batch":          {[]string{"-batch", "9"}, "out of range"},
+		"bad fault":          {[]string{"-fault", "warp=1"}, "unknown key"},
+		"bad resilience":     {[]string{"-resilience", "timeout"}, "not key=value"},
+		"bad sched":          {[]string{"-sched", "fifo"}, "unknown scheduling policy"},
+		"bad partition":      {[]string{"-partition", "thread"}, "unknown partition"},
+		"negative servers":   {[]string{"-servers", "-2"}, "negative server count"},
+		"unknown experiment": {[]string{"-scale", "quick", "nope"}, "unknown experiment"},
+	} {
+		rc, _, stderr := runCLI(tc.args...)
+		if rc != 2 {
+			t.Errorf("%s: exit code %d, want 2", name, rc)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr %q lacks %q", name, stderr, tc.want)
+		}
+	}
+}
+
+func TestListIncludesFleetSweep(t *testing.T) {
+	defer resetGlobals()
+	rc, stdout, stderr := runCLI("-list")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	for _, id := range []string{"table3", "fault-sweep", "fleet-sweep"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("-list output lacks %q:\n%s", id, stdout)
+		}
+	}
+}
+
+// TestModelRunsWithFleetFlags: the topology flags install cleanly and
+// a (simulation-free) experiment still runs under them.
+func TestModelRunsWithFleetFlags(t *testing.T) {
+	defer resetGlobals()
+	rc, stdout, stderr := runCLI("-scale", "quick", "-servers", "2", "-sched", "round-robin", "model")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if !strings.Contains(stdout, "Analytical model") {
+		t.Errorf("model output missing:\n%s", stdout)
+	}
+}
+
+// TestTable3ShardedTopology: -servers/-sched reshape the standard
+// experiments' offload runs end to end through the CLI.
+func TestTable3ShardedTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six simulations")
+	}
+	defer resetGlobals()
+	rc, stdout, stderr := runCLI("-scale", "quick", "-parallel", "2",
+		"-servers", "2", "-sched", "round-robin", "table3")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if !strings.Contains(stdout, "Table 3") {
+		t.Errorf("table3 output missing:\n%s", stdout)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"nextgenmalloc/internal/core"
 	"nextgenmalloc/internal/experiments"
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/metrics"
@@ -45,6 +46,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threads := fs.Int("threads", 1, "worker thread count (multi-thread workloads)")
 	seed := fs.Uint64("seed", 1, "workload seed")
 	batch := fs.Int("batch", -1, "override NextGen free-coalescing width, 1-4 (-1 = per-kind default)")
+	servers := fs.Int("servers", 1, "offload server shard count (NextGen offload kinds; clients are partitioned across shards)")
+	schedSpec := fs.String("sched", "", "offload ring service order: fixed-scan, round-robin, doorbell-priority, or batch-drain (empty = fixed-scan)")
+	partSpec := fs.String("partition", "", "fleet shard partition: client or class (empty = client)")
 	prealloc := fs.String("prealloc", "", "override NextGen prealloc policy: off, static, or adaptive (empty = per-kind default)")
 	faultSpec := fs.String("fault", "", "inject offload faults: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
 	resSpec := fs.String("resilience", "", "offload degradation policy: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
@@ -82,6 +86,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ngm-run: -fault targets the offload path; %q runs no offload server\n", *kind)
 		return 2
 	}
+	sched, err := core.ParseSched(*schedSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	part, err := core.ParsePartition(*partSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	if (*servers != 1 || sched != core.FixedScan || part != core.ByClient) && !harness.OffloadKind(*kind) {
+		fmt.Fprintf(stderr, "ngm-run: -servers/-sched/-partition target the offload path; %q runs no offload server\n", *kind)
+		return 2
+	}
 	if *threads < 1 {
 		fmt.Fprintf(stderr, "ngm-run: -threads must be >= 1 (got %d)\n", *threads)
 		return 2
@@ -97,6 +115,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *wname == "sh6bench" && *ops < sh6benchBatch {
 		fmt.Fprintf(stderr, "ngm-run: sh6bench needs -ops >= %d (one batch); got %d\n", sh6benchBatch, *ops)
 		return 2
+	}
+	if *wname == "sh6bench" && *ops%sh6benchBatch != 0 {
+		// sh6bench runs whole batches; flag the remainder instead of
+		// silently dropping it.
+		fmt.Fprintf(stderr, "ngm-run: warning: sh6bench runs whole %d-op batches; -ops %d truncated to %d\n",
+			sh6benchBatch, *ops, (*ops/sh6benchBatch)*sh6benchBatch)
 	}
 	// -chrome-trace without -timeline samples at the default interval;
 	// the trace needs a series to emit.
@@ -134,7 +158,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mcfg.Warp = *warp
 	mcfg.Quantum = uint64(*quantum)
 
-	res := harness.Run(harness.Options{
+	res, err := harness.RunE(harness.Options{
 		Allocator:      *kind,
 		Workload:       w,
 		Tune:           tune,
@@ -142,7 +166,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		FaultPlan:      faultPlan,
 		Resilience:     resilience,
 		Machine:        &mcfg,
+		Servers:        *servers,
+		Sched:          sched,
+		Partition:      part,
 	})
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
 	fmt.Fprint(stdout, report.CounterTable(fmt.Sprintf("%s on %s", *wname, *kind), []harness.Result{res}))
 	fmt.Fprintln(stdout)
 	fmt.Fprint(stdout, report.AttributionTable("miss attribution (worker cores)", []harness.Result{res}))
@@ -157,6 +188,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if res.Served > 0 {
 		fmt.Fprintf(stdout, "offload server: %s cycles, %d ops served\n", report.Sci(float64(res.Server.Cycles)), res.Served)
+	}
+	if len(res.Servers) > 1 {
+		for i, sv := range res.Servers {
+			busy := float64(0)
+			if tot := sv.BusyCycles + sv.IdleCycles; tot > 0 {
+				busy = float64(sv.BusyCycles) / float64(tot)
+			}
+			var gap uint64
+			for _, cl := range sv.Clients {
+				if cl.MaxGapCycles > gap {
+					gap = cl.MaxGapCycles
+				}
+			}
+			fmt.Fprintf(stdout, "  server %d (core %d): %d ops served, %.1f%% busy, %d clients, max service gap %s cycles\n",
+				i, sv.Core, sv.Served, 100*busy, len(sv.Clients), report.Sci(float64(gap)))
+		}
 	}
 	if tel := res.Offload; tel != nil {
 		busy := float64(0)

@@ -37,6 +37,17 @@ func TestRejectsBadFlags(t *testing.T) {
 		"zero quantum":       {[]string{"-quantum", "0"}, "-quantum must be > 0"},
 		"negative quantum":   {[]string{"-quantum", "-8"}, "-quantum must be > 0"},
 		"fault off offload":  {[]string{"-alloc", "mimalloc", "-fault", "slow=2"}, "no offload server"},
+		"bad sched":          {[]string{"-sched", "fifo"}, "unknown scheduling policy"},
+		"bad partition":      {[]string{"-partition", "thread"}, "unknown partition"},
+		"negative servers":   {[]string{"-servers", "-2"}, "negative server count"},
+		"servers off offload": {
+			[]string{"-alloc", "mimalloc", "-servers", "2"}, "no offload server"},
+		"sched off offload": {
+			[]string{"-alloc", "jemalloc", "-sched", "round-robin"}, "no offload server"},
+		"partition off offload": {
+			[]string{"-alloc", "tcmalloc", "-partition", "class"}, "no offload server"},
+		"too many servers": {
+			[]string{"-alloc", "nextgen", "-workload", "xmalloc", "-threads", "8", "-ops", "50", "-servers", "12"}, "collide"},
 	} {
 		rc, _, stderr := runCLI(tc.args...)
 		if rc != 2 {
@@ -101,6 +112,52 @@ func TestCleanRunPrintsNoDegradation(t *testing.T) {
 	}
 	if strings.Contains(stdout, "offload degradation telemetry") {
 		t.Errorf("unarmed run printed degradation telemetry:\n%s", stdout)
+	}
+}
+
+func TestSh6benchTruncationWarns(t *testing.T) {
+	rc, _, stderr := runCLI("-alloc", "bump", "-workload", "sh6bench", "-ops", "250")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if !strings.Contains(stderr, "truncated to 200") {
+		t.Errorf("stderr lacks the truncation warning: %q", stderr)
+	}
+	// A whole number of batches warns about nothing.
+	rc, _, stderr = runCLI("-alloc", "bump", "-workload", "sh6bench", "-ops", "300")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if strings.Contains(stderr, "truncated") {
+		t.Errorf("whole-batch run still warned: %q", stderr)
+	}
+}
+
+func TestFleetRunPrintsPerServerBlock(t *testing.T) {
+	rc, stdout, stderr := runCLI("-alloc", "nextgen", "-workload", "xmalloc",
+		"-threads", "4", "-ops", "800", "-servers", "2", "-sched", "round-robin")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	for _, want := range []string{"server 0 (core", "server 1 (core", "max service gap"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestDefaultTopologyFlagsBitIdentical: spelling out the default
+// topology must not change a single output byte — the explicit flags
+// are the no-op they claim to be.
+func TestDefaultTopologyFlagsBitIdentical(t *testing.T) {
+	args := []string{"-alloc", "nextgen", "-workload", "xalanc", "-ops", "1500"}
+	rcA, plain, errA := runCLI(args...)
+	rcB, explicit, errB := runCLI(append([]string{"-servers", "1", "-sched", "fixed-scan", "-partition", "client"}, args...)...)
+	if rcA != 0 || rcB != 0 {
+		t.Fatalf("exits %d/%d, stderr: %s%s", rcA, rcB, errA, errB)
+	}
+	if plain != explicit {
+		t.Errorf("explicit default topology changed the output:\n--- default ---\n%s\n--- explicit ---\n%s", plain, explicit)
 	}
 }
 

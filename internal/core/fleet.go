@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/ring"
+	"nextgenmalloc/internal/sim"
+)
+
+// Partition selects how a Fleet routes requests to its server shards.
+type Partition int
+
+const (
+	// ByClient assigns each application thread to one shard
+	// (round-robin in first-touch order), so a thread's whole traffic —
+	// rings, stash, response line — stays with one server. This is the
+	// default: it preserves the per-thread SPSC transport unchanged.
+	ByClient Partition = iota
+	// ByClass routes each request by its size class (class mod shards,
+	// large allocations to shard 0), so every server owns a disjoint
+	// slice of the class space and threads talk to several servers.
+	ByClass
+)
+
+// String reports the partition's CLI spelling.
+func (p Partition) String() string {
+	if p == ByClass {
+		return "class"
+	}
+	return "client"
+}
+
+// ParsePartition maps a CLI spelling to its partition scheme. The
+// empty string is the default (by client).
+func ParsePartition(s string) (Partition, error) {
+	switch s {
+	case "", "client":
+		return ByClient, nil
+	case "class":
+		return ByClass, nil
+	}
+	return 0, fmt.Errorf("unknown partition %q (want client or class)", s)
+}
+
+// Fleet shards the offloaded allocator across S independent servers,
+// each owning its clients' ring pairs and a private metadata engine —
+// the "how many rooms does the house need" scaling question. Routing
+// is host-side except for a small fixed dispatch charge; each shard is
+// an unmodified Allocator, so the per-shard protocol (and its golden
+// behaviour) is untouched.
+type Fleet struct {
+	part   Partition
+	shards []*Allocator
+	sc     *alloc.SizeClasses
+	// group is the thread→shard assignment (ByClient), filled
+	// round-robin in first-touch order; owner maps every live
+	// allocation to the shard that served it so frees route home even
+	// when another thread (or another class bucket) releases them.
+	group map[int]int
+	owner map[uint64]int
+}
+
+// routeCost is the simulated cycles charged per request for the shard
+// dispatch (a table lookup on the client side).
+const routeCost = 2
+
+// NewFleet builds servers independent shard allocators from one config;
+// t performs the initial mmaps. Attach shard i to its own Server daemon
+// (Fleet.Shards) before running. servers must be >= 1.
+func NewFleet(t *sim.Thread, cfg Config, servers int, part Partition) *Fleet {
+	if servers < 1 {
+		panic(fmt.Sprintf("core: fleet needs at least one server, got %d", servers))
+	}
+	f := &Fleet{
+		part:  part,
+		sc:    alloc.NewSizeClasses(),
+		group: make(map[int]int),
+		owner: make(map[uint64]int),
+	}
+	for i := 0; i < servers; i++ {
+		f.shards = append(f.shards, New(t, cfg))
+	}
+	return f
+}
+
+// Shards exposes the per-server allocators (shard i belongs to server
+// daemon i) for attachment and telemetry.
+func (f *Fleet) Shards() []*Allocator { return f.shards }
+
+// Name implements alloc.Allocator.
+func (f *Fleet) Name() string {
+	return fmt.Sprintf("%s-x%d", f.shards[0].Name(), len(f.shards))
+}
+
+// threadShard returns t's home shard, assigning one round-robin on
+// first touch (deterministic: one simulated thread runs at a time).
+func (f *Fleet) threadShard(t *sim.Thread) int {
+	if sh, ok := f.group[t.ID()]; ok {
+		return sh
+	}
+	sh := len(f.group) % len(f.shards)
+	f.group[t.ID()] = sh
+	return sh
+}
+
+// mallocShard routes an allocation request.
+func (f *Fleet) mallocShard(t *sim.Thread, size uint64) int {
+	if f.part == ByClass {
+		if class, ok := f.sc.ClassFor(size); ok {
+			return class % len(f.shards)
+		}
+		return 0 // large allocations all carve from shard 0's span heap
+	}
+	return f.threadShard(t)
+}
+
+// Malloc implements alloc.Allocator: route to the owning shard and
+// remember the owner so the matching free routes home.
+func (f *Fleet) Malloc(t *sim.Thread, size uint64) uint64 {
+	t.Exec(routeCost)
+	sh := f.mallocShard(t, size)
+	addr := f.shards[sh].Malloc(t, size)
+	if addr != 0 {
+		f.owner[addr] = sh
+	}
+	return addr
+}
+
+// Free implements alloc.Allocator.
+func (f *Fleet) Free(t *sim.Thread, addr uint64) {
+	t.Exec(routeCost)
+	sh, ok := f.owner[addr]
+	if ok {
+		delete(f.owner, addr)
+	} else {
+		sh = f.threadShard(t)
+	}
+	f.shards[sh].Free(t, addr)
+}
+
+// Stats implements alloc.Allocator by summing the shards.
+func (f *Fleet) Stats() alloc.Stats {
+	var s alloc.Stats
+	for _, a := range f.shards {
+		st := a.Stats()
+		s.HeapBytes += st.HeapBytes
+		s.LiveBytes += st.LiveBytes
+		s.MallocCalls += st.MallocCalls
+		s.FreeCalls += st.FreeCalls
+	}
+	return s
+}
+
+// Flush implements alloc.Flusher: drain this thread's queued frees on
+// every shard it actually talked to (flushing an untouched shard would
+// spuriously register the thread there).
+func (f *Fleet) Flush(t *sim.Thread) {
+	for _, a := range f.shards {
+		if _, ok := a.byThread[t.ID()]; ok {
+			a.Flush(t)
+		}
+	}
+}
+
+// Preheat warms the shard (or shards, under ByClass) that will serve
+// the given sizes.
+func (f *Fleet) Preheat(t *sim.Thread, sizes []uint64) {
+	if f.part != ByClass {
+		f.shards[f.threadShard(t)].Preheat(t, sizes)
+		return
+	}
+	perShard := make([][]uint64, len(f.shards))
+	for _, size := range sizes {
+		sh := 0
+		if class, ok := f.sc.ClassFor(size); ok {
+			sh = class % len(f.shards)
+		}
+		perShard[sh] = append(perShard[sh], size)
+	}
+	for sh, sz := range perShard {
+		if len(sz) > 0 {
+			f.shards[sh].Preheat(t, sz)
+		}
+	}
+}
+
+// Served sums the shards' served-operation counts.
+func (f *Fleet) Served() uint64 {
+	var n uint64
+	for _, a := range f.shards {
+		n += a.Served()
+	}
+	return n
+}
+
+// RingTelemetry merges ring stats across every shard's clients.
+func (f *Fleet) RingTelemetry() (malloc, free ring.Stats) {
+	for _, a := range f.shards {
+		m, fr := a.RingTelemetry()
+		malloc.Add(m)
+		free.Add(fr)
+	}
+	return malloc, free
+}
+
+// RingDepths sums host-visible ring occupancy across shards (the
+// timeline sampler's gauge). Zero simulated cost.
+func (f *Fleet) RingDepths() (mallocDepth, freeDepth uint64) {
+	for _, a := range f.shards {
+		m, fr := a.RingDepths()
+		mallocDepth += m
+		freeDepth += fr
+	}
+	return mallocDepth, freeDepth
+}
+
+// ResilienceTelemetry sums client-side degradation counters across
+// shards.
+func (f *Fleet) ResilienceTelemetry() ResilienceStats {
+	var s ResilienceStats
+	for _, a := range f.shards {
+		s.Add(a.ResilienceTelemetry())
+	}
+	return s
+}

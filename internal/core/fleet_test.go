@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/alloctest"
+	"nextgenmalloc/internal/sim"
+)
+
+// fleetDaemon spawns n servers on the machine's top cores and returns
+// the slot the factory attaches shards through.
+func fleetDaemon(n int, srvs *[]*Server) func(m *sim.Machine) {
+	return func(m *sim.Machine) {
+		*srvs = nil
+		for i := 0; i < n; i++ {
+			srv := NewServer()
+			m.SpawnDaemon(fmt.Sprintf("server-%d", i), m.Cores()-n+i, srv.Run)
+			*srvs = append(*srvs, srv)
+		}
+	}
+}
+
+func fleetFactory(cfg Config, servers int, part Partition, srvs *[]*Server) alloctest.Factory {
+	return func(th *sim.Thread, m *sim.Machine) alloc.Allocator {
+		f := NewFleet(th, cfg, servers, part)
+		for i, sh := range f.Shards() {
+			(*srvs)[i].Attach(sh)
+		}
+		return f
+	}
+}
+
+// TestConformanceFleet: the sharded fleet passes the same conformance
+// suite as the single allocator — alignment, integrity under churn,
+// cross-thread frees (which must route back to the owning shard), odd
+// sizes.
+func TestConformanceFleet(t *testing.T) {
+	var srvs []*Server
+	alloctest.Run(t, alloctest.Options{
+		Factory: fleetFactory(DefaultConfig(), 2, ByClient, &srvs),
+		Daemon:  fleetDaemon(2, &srvs),
+	})
+}
+
+func TestConformanceFleetByClass(t *testing.T) {
+	var srvs []*Server
+	alloctest.Run(t, alloctest.Options{
+		Factory: fleetFactory(DefaultConfig(), 2, ByClass, &srvs),
+		Daemon:  fleetDaemon(2, &srvs),
+	})
+}
+
+// TestFleetPartitionsClients: with the client partition, clients land
+// on shards round-robin by arrival order, and every shard serves its
+// own clients' traffic.
+func TestFleetPartitionsClients(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	var srvs []*Server
+	fleetDaemon(2, &srvs)(m)
+	ready, _ := m.Kernel().Mmap(1)
+	var f *Fleet
+	const clients, per = 4, 200
+	for i := 0; i < clients; i++ {
+		part := i
+		m.Spawn(fmt.Sprintf("c%d", part), part, func(th *sim.Thread) {
+			if part == 0 {
+				f = NewFleet(th, DefaultConfig(), 2, ByClient)
+				for j, sh := range f.Shards() {
+					srvs[j].Attach(sh)
+				}
+				th.AtomicStore64(ready, 1)
+			} else {
+				for th.Load64(ready) == 0 {
+					th.Pause(100)
+				}
+			}
+			addrs := make([]uint64, per)
+			for k := range addrs {
+				addrs[k] = f.Malloc(th, 64)
+				th.Store64(addrs[k], uint64(part*10000+k))
+			}
+			for k, p := range addrs {
+				if got := th.Load64(p); got != uint64(part*10000+k) {
+					t.Errorf("client %d block %d corrupted: %#x", part, k, got)
+				}
+				f.Free(th, p)
+			}
+			f.Flush(th)
+		})
+	}
+	m.Run()
+	var sum uint64
+	for i, sh := range f.Shards() {
+		if sh.Served() == 0 {
+			t.Errorf("shard %d served nothing (client partition left it idle)", i)
+		}
+		if got := len(sh.ClientServices()); got != clients/2 {
+			t.Errorf("shard %d registered %d clients, want %d", i, got, clients/2)
+		}
+		sum += sh.Served()
+	}
+	if sum != f.Served() {
+		t.Errorf("shards served %d, fleet says %d", sum, f.Served())
+	}
+}
+
+// TestFleetByClassRoutesSizes: with the class partition a single client
+// spreads its traffic across shards by size class, and frees route
+// back to the shard that owns the block.
+func TestFleetByClassRoutesSizes(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	var srvs []*Server
+	fleetDaemon(2, &srvs)(m)
+	var f *Fleet
+	m.Spawn("c0", 0, func(th *sim.Thread) {
+		f = NewFleet(th, DefaultConfig(), 2, ByClass)
+		for j, sh := range f.Shards() {
+			srvs[j].Attach(sh)
+		}
+		var addrs []uint64
+		for k := 0; k < 150; k++ {
+			for _, size := range []uint64{16, 32, 64, 128, 256} {
+				p := f.Malloc(th, size)
+				if p == 0 {
+					t.Errorf("Malloc(%d) returned 0", size)
+				}
+				th.Store64(p, size)
+				addrs = append(addrs, p)
+			}
+		}
+		for _, p := range addrs {
+			f.Free(th, p)
+		}
+		f.Flush(th)
+	})
+	m.Run()
+	for i, sh := range f.Shards() {
+		if sh.Served() == 0 {
+			t.Errorf("shard %d served nothing (class partition routed nothing to it)", i)
+		}
+	}
+}
+
+// TestFleetName: the composite name carries the shard count.
+func TestFleetName(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	var srvs []*Server
+	fleetDaemon(3, &srvs)(m)
+	m.Spawn("c0", 0, func(th *sim.Thread) {
+		f := NewFleet(th, DefaultConfig(), 3, ByClient)
+		for j, sh := range f.Shards() {
+			srvs[j].Attach(sh)
+		}
+		want := f.Shards()[0].Name() + "-x3"
+		if f.Name() != want {
+			t.Errorf("fleet name %q, want %q", f.Name(), want)
+		}
+		f.Free(th, f.Malloc(th, 64))
+		f.Flush(th)
+	})
+	m.Run()
+}
+
+func TestNewFleetRejectsZeroServers(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	m.Spawn("c0", 0, func(th *sim.Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewFleet accepted zero servers")
+			}
+		}()
+		NewFleet(th, DefaultConfig(), 0, ByClient)
+	})
+	m.Run()
+}
+
+// TestNegativeBatchNormalized: a negative coalescing width means the
+// unbatched transport, not a silent pass through the Batch > 1 checks.
+func TestNegativeBatchNormalized(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	srv := NewServer()
+	m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+	m.Spawn("c0", 0, func(th *sim.Thread) {
+		cfg := DefaultConfig()
+		cfg.Batch = -3
+		a := New(th, cfg)
+		srv.Attach(a)
+		if a.cfg.Batch != 0 {
+			t.Errorf("Batch -3 normalized to %d, want 0", a.cfg.Batch)
+		}
+		a.Free(th, a.Malloc(th, 64))
+		a.Flush(th)
+	})
+	m.Run()
+}
+
+// TestBatchClampedToLine: widths past one cache line of slots clamp.
+func TestBatchClampedToLine(t *testing.T) {
+	m := sim.New(sim.ScaledConfig())
+	srv := NewServer()
+	m.SpawnDaemon("server", m.Cores()-1, srv.Run)
+	m.Spawn("c0", 0, func(th *sim.Thread) {
+		cfg := DefaultConfig()
+		cfg.Batch = 99
+		a := New(th, cfg)
+		srv.Attach(a)
+		if a.cfg.Batch != maxBatch {
+			t.Errorf("Batch 99 clamped to %d, want %d", a.cfg.Batch, maxBatch)
+		}
+		a.Free(th, a.Malloc(th, 64))
+		a.Flush(th)
+	})
+	m.Run()
+}

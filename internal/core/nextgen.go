@@ -89,6 +89,9 @@ type Config struct {
 	// cycles re-scanning empty rings (any served request resets the
 	// backoff).
 	IdleBackoff bool
+	// Sched selects the server's ring-service order (see SchedPolicy).
+	// The zero value (FixedScan) is the seed behaviour.
+	Sched SchedPolicy
 	// Latency, when non-nil, receives one span per offload request:
 	// enqueue (ring stage, producer clock), dequeue, and completion
 	// (server clock). Host-side observation only — arming it enables
@@ -185,6 +188,16 @@ type client struct {
 	// hot tracks the classes this client allocated recently; the server
 	// tops up their stashes from its idle cycles.
 	hot [8]int // class + 1, most recent first
+
+	// Service-fairness ledger (host-side observation only — reading the
+	// server clock issues no simulated traffic, so recording it never
+	// perturbs counters): how many requests this client had served, the
+	// completion clock of the most recent one, and the widest gap between
+	// consecutive completions (the starvation metric the fleet sweep
+	// reports).
+	servedOps   uint64
+	lastServed  uint64
+	maxServeGap uint64
 }
 
 // noteHot records a served class in the client's recency list.
@@ -236,6 +249,12 @@ func New(t *sim.Thread, cfg Config) *Allocator {
 	}
 	if cfg.Batch > maxBatch {
 		cfg.Batch = maxBatch
+	}
+	if cfg.Batch < 0 {
+		// A negative width is a caller bug; normalize to the unbatched
+		// transport instead of letting it slip through the Batch > 1
+		// checks as a third, accidental mode.
+		cfg.Batch = 0
 	}
 	if cfg.Resilience.Enabled {
 		cfg.Resilience.applyDefaults()
@@ -852,6 +871,9 @@ type Server struct {
 	// addrScratch backs idleLoadAddrs so steady idle windows allocate
 	// nothing per bulk skip.
 	addrScratch []uint64
+	// rr is the rotating client start index of the round-robin policy
+	// (host-side scheduling state, like a real server's cursor register).
+	rr int
 }
 
 // Doorbell-backoff bounds: the pause starts at the fixed poll pause and
@@ -993,15 +1015,35 @@ func (s *Server) idleLoadAddrs() []uint64 {
 }
 
 // Poll performs one service pass over every client (malloc rings with
-// priority, then a bounded slice of the free backlog) and reports
-// whether any work was found. Exposed so the dedicated core can be
-// shared with other service functions (the paper's "can the room be
-// used for other functions" question).
+// priority, then a slice of the free backlog, in the order Config.Sched
+// selects) and reports whether any work was found. Exposed so the
+// dedicated core can be shared with other service functions (the
+// paper's "can the room be used for other functions" question).
 func (s *Server) Poll(t *sim.Thread) bool {
 	a := s.a
 	if a == nil {
 		return false
 	}
+	switch a.cfg.Sched {
+	case RoundRobin:
+		return s.pollRoundRobin(t)
+	case DoorbellPriority:
+		return s.pollDoorbell(t)
+	case BatchDrain:
+		return s.pollBatchDrain(t)
+	}
+	return s.pollFixedScan(t)
+}
+
+// pollFixedScan is the seed service order: clients in registration
+// order, malloc rings first, then up to 16 background frees per client.
+// Between frees only the *current* client's malloc ring is re-checked,
+// so another client's synchronous malloc can wait behind this client's
+// whole free slice — the head-of-line unfairness the round-robin and
+// doorbell-priority policies fix. Kept bit-identical to the seed (the
+// golden suite pins it); fairness fixes live in the other policies.
+func (s *Server) pollFixedScan(t *sim.Thread) bool {
+	a := s.a
 	busy := false
 	// Priority pass: synchronous malloc requests first.
 	for _, c := range a.clients {
@@ -1018,45 +1060,15 @@ func (s *Server) Poll(t *sim.Thread) bool {
 	// ring between frees so a request never waits behind the batch.
 	for _, c := range a.clients {
 		if a.cfg.Batch > 1 {
-			// Vectored drain: one head publication per popped slot line
-			// instead of per free (the consumer-side half of batching).
-			var buf [maxBatch][2]uint64
-			var stamps [maxBatch]uint64
 			for n := 0; n < 16; n += a.cfg.Batch {
 				if w0, w1, ok := s.pop(t, c.mreq); ok {
 					busy = true
 					s.serveSpan(t, c, c.mreq, w0, w1)
 				}
-				k := c.freq.PopN(t, buf[:a.cfg.Batch])
-				if k == 0 {
+				if s.popFreeLine(t, c) == 0 {
 					break
 				}
-				if inj := a.cfg.Faults; inj != nil && a.cfg.Resilience.Enabled {
-					for i := 0; i < k; i++ {
-						buf[i][0], buf[i][1] = inj.Corrupt(buf[i][0], buf[i][1])
-					}
-				}
 				busy = true
-				lat := a.cfg.Latency
-				var deq uint64
-				if lat != nil {
-					c.freq.PoppedStamps(k, stamps[:])
-					deq = t.Clock()
-				}
-				for i := 0; i < k; i++ {
-					complete, served := s.serve(t, c, false, buf[i][0], buf[i][1])
-					if lat == nil || !served {
-						continue
-					}
-					if op, ok := spanOp(buf[i][0]); ok {
-						// Frees drained through the vectored path are
-						// classified as batch spans.
-						if op == timeline.OpFree {
-							op = timeline.OpBatch
-						}
-						lat.Record(op, c.threadID, stamps[i], deq, complete)
-					}
-				}
 			}
 			continue
 		}
@@ -1074,6 +1086,46 @@ func (s *Server) Poll(t *sim.Thread) bool {
 		}
 	}
 	return busy
+}
+
+// popFreeLine pops one slot line (up to Batch requests) of c's free
+// backlog through the vectored PopN path — one head publication per
+// line instead of per free, the consumer-side half of batching — and
+// services it, folding batch latency spans. Reports the slots popped.
+func (s *Server) popFreeLine(t *sim.Thread, c *client) int {
+	a := s.a
+	var buf [maxBatch][2]uint64
+	var stamps [maxBatch]uint64
+	k := c.freq.PopN(t, buf[:a.cfg.Batch])
+	if k == 0 {
+		return 0
+	}
+	if inj := a.cfg.Faults; inj != nil && a.cfg.Resilience.Enabled {
+		for i := 0; i < k; i++ {
+			buf[i][0], buf[i][1] = inj.Corrupt(buf[i][0], buf[i][1])
+		}
+	}
+	lat := a.cfg.Latency
+	var deq uint64
+	if lat != nil {
+		c.freq.PoppedStamps(k, stamps[:])
+		deq = t.Clock()
+	}
+	for i := 0; i < k; i++ {
+		complete, served := s.serve(t, c, false, buf[i][0], buf[i][1])
+		if lat == nil || !served {
+			continue
+		}
+		if op, ok := spanOp(buf[i][0]); ok {
+			// Frees drained through the vectored path are classified as
+			// batch spans.
+			if op == timeline.OpFree {
+				op = timeline.OpBatch
+			}
+			lat.Record(op, c.threadID, stamps[i], deq, complete)
+		}
+	}
+	return k
 }
 
 // Idle spends spare core cycles topping up the stashes of recently
@@ -1250,6 +1302,15 @@ func (s *Server) serve(t *sim.Thread, c *client, fromMalloc bool, w0, w1 uint64)
 		panic(fmt.Sprintf("core: unknown ring op %#x", w0))
 	}
 	a.served++
+	// Host-side service-fairness ledger (observation only — no simulated
+	// traffic): count the request and track the widest gap between this
+	// client's consecutive completions, the starvation metric the fleet
+	// sweep reports.
+	if c.lastServed != 0 && complete-c.lastServed > c.maxServeGap {
+		c.maxServeGap = complete - c.lastServed
+	}
+	c.servedOps++
+	c.lastServed = complete
 	if inj := a.cfg.Faults; inj != nil {
 		if extra := inj.SlowPause(t.Clock() - svcStart); extra > 0 {
 			// A slow room: the response is already out, so the injected

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/sim"
+)
+
+// SchedPolicy selects the order in which the server core services its
+// clients' rings on each Poll pass. The zero value (FixedScan) is the
+// seed behaviour and stays bit-identical to it; the other policies fix
+// the fixed-scan fairness bugs (head-of-line blocking of one client's
+// synchronous malloc behind another client's free slice, and the
+// registration-order scan bias that favours early clients).
+type SchedPolicy int
+
+const (
+	// FixedScan services clients in registration order: all malloc
+	// rings first, then up to 16 background frees per client,
+	// re-checking only the current client's malloc ring between frees.
+	// This is the seed behaviour and the default.
+	FixedScan SchedPolicy = iota
+	// RoundRobin rotates the scan's starting client each pass so no
+	// client is permanently first, and re-checks every malloc ring
+	// between free lines so a synchronous request never waits behind
+	// another client's free backlog.
+	RoundRobin
+	// DoorbellPriority pops background frees one at a time and
+	// re-checks every malloc ring after each, minimising synchronous
+	// malloc latency at the cost of per-free head publications (no
+	// vectored drain).
+	DoorbellPriority
+	// BatchDrain empties each client's entire free backlog before
+	// moving on (no 16-op slice cap), maximising drain throughput at
+	// the cost of cross-client fairness.
+	BatchDrain
+)
+
+// String reports the policy's CLI spelling.
+func (p SchedPolicy) String() string {
+	switch p {
+	case FixedScan:
+		return "fixed-scan"
+	case RoundRobin:
+		return "round-robin"
+	case DoorbellPriority:
+		return "doorbell-priority"
+	case BatchDrain:
+		return "batch-drain"
+	}
+	return fmt.Sprintf("sched(%d)", int(p))
+}
+
+// ParseSched maps a CLI spelling to its policy. The empty string is
+// the default (fixed-scan, the seed behaviour).
+func ParseSched(s string) (SchedPolicy, error) {
+	switch s {
+	case "", "fixed-scan":
+		return FixedScan, nil
+	case "round-robin":
+		return RoundRobin, nil
+	case "doorbell-priority":
+		return DoorbellPriority, nil
+	case "batch-drain":
+		return BatchDrain, nil
+	}
+	return 0, fmt.Errorf("unknown scheduling policy %q (want fixed-scan, round-robin, doorbell-priority or batch-drain)", s)
+}
+
+// ClientService is one client's slice of the server's service-fairness
+// ledger: how many of its requests the server completed and the widest
+// gap in cycles between consecutive completions (the starvation metric
+// the fleet sweep reports).
+type ClientService struct {
+	ThreadID     int
+	Served       uint64
+	MaxGapCycles uint64
+}
+
+// ClientServices reports the per-client service ledger in client
+// registration order. Host-side observation only; safe to call after a
+// run completes.
+func (a *Allocator) ClientServices() []ClientService {
+	out := make([]ClientService, 0, len(a.clients))
+	for _, c := range a.clients {
+		out = append(out, ClientService{
+			ThreadID:     c.threadID,
+			Served:       c.servedOps,
+			MaxGapCycles: c.maxServeGap,
+		})
+	}
+	return out
+}
+
+// pollMallocs drains every client's malloc ring and reports whether
+// any request was found. The fair policies call this between
+// background frees so a synchronous malloc never waits behind another
+// client's free backlog (fixed-scan only re-checks the current
+// client's ring — the head-of-line bug the fair policies fix).
+func (s *Server) pollMallocs(t *sim.Thread) bool {
+	a := s.a
+	busy := false
+	for _, c := range a.clients {
+		for {
+			w0, w1, ok := s.pop(t, c.mreq)
+			if !ok {
+				break
+			}
+			busy = true
+			s.serveSpan(t, c, c.mreq, w0, w1)
+		}
+	}
+	return busy
+}
+
+// pollRoundRobin is the RoundRobin policy: one pass with the scan
+// start rotating across clients, malloc rings drained first from the
+// rotating start, then a bounded slice of each client's free backlog
+// with every malloc ring re-checked between free lines.
+func (s *Server) pollRoundRobin(t *sim.Thread) bool {
+	a := s.a
+	n := len(a.clients)
+	if n == 0 {
+		return false
+	}
+	start := s.rr % n
+	s.rr++
+	busy := false
+	// Priority pass: malloc rings from the rotating start.
+	for i := 0; i < n; i++ {
+		c := a.clients[(start+i)%n]
+		for {
+			w0, w1, ok := s.pop(t, c.mreq)
+			if !ok {
+				break
+			}
+			busy = true
+			s.serveSpan(t, c, c.mreq, w0, w1)
+		}
+	}
+	// Background pass: a bounded free slice per client, fairness-first —
+	// all malloc rings are re-checked between lines.
+	step := 1
+	if a.cfg.Batch > 1 {
+		step = a.cfg.Batch
+	}
+	for i := 0; i < n; i++ {
+		c := a.clients[(start+i)%n]
+		for done := 0; done < 16; done += step {
+			if s.pollMallocs(t) {
+				busy = true
+			}
+			if a.cfg.Batch > 1 {
+				if s.popFreeLine(t, c) == 0 {
+					break
+				}
+			} else {
+				w0, w1, ok := s.pop(t, c.freq)
+				if !ok {
+					break
+				}
+				s.serveSpan(t, c, c.freq, w0, w1)
+			}
+			busy = true
+		}
+	}
+	return busy
+}
+
+// pollDoorbell is the DoorbellPriority policy: background frees pop
+// one at a time (the vectored drain is bypassed) and every malloc ring
+// is re-checked after each free, so a synchronous malloc waits for at
+// most one free service anywhere in the pass.
+func (s *Server) pollDoorbell(t *sim.Thread) bool {
+	a := s.a
+	busy := s.pollMallocs(t)
+	for _, c := range a.clients {
+		for n := 0; n < 16; n++ {
+			w0, w1, ok := s.pop(t, c.freq)
+			if !ok {
+				break
+			}
+			busy = true
+			s.serveSpan(t, c, c.freq, w0, w1)
+			if s.pollMallocs(t) {
+				busy = true
+			}
+		}
+	}
+	return busy
+}
+
+// pollBatchDrain is the BatchDrain policy: each client's free backlog
+// is drained to empty (no slice cap) with only the current client's
+// malloc ring interleaved, maximising drain throughput per pass.
+func (s *Server) pollBatchDrain(t *sim.Thread) bool {
+	a := s.a
+	busy := s.pollMallocs(t)
+	for _, c := range a.clients {
+		for {
+			if w0, w1, ok := s.pop(t, c.mreq); ok {
+				busy = true
+				s.serveSpan(t, c, c.mreq, w0, w1)
+			}
+			if a.cfg.Batch > 1 {
+				if s.popFreeLine(t, c) == 0 {
+					break
+				}
+			} else {
+				w0, w1, ok := s.pop(t, c.freq)
+				if !ok {
+					break
+				}
+				s.serveSpan(t, c, c.freq, w0, w1)
+			}
+			busy = true
+		}
+	}
+	return busy
+}

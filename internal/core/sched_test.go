@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/alloctest"
+	"nextgenmalloc/internal/sim"
+)
+
+// alloctestRun runs the conformance suite against a NextGen config
+// with one offload server.
+func alloctestRun(t *testing.T, cfg Config, srvSlot **Server) {
+	alloctest.Run(t, alloctest.Options{
+		Factory: factory(cfg, srvSlot),
+		Daemon: func(m *sim.Machine) {
+			*srvSlot = NewServer()
+			m.SpawnDaemon("server", m.Cores()-1, (*srvSlot).Run)
+		},
+	})
+}
+
+func TestParseSched(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SchedPolicy
+	}{
+		{"", FixedScan},
+		{"fixed-scan", FixedScan},
+		{"round-robin", RoundRobin},
+		{"doorbell-priority", DoorbellPriority},
+		{"batch-drain", BatchDrain},
+	}
+	for _, c := range cases {
+		got, err := ParseSched(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseSched(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"fifo", "roundrobin", "doorbell"} {
+		if _, err := ParseSched(bad); err == nil {
+			t.Errorf("ParseSched(%q) accepted", bad)
+		}
+	}
+	// Every policy's String spelling must parse back to itself.
+	for _, p := range []SchedPolicy{FixedScan, RoundRobin, DoorbellPriority, BatchDrain} {
+		got, err := ParseSched(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseSched(%q) = %v, %v; want round trip", p.String(), got, err)
+		}
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Partition
+	}{
+		{"", ByClient},
+		{"client", ByClient},
+		{"class", ByClass},
+	}
+	for _, c := range cases {
+		got, err := ParsePartition(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePartition(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	if _, err := ParsePartition("thread"); err == nil {
+		t.Error("ParsePartition(thread) accepted")
+	}
+	for _, p := range []Partition{ByClient, ByClass} {
+		got, err := ParsePartition(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePartition(%q) = %v, %v; want round trip", p.String(), got, err)
+		}
+	}
+}
+
+// TestSchedConformance: every non-default service order still passes
+// the allocator conformance suite (the fairness fixes must not change
+// what gets served, only when).
+func TestSchedConformance(t *testing.T) {
+	for _, p := range []SchedPolicy{RoundRobin, DoorbellPriority, BatchDrain} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Sched = p
+			var srv *Server
+			alloctestRun(t, cfg, &srv)
+		})
+	}
+}
+
+// TestSchedBatchedConformance: the same sweep with free coalescing on,
+// exercising the per-line malloc re-check paths.
+func TestSchedBatchedConformance(t *testing.T) {
+	for _, p := range []SchedPolicy{RoundRobin, DoorbellPriority, BatchDrain} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Sched = p
+			cfg.Batch = 4
+			var srv *Server
+			alloctestRun(t, cfg, &srv)
+		})
+	}
+}

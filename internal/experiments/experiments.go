@@ -228,6 +228,6 @@ func All(s Scale) []Outcome {
 		AblateLayout(s), AblateCore(s), AblatePrealloc(s), AblateTransport(s),
 		Sensitivity(s),
 		AblateGC(s), AblateFaaS(s), AblateGPU(s), AblateScaling(s),
-		AblateRoom(s), FaultSweep(s),
+		AblateRoom(s), FaultSweep(s), FleetSweep(s),
 	}
 }

@@ -1,6 +1,9 @@
 package experiments
 
-import "nextgenmalloc/internal/harness"
+import (
+	"nextgenmalloc/internal/core"
+	"nextgenmalloc/internal/harness"
+)
 
 // timelineInterval is the global sampling interval installed by the
 // CLIs' -timeline flags; 0 leaves time-resolved sampling off (the
@@ -28,6 +31,17 @@ func run(opt harness.Options) harness.Result {
 	}
 	if opt.Resilience == nil {
 		opt.Resilience = faultResilience
+	}
+	// The CLI's -servers/-sched/-partition topology applies to offload
+	// kinds only (inline allocators have no server to shard or schedule).
+	if harness.OffloadKind(opt.Allocator) {
+		if opt.Servers == 0 && fleetServers > 1 {
+			opt.Servers = fleetServers
+			opt.Partition = fleetPartition
+		}
+		if opt.Sched == core.FixedScan {
+			opt.Sched = fleetSched
+		}
 	}
 	return harness.Run(opt)
 }

@@ -65,7 +65,22 @@ type Options struct {
 	// "default".)
 	ServerCore int
 	// PinServerCore makes ServerCore authoritative, including core 0.
+	// Incompatible with Servers > 1 (the fleet always occupies the last
+	// Servers cores).
 	PinServerCore bool
+	// Servers shards the offload allocator across this many server
+	// daemons (core.Fleet), each on its own core, partitioning clients
+	// per Partition. 0 or 1 is the seed single-server topology. Only
+	// offload kinds can shard.
+	Servers int
+	// Partition selects how a multi-server fleet routes requests
+	// (by client thread — the default — or by size class). Ignored when
+	// Servers <= 1.
+	Partition core.Partition
+	// Sched selects the server's ring-service order (core.SchedPolicy).
+	// The zero value (fixed-scan) is the seed behaviour. Ignored for
+	// non-NextGen allocators.
+	Sched core.SchedPolicy
 	// Tune, when non-nil, adjusts the NextGen config derived from the
 	// kind before construction (e.g. a transport sweep overriding Batch
 	// or the prealloc policy). Ignored for non-NextGen allocators.
@@ -85,6 +100,10 @@ type Options struct {
 	// SampleCapacity bounds the sample series (timeline.DefaultCapacity
 	// when 0); the interval doubles when the buffer fills.
 	SampleCapacity int
+	// SpanCapacity bounds the latency recorder's raw span buffer
+	// (timeline.DefaultSpanCap when 0). Sweeps over big topologies
+	// raise it so per-client percentiles keep their tails.
+	SpanCapacity int
 	// FaultPlan arms deterministic fault injection on offload runs (see
 	// internal/fault); nil or unarmed means a clean run. When a plan is
 	// armed and Resilience is nil, core.DefaultResilience is applied
@@ -128,7 +147,13 @@ type Result struct {
 	// (offload modes only).
 	ServerClasses sim.ClassBreakdown
 	// Offload carries ring/server telemetry; nil for non-offload runs.
+	// With Servers > 1 it is the fleet-wide aggregate.
 	Offload *OffloadTelemetry
+	// Servers carries one entry per server daemon (len 1 for the seed
+	// single-server topology, empty for non-offload runs): the shard's
+	// core, busy/idle split, ring stats, served/NACK counts, and the
+	// per-client service-fairness ledger.
+	Servers []ServerTelemetry
 	// Timeline is the sampled counter series; nil unless
 	// Options.SampleInterval armed the sampler.
 	Timeline *timeline.Series
@@ -165,6 +190,31 @@ type ResilienceTelemetry struct {
 func (tel *ResilienceTelemetry) Add(o ResilienceTelemetry) {
 	tel.Client.Add(o.Client)
 	tel.Injected.Add(o.Injected)
+}
+
+// ServerTelemetry is one server daemon's slice of a (possibly sharded)
+// offload run: which core it occupied, how its loop time split, what
+// its clients' rings carried, and how fairly it served each client.
+type ServerTelemetry struct {
+	// Core is the simulated core the daemon was pinned to.
+	Core int
+	// BusyCycles / IdleCycles partition the daemon's loop time.
+	BusyCycles uint64
+	IdleCycles uint64
+	// EmptyPolls / EmptyPollCycles count poll passes that found no work
+	// and what they cost.
+	EmptyPolls      uint64
+	EmptyPollCycles uint64
+	// Served counts ring operations this shard completed; Nacks counts
+	// requests it rejected (resilience validation).
+	Served uint64
+	Nacks  uint64
+	// MallocRing / FreeRing merge this shard's per-client ring stats.
+	MallocRing ring.Stats
+	FreeRing   ring.Stats
+	// Clients is the shard's per-client service ledger (served ops and
+	// the widest completion gap — the starvation metric).
+	Clients []core.ClientService
 }
 
 // OffloadTelemetry is the transport-level view of an offload run: what
@@ -263,6 +313,21 @@ func (r Result) CheckLiveness() error {
 		return fmt.Errorf("liveness: %d popped but only %d served + %d nacked",
 			pops, r.Served, nacks)
 	}
+	// Per-server invariants: the fleet aggregate can mask a shard that
+	// lost requests against another that double-counted, so each daemon
+	// must balance on its own.
+	for i, s := range r.Servers {
+		pushes := s.MallocRing.Pushes + s.FreeRing.Pushes
+		pops := s.MallocRing.Pops + s.FreeRing.Pops
+		if pushes != pops {
+			return fmt.Errorf("liveness: server %d (core %d): %d requests pushed but %d popped",
+				i, s.Core, pushes, pops)
+		}
+		if s.Served+s.Nacks != pops {
+			return fmt.Errorf("liveness: server %d (core %d): %d popped but only %d served + %d nacked",
+				i, s.Core, pops, s.Served, s.Nacks)
+		}
+	}
 	return nil
 }
 
@@ -290,8 +355,22 @@ func nextgenConfig(kind string) core.Config {
 	return cfg
 }
 
-// Run executes the experiment.
+// Run executes the experiment, panicking on an invalid topology (the
+// seed behaviour; RunE reports the same conditions as errors).
 func Run(opt Options) Result {
+	res, err := RunE(opt)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunE executes the experiment, returning an error for an invalid
+// topology (unknown allocator, zero-thread workload, server core out
+// of range, worker/server collision, bad shard count) instead of
+// panicking — CLIs print the message and exit instead of dumping a
+// goroutine trace.
+func RunE(opt Options) (Result, error) {
 	known := false
 	for _, k := range Kinds {
 		if k == opt.Allocator {
@@ -300,12 +379,25 @@ func Run(opt Options) Result {
 		}
 	}
 	if !known {
-		panic(fmt.Sprintf("harness: unknown allocator %q", opt.Allocator))
+		return Result{}, fmt.Errorf("harness: unknown allocator %q", opt.Allocator)
 	}
 	w := opt.Workload
 	n := w.Threads()
 	if n <= 0 {
-		panic("harness: workload declares no threads")
+		return Result{}, fmt.Errorf("harness: workload declares no threads")
+	}
+	servers := opt.Servers
+	if servers == 0 {
+		servers = 1
+	}
+	if servers < 0 {
+		return Result{}, fmt.Errorf("harness: negative server count %d", opt.Servers)
+	}
+	if servers > 1 && !needsServer(opt.Allocator) {
+		return Result{}, fmt.Errorf("harness: allocator %q has no offload server to shard across %d cores", opt.Allocator, servers)
+	}
+	if servers > 1 && opt.PinServerCore {
+		return Result{}, fmt.Errorf("harness: cannot pin the server core with %d servers (the fleet occupies the last %d cores)", servers, servers)
 	}
 
 	mcfg := sim.ScaledConfig()
@@ -314,23 +406,28 @@ func Run(opt Options) Result {
 	}
 	serverCore := opt.ServerCore
 	if !opt.PinServerCore {
-		serverCore = mcfg.Cores - 1
+		serverCore = mcfg.Cores - servers
 	}
 	if serverCore < 0 || serverCore >= mcfg.Cores {
-		panic(fmt.Sprintf("harness: server core %d out of range [0,%d)", serverCore, mcfg.Cores))
+		return Result{}, fmt.Errorf("harness: server core %d out of range [0,%d)", serverCore, mcfg.Cores)
 	}
-	avail := mcfg.Cores
+	// nsrv is how many cores the fleet reserves; workers are placed
+	// around them.
+	nsrv := 0
 	if needsServer(opt.Allocator) {
-		avail-- // the server core is reserved; workers are placed around it
+		nsrv = servers
 	}
+	avail := mcfg.Cores - nsrv
 	if n > avail {
-		panic(fmt.Sprintf("harness: %d workers collide with server core %d (%d cores)", n, serverCore, mcfg.Cores))
+		return Result{}, fmt.Errorf("harness: %d workers collide with server core %d (%d cores)", n, serverCore, mcfg.Cores)
 	}
 	if opt.Allocator == "nextgen-nearmem" {
 		if mcfg.CoreOverrides == nil {
 			mcfg.CoreOverrides = map[int]sim.CoreProfile{}
 		}
-		mcfg.CoreOverrides[serverCore] = sim.NearMemoryProfile()
+		for i := 0; i < nsrv; i++ {
+			mcfg.CoreOverrides[serverCore+i] = sim.NearMemoryProfile()
+		}
 	}
 
 	m := sim.New(mcfg)
@@ -340,16 +437,21 @@ func Run(opt Options) Result {
 	ctrl, _ := m.Kernel().Mmap(1)
 	m.Regions().Mark(ctrl, int(mem.PageSize), region.Global)
 
-	var srv *core.Server
-	if needsServer(opt.Allocator) {
-		srv = core.NewServer()
-		m.SpawnDaemon("ngm-server", serverCore, srv.Run)
+	var srvs []*core.Server
+	for i := 0; i < nsrv; i++ {
+		srv := core.NewServer()
+		name := "ngm-server"
+		if i > 0 {
+			name = fmt.Sprintf("ngm-server-%d", i)
+		}
+		m.SpawnDaemon(name, serverCore+i, srv.Run)
+		srvs = append(srvs, srv)
 	}
 
 	// Deterministic fault injection (offload runs only; a plan against an
 	// inline allocator has no transport to break).
 	var inj *fault.Injector
-	if opt.FaultPlan != nil && opt.FaultPlan.Armed() && srv != nil {
+	if opt.FaultPlan != nil && opt.FaultPlan.Armed() && len(srvs) > 0 {
 		inj = fault.NewInjector(*opt.FaultPlan)
 		inj.Attach(m)
 	}
@@ -360,12 +462,12 @@ func Run(opt Options) Result {
 		PerThread:  make([]sim.Counters, n),
 		ServerCore: -1,
 	}
-	if srv != nil {
+	if len(srvs) > 0 {
 		res.ServerCore = serverCore
 	}
 	var a alloc.Allocator
-	var serverStart sim.Counters
-	var serverStartC sim.ClassBreakdown
+	serverStarts := make([]sim.Counters, len(srvs))
+	serverStartCs := make([]sim.ClassBreakdown, len(srvs))
 	perThreadC := make([]sim.ClassBreakdown, n)
 
 	// Time-resolved telemetry (observation-only; see Options).
@@ -374,22 +476,26 @@ func Run(opt Options) Result {
 	if opt.SampleInterval > 0 {
 		sampler = timeline.NewSampler(opt.SampleInterval, opt.SampleCapacity)
 		sampler.Attach(m)
-		latRec = timeline.NewLatencyRecorder(0)
+		latRec = timeline.NewLatencyRecorder(opt.SpanCapacity)
 		sampler.ProbeRings(func() timeline.RingState {
-			if ng, ok := a.(*core.Allocator); ok {
+			if ng, ok := a.(interface{ RingDepths() (uint64, uint64) }); ok {
 				md, fd := ng.RingDepths()
 				return timeline.RingState{MallocDepth: md, FreeDepth: fd}
 			}
 			return timeline.RingState{}
 		})
-		if srv != nil {
+		if len(srvs) > 0 {
 			sampler.ProbeServer(func() timeline.ServerState {
-				busy, idle := srv.Telemetry()
-				polls, pollCy := srv.PollStats()
-				return timeline.ServerState{
-					BusyCycles: busy, IdleCycles: idle,
-					EmptyPolls: polls, EmptyPollCycles: pollCy,
+				var st timeline.ServerState
+				for _, srv := range srvs {
+					busy, idle := srv.Telemetry()
+					polls, pollCy := srv.PollStats()
+					st.BusyCycles += busy
+					st.IdleCycles += idle
+					st.EmptyPolls += polls
+					st.EmptyPollCycles += pollCy
 				}
+				return st
 			})
 		}
 	}
@@ -398,8 +504,8 @@ func Run(opt Options) Result {
 	// one is reserved (with the default last-core server this is the
 	// identity mapping the original assignment used).
 	workerCore := func(part int) int {
-		if srv != nil && part >= serverCore {
-			return part + 1
+		if nsrv > 0 && part >= serverCore {
+			return part + nsrv
 		}
 		return part
 	}
@@ -410,7 +516,7 @@ func Run(opt Options) Result {
 			readyAddrs := [1]uint64{ctrl}
 			barrierAddrs := [1]uint64{ctrl + 64}
 			if part == 0 {
-				a = makeAllocator(t, opt, srv, latRec, inj)
+				a = makeAllocator(t, opt, servers, srvs, latRec, inj)
 				if opt.Wrap != nil {
 					a = opt.Wrap(a)
 				}
@@ -445,9 +551,11 @@ func Run(opt Options) Result {
 				},
 				Addrs: func() []uint64 { return barrierAddrs[:] },
 			})
-			if part == 0 && srv != nil {
-				serverStart = t.Machine().CoreCounters(serverCore)
-				serverStartC = t.Machine().CoreClassCounters(serverCore)
+			if part == 0 {
+				for i := range srvs {
+					serverStarts[i] = t.Machine().CoreCounters(serverCore + i)
+					serverStartCs[i] = t.Machine().CoreClassCounters(serverCore + i)
+				}
 			}
 			start := t.Counters()
 			startC := t.ClassCounters()
@@ -470,23 +578,46 @@ func Run(opt Options) Result {
 	for _, d := range perThreadC {
 		res.Classes.Add(d)
 	}
-	if srv != nil {
-		res.Server = m.CoreCounters(serverCore).Sub(serverStart)
-		res.ServerClasses = m.CoreClassCounters(serverCore).Sub(serverStartC)
+	for i := range srvs {
+		res.Server.Add(m.CoreCounters(serverCore + i).Sub(serverStarts[i]))
+		res.ServerClasses.Add(m.CoreClassCounters(serverCore + i).Sub(serverStartCs[i]))
 	}
 	res.AllocStats = a.Stats()
 	res.Kernel = m.Kernel().Stats()
-	if ng, ok := a.(*core.Allocator); ok {
-		res.Served = ng.Served()
-		if srv != nil {
+	if shards := offloadShards(a); len(shards) > 0 {
+		for _, ng := range shards {
+			res.Served += ng.Served()
+		}
+		resilient := shards[0].ResilienceEnabled()
+		if len(srvs) > 0 {
 			tel := &OffloadTelemetry{}
-			tel.MallocRing, tel.FreeRing = ng.RingTelemetry()
-			tel.ServerBusyCycles, tel.ServerIdleCycles = srv.Telemetry()
-			tel.ServerEmptyPolls, tel.ServerEmptyPollCycles = srv.PollStats()
+			for i, srv := range srvs {
+				ng := shards[i]
+				st := ServerTelemetry{Core: serverCore + i, Served: ng.Served()}
+				st.BusyCycles, st.IdleCycles = srv.Telemetry()
+				st.EmptyPolls, st.EmptyPollCycles = srv.PollStats()
+				st.MallocRing, st.FreeRing = ng.RingTelemetry()
+				st.Clients = ng.ClientServices()
+				if resilient || inj != nil {
+					cs := ng.ResilienceTelemetry()
+					st.Nacks = cs.MallocNacks + cs.FreeNacks
+				}
+				res.Servers = append(res.Servers, st)
+
+				tel.MallocRing.Add(st.MallocRing)
+				tel.FreeRing.Add(st.FreeRing)
+				tel.ServerBusyCycles += st.BusyCycles
+				tel.ServerIdleCycles += st.IdleCycles
+				tel.ServerEmptyPolls += st.EmptyPolls
+				tel.ServerEmptyPollCycles += st.EmptyPollCycles
+			}
 			res.Offload = tel
 		}
-		if ng.ResilienceEnabled() || inj != nil {
-			rt := &ResilienceTelemetry{Client: ng.ResilienceTelemetry()}
+		if resilient || inj != nil {
+			rt := &ResilienceTelemetry{}
+			for _, ng := range shards {
+				rt.Client.Add(ng.ResilienceTelemetry())
+			}
 			if inj != nil {
 				rt.Injected = inj.Stats()
 			}
@@ -499,11 +630,26 @@ func Run(opt Options) Result {
 		res.Latency = latRec
 	}
 	res.Warp = m.WarpStats()
-	return res
+	return res, nil
 }
 
-// makeAllocator instantiates the requested allocator on thread t.
-func makeAllocator(t *sim.Thread, opt Options, srv *core.Server, latRec *timeline.LatencyRecorder, inj *fault.Injector) alloc.Allocator {
+// offloadShards exposes the NextGen allocator(s) behind a (possibly
+// sharded) run for telemetry extraction: the fleet's shards, a single
+// allocator as a one-shard fleet, nil for non-NextGen or wrapped
+// allocators. Shard i is attached to server daemon i.
+func offloadShards(a alloc.Allocator) []*core.Allocator {
+	switch ng := a.(type) {
+	case *core.Fleet:
+		return ng.Shards()
+	case *core.Allocator:
+		return []*core.Allocator{ng}
+	}
+	return nil
+}
+
+// makeAllocator instantiates the requested allocator on thread t,
+// attaching offload shards to the already-spawned server daemons.
+func makeAllocator(t *sim.Thread, opt Options, servers int, srvs []*core.Server, latRec *timeline.LatencyRecorder, inj *fault.Injector) alloc.Allocator {
 	switch kind := opt.Allocator; kind {
 	case "ptmalloc2":
 		return ptmalloc.New(t)
@@ -518,6 +664,7 @@ func makeAllocator(t *sim.Thread, opt Options, srv *core.Server, latRec *timelin
 	case "nextgen", "nextgen-prealloc", "nextgen-sync", "nextgen-nearmem",
 		"nextgen-inline", "nextgen-inline-agg", "nextgen-batch", "nextgen-adaptive":
 		cfg := nextgenConfig(kind)
+		cfg.Sched = opt.Sched
 		if opt.Tune != nil {
 			opt.Tune(&cfg)
 		}
@@ -528,9 +675,16 @@ func makeAllocator(t *sim.Thread, opt Options, srv *core.Server, latRec *timelin
 			cfg.Resilience = core.DefaultResilience()
 		}
 		cfg.Faults = inj
+		if servers > 1 {
+			f := core.NewFleet(t, cfg, servers, opt.Partition)
+			for i, sh := range f.Shards() {
+				srvs[i].Attach(sh)
+			}
+			return f
+		}
 		a := core.New(t, cfg)
-		if srv != nil {
-			srv.Attach(a)
+		if len(srvs) > 0 {
+			srvs[0].Attach(a)
 		}
 		return a
 	}

@@ -71,6 +71,36 @@ type Result struct {
 	// one idle window (additive in schema v1). Host telemetry only:
 	// every simulated counter above is bit-identical with warp off.
 	Warp *Warp `json:"warp,omitempty"`
+	// Servers is present for offload runs (additive in schema v1): one
+	// entry per server daemon — the sharded-fleet view. A single-server
+	// run carries one entry whose totals match the offload block.
+	Servers []ServerMetrics `json:"servers,omitempty"`
+}
+
+// ServerMetrics is one server daemon's slice of a (possibly sharded)
+// offload run.
+type ServerMetrics struct {
+	Core            int    `json:"core"`
+	BusyCycles      uint64 `json:"busy_cycles"`
+	IdleCycles      uint64 `json:"idle_cycles"`
+	EmptyPolls      uint64 `json:"empty_polls"`
+	EmptyPollCycles uint64 `json:"empty_poll_cycles"`
+	ServedOps       uint64 `json:"served_ops"`
+	Nacks           uint64 `json:"nacks"`
+	MallocRing      Ring   `json:"malloc_ring"`
+	FreeRing        Ring   `json:"free_ring"`
+	// PerClient is the server's service-fairness ledger, one entry per
+	// registered client thread.
+	PerClient []ClientServiceMetrics `json:"per_client"`
+}
+
+// ClientServiceMetrics is one client's share of a server's service:
+// how many of its requests completed and the widest gap in cycles
+// between consecutive completions (the starvation metric).
+type ClientServiceMetrics struct {
+	Thread              int    `json:"thread"`
+	ServedOps           uint64 `json:"served_ops"`
+	MaxServiceGapCycles uint64 `json:"max_service_gap_cycles"`
 }
 
 // Warp is the time-warp ledger: how much host work the cycle-skipping
@@ -310,6 +340,27 @@ func FromResult(r harness.Result) Result {
 			ServedOps:             r.Served,
 		}
 	}
+	for _, s := range r.Servers {
+		sm := ServerMetrics{
+			Core:            s.Core,
+			BusyCycles:      s.BusyCycles,
+			IdleCycles:      s.IdleCycles,
+			EmptyPolls:      s.EmptyPolls,
+			EmptyPollCycles: s.EmptyPollCycles,
+			ServedOps:       s.Served,
+			Nacks:           s.Nacks,
+			MallocRing:      ringMetrics(s.MallocRing),
+			FreeRing:        ringMetrics(s.FreeRing),
+		}
+		for _, c := range s.Clients {
+			sm.PerClient = append(sm.PerClient, ClientServiceMetrics{
+				Thread:              c.ThreadID,
+				ServedOps:           c.Served,
+				MaxServiceGapCycles: c.MaxGapCycles,
+			})
+		}
+		out.Servers = append(out.Servers, sm)
+	}
 	if r.Timeline != nil {
 		out.Timeline = timelineMetrics(r.Timeline)
 	}
@@ -430,7 +481,36 @@ func Validate(data []byte) error {
 			if err := validateWarp(e.ID, i, r.Warp); err != nil {
 				return err
 			}
+			if err := validateServers(e.ID, i, r.Servers, r.Offload); err != nil {
+				return err
+			}
 		}
+	}
+	return nil
+}
+
+// validateServers checks the sharded-fleet accounting: each server's
+// per-client service counts sum to its served total, and the per-server
+// served totals sum to the fleet-wide offload count.
+func validateServers(exp string, i int, srvs []ServerMetrics, off *Offload) error {
+	if len(srvs) == 0 {
+		return nil
+	}
+	var fleetServed uint64
+	for j, s := range srvs {
+		var clientSum uint64
+		for _, c := range s.PerClient {
+			clientSum += c.ServedOps
+		}
+		if clientSum != s.ServedOps {
+			return fmt.Errorf("metrics: experiment %q result %d server %d per-client ops sum to %d but served_ops is %d",
+				exp, i, j, clientSum, s.ServedOps)
+		}
+		fleetServed += s.ServedOps
+	}
+	if off != nil && fleetServed != off.ServedOps {
+		return fmt.Errorf("metrics: experiment %q result %d servers sum to %d served ops but offload reports %d",
+			exp, i, fleetServed, off.ServedOps)
 	}
 	return nil
 }

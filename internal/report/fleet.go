@@ -1,0 +1,44 @@
+package report
+
+import "fmt"
+
+// FleetRow is one cell of the fleet saturation sweep: a (workers,
+// servers, policy) topology and its headline metrics.
+type FleetRow struct {
+	Workers int
+	Servers int
+	Sched   string
+	// WallCycles is the longest worker's measured region.
+	WallCycles uint64
+	// OpsPerKCycle is allocator throughput: (mallocs+frees) per 1000
+	// wall cycles across the whole topology.
+	OpsPerKCycle float64
+	// BusyShare is the busiest server's busy fraction of its loop time —
+	// the saturation gauge (≈1.0 means that shard has no headroom).
+	BusyShare float64
+	// WorstP99 is the worst per-client p99 end-to-end malloc latency in
+	// cycles (0 when no malloc spans were recorded).
+	WorstP99 uint64
+	// MaxGap is the widest gap in cycles between consecutive
+	// completions for any single client — the starvation metric.
+	MaxGap uint64
+}
+
+// FleetTable renders the saturation sweep, one row per topology.
+func FleetTable(title string, rows []FleetRow) string {
+	header := []string{"Workers", "Servers", "Sched", "Wall cycles", "Ops/kcycle", "Busy share", "Worst p99", "Max gap"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Servers),
+			r.Sched,
+			Sci(float64(r.WallCycles)),
+			fmt.Sprintf("%.2f", r.OpsPerKCycle),
+			fmt.Sprintf("%.2f", r.BusyShare),
+			Sci(float64(r.WorstP99)),
+			Sci(float64(r.MaxGap)),
+		})
+	}
+	return Table(title, header, cells)
+}

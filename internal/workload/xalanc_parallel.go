@@ -1,0 +1,53 @@
+package workload
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/sim"
+)
+
+// ParallelXalanc runs one independent Xalanc transformer per thread —
+// the fleet-saturation workload: N single-threaded xalancbmk processes
+// sharing one machine (and, in offload mode, one allocator fleet), the
+// way the paper's dedicated-core proposal would actually be deployed.
+// Each part gets its own node table and a distinct seed, so the parts
+// are homogeneous but not lock-stepped.
+type ParallelXalanc struct {
+	inner []*Xalanc
+}
+
+// NewParallelXalanc builds a threads-way copy of proto. Per-part state
+// (table, seed) is derived: part i runs proto with Seed+i.
+func NewParallelXalanc(threads int, proto Xalanc) *ParallelXalanc {
+	if threads < 1 {
+		panic(fmt.Sprintf("workload: ParallelXalanc needs at least one thread, got %d", threads))
+	}
+	p := &ParallelXalanc{}
+	for i := 0; i < threads; i++ {
+		x := proto // copy
+		x.Seed = proto.Seed + uint64(i)
+		p.inner = append(p.inner, &x)
+	}
+	return p
+}
+
+// Name implements Workload.
+func (p *ParallelXalanc) Name() string { return fmt.Sprintf("xalanc-x%d", len(p.inner)) }
+
+// Threads implements Workload.
+func (p *ParallelXalanc) Threads() int { return len(p.inner) }
+
+// Setup implements Workload: thread 0 maps every part's node table
+// (setup runs before the measurement barrier, so construction cost is
+// excluded as usual).
+func (p *ParallelXalanc) Setup(t *sim.Thread, a alloc.Allocator) {
+	for _, x := range p.inner {
+		x.Setup(t, a)
+	}
+}
+
+// Run implements Workload.
+func (p *ParallelXalanc) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	p.inner[part].Run(t, 0, a)
+}
