@@ -92,14 +92,18 @@ func BenchmarkModel(b *testing.B) {
 	}
 }
 
-// BenchmarkAblateLayout regenerates the §3.1.2 layout ablation; the
-// metric is aggregated-over-segregated cycles.
+// BenchmarkAblateLayout regenerates the §3.1.2 layout ablation (3
+// layouts x 3 transports x 2 workloads); the metrics compare the
+// aggregated and compact layouts against segregated on the default
+// transport's table 1 cells (results 0..2 of the sweep).
 func BenchmarkAblateLayout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		out := experiments.AblateLayout(benchScale)
 		seg := float64(out.Results[0].Total.Cycles)
 		agg := float64(out.Results[1].Total.Cycles)
+		compact := float64(out.Results[2].Total.Cycles)
 		b.ReportMetric(agg/seg, "agg/seg")
+		b.ReportMetric(compact/seg, "compact/seg")
 	}
 }
 

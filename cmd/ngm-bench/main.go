@@ -51,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "max simulated machines running concurrently (1 = serial)")
 	batch := fs.Int("batch", -1, "override NextGen free-coalescing width for standard experiments, 1-4 (-1 = per-kind default)")
 	prealloc := fs.String("prealloc", "", "override NextGen prealloc policy for standard experiments: off, static, or adaptive (empty = per-kind default)")
+	layoutSpec := fs.String("layout", "", "override NextGen metadata layout for standard experiments: segregated, aggregated, or compact (empty = per-kind default)")
 	cpuProfile := fs.String("cpuprofile", "", "write a host CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a host heap profile to this file at exit")
 	faultSpec := fs.String("fault", "", "inject offload faults on every standard-experiment run: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
@@ -81,6 +82,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	experiments.SetTransport(tune)
+
+	layoutTune, err := experiments.ParseLayout(*layoutSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
+		return 2
+	}
+	experiments.SetLayout(layoutTune)
 
 	faultPlan, err := experiments.ParseFault(*faultSpec)
 	if err != nil {

@@ -20,6 +20,7 @@ func runCLI(args ...string) (int, string, string) {
 func resetGlobals() {
 	experiments.SetMachine(nil)
 	experiments.SetTransport(nil)
+	experiments.SetLayout(nil)
 	experiments.SetFault(nil, nil)
 	experiments.SetTimeline(0)
 	experiments.SetFleet(0, core.FixedScan, core.ByClient)
@@ -35,6 +36,7 @@ func TestRejectsBadFlags(t *testing.T) {
 		"bad scale":          {[]string{"-scale", "huge"}, "unknown scale"},
 		"zero quantum":       {[]string{"-quantum", "0"}, "-quantum must be > 0"},
 		"bad batch":          {[]string{"-batch", "9"}, "out of range"},
+		"bad layout":         {[]string{"-layout", "bitmap"}, "unknown layout"},
 		"bad fault":          {[]string{"-fault", "warp=1"}, "unknown key"},
 		"bad resilience":     {[]string{"-resilience", "timeout"}, "not key=value"},
 		"bad sched":          {[]string{"-sched", "fifo"}, "unknown scheduling policy"},

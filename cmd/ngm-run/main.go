@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	schedSpec := fs.String("sched", "", "offload ring service order: fixed-scan, round-robin, doorbell-priority, or batch-drain (empty = fixed-scan)")
 	partSpec := fs.String("partition", "", "fleet shard partition: client or class (empty = client)")
 	prealloc := fs.String("prealloc", "", "override NextGen prealloc policy: off, static, or adaptive (empty = per-kind default)")
+	layoutSpec := fs.String("layout", "", "override NextGen metadata layout: segregated, aggregated, or compact (empty = per-kind default)")
 	faultSpec := fs.String("fault", "", "inject offload faults: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
 	resSpec := fs.String("resilience", "", "offload degradation policy: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
 	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
@@ -67,11 +68,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ngm-run: unknown allocator %q (choose from: %s)\n", *kind, strings.Join(harness.Kinds, ", "))
 		return 2
 	}
-	tune, err := experiments.ParseTransport(*batch, *prealloc)
+	transportTune, err := experiments.ParseTransport(*batch, *prealloc)
 	if err != nil {
 		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
 		return 2
 	}
+	layoutTune, err := experiments.ParseLayout(*layoutSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	tune := experiments.Tunes(transportTune, layoutTune)
 	faultPlan, err := experiments.ParseFault(*faultSpec)
 	if err != nil {
 		fmt.Fprintf(stderr, "ngm-run: %v\n", err)

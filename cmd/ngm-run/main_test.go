@@ -31,6 +31,7 @@ func TestRejectsBadFlags(t *testing.T) {
 		"batch too wide":     {[]string{"-batch", "7"}, "out of range"},
 		"batch zero":         {[]string{"-batch", "0"}, "out of range"},
 		"bad prealloc":       {[]string{"-prealloc", "bogus"}, "unknown prealloc policy"},
+		"bad layout":         {[]string{"-layout", "bitmap"}, "unknown layout"},
 		"bad fault key":      {[]string{"-fault", "warp=1"}, "unknown key"},
 		"bad fault value":    {[]string{"-fault", "drop=abc"}, "bad value"},
 		"bad resilience":     {[]string{"-resilience", "timeout"}, "not key=value"},
@@ -200,5 +201,42 @@ func TestWarpFlagBitIdenticalOutput(t *testing.T) {
 	}
 	if stripWarpLines(on) != stripWarpLines(off) {
 		t.Errorf("-warp changed the simulation output:\n--- on ---\n%s\n--- off ---\n%s", on, off)
+	}
+}
+
+// TestLayoutFlagSelectsCompact: -layout compact rides any NextGen kind
+// and the metrics doc records the layout and its dense record stride.
+func TestLayoutFlagSelectsCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	rc, _, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "1500",
+		"-layout", "compact", "-metrics", path)
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Validate(data); err != nil {
+		t.Errorf("metrics file invalid: %v", err)
+	}
+	for _, want := range []string{`"layout": "compact"`, `"meta_record_bytes": 192`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("metrics doc lacks %s", want)
+		}
+	}
+}
+
+// TestDefaultLayoutFlagBitIdentical: spelling out -layout segregated on
+// a default run must not change a single output byte.
+func TestDefaultLayoutFlagBitIdentical(t *testing.T) {
+	args := []string{"-alloc", "nextgen", "-workload", "xalanc", "-ops", "1500"}
+	rcA, plain, errA := runCLI(args...)
+	rcB, explicit, errB := runCLI(append([]string{"-layout", "segregated"}, args...)...)
+	if rcA != 0 || rcB != 0 {
+		t.Fatalf("exits %d/%d, stderr: %s%s", rcA, rcB, errA, errB)
+	}
+	if plain != explicit {
+		t.Errorf("explicit -layout segregated changed the output:\n--- default ---\n%s\n--- explicit ---\n%s", plain, explicit)
 	}
 }

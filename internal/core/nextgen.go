@@ -20,12 +20,14 @@
 // indices (the paper's suggested segregated encoding) in a dedicated
 // metadata address range (mem.MetaBase), so in offload mode application
 // cores never touch a metadata line. The aggregated-layout variant
-// (intrusive next-pointers in free blocks, Figure 2 top) is provided for
-// the layout ablation.
+// (intrusive next-pointers in free blocks, Figure 2 top) and the
+// compact variant (mallocng-style bitmask groups, 1 bit of state per
+// block) are provided for the layout ablation.
 package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nextgenmalloc/internal/alloc"
 	"nextgenmalloc/internal/fault"
@@ -47,13 +49,76 @@ const (
 	// Aggregated threads an intrusive next-pointer through the free
 	// blocks themselves (the Mimalloc-style layout).
 	Aggregated
+	// Compact carves each slab into groups of up to 32 identical units
+	// (the mallocng layout): allocation state is one out-of-band bitmask
+	// word per group in the slab record — find-first-set to allocate, a
+	// single bit clear to free — plus a 64-byte in-band header line per
+	// group holding one offset byte per unit for free validation.
+	// Metadata drops from 2 B/block of index stack to 1 bit/block of
+	// bitmask plus the fixed headers.
+	Compact
 )
 
 func (l Layout) String() string {
-	if l == Aggregated {
+	switch l {
+	case Segregated:
+		return "segregated"
+	case Aggregated:
 		return "aggregated"
+	case Compact:
+		return "compact"
 	}
-	return "segregated"
+	return fmt.Sprintf("layout(%d)", int(l))
+}
+
+// Valid reports whether l is one of the defined layouts. harness.RunE
+// rejects anything else before a simulated thread runs, so a bad layout
+// is a topology error, never a silent segregated fallback.
+func (l Layout) Valid() bool {
+	switch l {
+	case Segregated, Aggregated, Compact:
+		return true
+	}
+	return false
+}
+
+// ParseLayout maps a CLI spelling to a Layout; "" is the default
+// (Segregated).
+func ParseLayout(s string) (Layout, error) {
+	switch s {
+	case "", "segregated":
+		return Segregated, nil
+	case "aggregated":
+		return Aggregated, nil
+	case "compact":
+		return Compact, nil
+	}
+	return 0, fmt.Errorf("unknown layout %q (want segregated, aggregated, or compact)", s)
+}
+
+// RecordBytes is the metadata-region stride one slab record reserves
+// under this layout. Compact records carry 16 mask words instead of a
+// 1 KiB index stack, so many more of them share a metadata page.
+func (l Layout) RecordBytes() int {
+	if l == Compact {
+		return slCompactRecBytes
+	}
+	return slRecBytes
+}
+
+// SlabStateBytes is the out-of-band allocation-state footprint of one
+// slab of the given capacity, excluding the fixed record fields every
+// layout shares: the 16-bit index stack (segregated), the intrusive
+// head word (aggregated), or one bitmask word per 32-unit group
+// (compact).
+func (l Layout) SlabStateBytes(capacity int) int {
+	switch l {
+	case Aggregated:
+		return 8
+	case Compact:
+		return 8 * ((capacity + compactGroupUnits - 1) / compactGroupUnits)
+	}
+	return 2 * capacity
 }
 
 // Config selects the NextGen-Malloc variant.
@@ -134,6 +199,76 @@ const (
 	classLarge    = 255
 	classFreeSpan = 254
 )
+
+// Compact layout (mallocng-style). A slab is carved into groups of up
+// to compactGroupUnits identical units. The allocation state is fully
+// out-of-band: one bitmask word per group in the slab record, bit set =
+// unit free. Each group additionally opens with one in-band 64-byte
+// header line — an offset byte per unit (compactIdxTag|index, so a
+// stale zeroed line never validates) plus the group's ordinal — used
+// only to validate frees. The header bytes live inside user pages but
+// are allocator state, so freshSlab marks them region.Meta and the
+// attribution telemetry bills their misses to metadata.
+const (
+	slCursor          = 56                           // lowest possibly-nonzero mask word (reuses slFreeHead's slot)
+	slMasks           = 64                           // 16 bitmask words, one per group
+	compactGroupUnits = 32                           // units per bitmask word
+	compactMaxGroups  = 512 / compactGroupUnits      // capacity cap / group size
+	slCompactRecBytes = slMasks + compactMaxGroups*8 // 192 B record vs the 1088 B index-stack record
+
+	compactHdrBytes = 64   // in-band group header: 32 offset bytes + ordinal word
+	compactHdrIdx   = 32   // group ordinal word inside the header line
+	compactIdxTag   = 0xa0 // high bits of every offset byte
+)
+
+// compactStride is the byte span of one full group: the in-band header
+// line followed by 32 units.
+func compactStride(size uint64) uint64 {
+	return compactHdrBytes + compactGroupUnits*size
+}
+
+// compactCapacity is how many units fit in spanBytes under the compact
+// geometry: full groups plus a trailing partial group behind its own
+// header.
+func compactCapacity(size, spanBytes uint64) int {
+	stride := compactStride(size)
+	n := int(spanBytes/stride) * compactGroupUnits
+	if rem := spanBytes % stride; rem > compactHdrBytes {
+		n += int((rem - compactHdrBytes) / size)
+	}
+	return n
+}
+
+// slabGeometry is the span size and unit capacity freshSlab carves for
+// class under layout l. Compact needs room for its in-band headers: the
+// largest classes fill their span exactly, so the compact span grows
+// until at least one unit fits behind a header. The other layouts keep
+// the seed geometry bit for bit.
+func slabGeometry(l Layout, sc *alloc.SizeClasses, class int) (pages, capacity int) {
+	pages = sc.SpanPages(class)
+	if l == Compact {
+		size := sc.Size(class)
+		if p := int((compactHdrBytes + size + mem.PageSize - 1) >> mem.PageShift); p > pages {
+			pages = p
+		}
+		capacity = compactCapacity(size, uint64(pages)<<mem.PageShift)
+	} else {
+		capacity = sc.ObjectsPerSpan(class, pages)
+	}
+	if capacity > 512 {
+		capacity = 512
+	}
+	return pages, capacity
+}
+
+// MetaFootprint reports the slab capacity and out-of-band
+// allocation-state bytes layout l uses for one size class — the inputs
+// to report.LayoutTable and the conformance suite's footprint
+// assertion.
+func MetaFootprint(l Layout, sc *alloc.SizeClasses, class int) (capacity, stateBytes int) {
+	_, capacity = slabGeometry(l, sc, class)
+	return capacity, l.SlabStateBytes(capacity)
+}
 
 // Ring operation codes (slot word 0, low byte).
 const (
@@ -296,10 +431,14 @@ func (a *Allocator) Name() string {
 		return "nextgen-prealloc"
 	case a.cfg.Offload && a.cfg.Batch > 1:
 		return "nextgen-batch"
+	case a.cfg.Offload && a.cfg.Layout == Compact:
+		return "nextgen-compact"
 	case a.cfg.Offload:
 		return "nextgen"
 	case a.cfg.Layout == Aggregated:
 		return "nextgen-inline-agg"
+	case a.cfg.Layout == Compact:
+		return "nextgen-inline-compact"
 	default:
 		return "nextgen-inline"
 	}
@@ -353,11 +492,12 @@ func (a *Allocator) newRec(t *sim.Thread) uint64 {
 		a.freeRecs = a.freeRecs[:n-1]
 		return r
 	}
-	if a.metaOff+slRecBytes > a.metaLimit {
+	rb := uint64(a.cfg.Layout.RecordBytes())
+	if a.metaOff+rb > a.metaLimit {
 		a.growMeta(t)
 	}
 	r := a.metaBase + a.metaOff
-	a.metaOff += slRecBytes
+	a.metaOff += rb
 	return r
 }
 
@@ -458,17 +598,16 @@ func (a *Allocator) spanFree(t *sim.Thread, rec uint64) {
 // freshSlab carves a slab for class. With the segregated layout the free
 // state is an index stack in the metadata record and user pages stay
 // untouched; with the aggregated layout an intrusive list is threaded
-// through the blocks.
+// through the blocks; with the compact layout the free state is one
+// bitmask word per 32-unit group in the record plus an in-band header
+// line per group.
 func (a *Allocator) freshSlab(t *sim.Thread, class int) uint64 {
-	pages := a.sc.SpanPages(class)
+	pages, n := slabGeometry(a.cfg.Layout, a.sc, class)
 	rec := a.spanAlloc(t, pages)
-	n := a.sc.ObjectsPerSpan(class, pages)
-	if n > 512 {
-		n = 512
-	}
 	t.Store64(rec+slClass, uint64(class))
 	t.Store64(rec+slCapacity, uint64(n))
-	if a.cfg.Layout == Segregated {
+	switch a.cfg.Layout {
+	case Segregated:
 		// Stack of free indices, 4 per word.
 		for i := 0; i < n; i += 4 {
 			var w uint64
@@ -478,7 +617,34 @@ func (a *Allocator) freshSlab(t *sim.Thread, class int) uint64 {
 			t.Store64(rec+slStack+uint64(i)*2, w)
 		}
 		t.Store64(rec+slTop, uint64(n))
-	} else {
+	case Compact:
+		base := t.Load64(rec + slBase)
+		size := a.sc.Size(class)
+		stride := compactStride(size)
+		for g := 0; g*compactGroupUnits < n; g++ {
+			units := n - g*compactGroupUnits
+			if units > compactGroupUnits {
+				units = compactGroupUnits
+			}
+			// Out-of-band allocation state: low `units` bits set = free.
+			t.Store64(rec+slMasks+uint64(g)*8, uint64(1)<<units-1)
+			// In-band group header: offset bytes packed eight per word,
+			// then the group ordinal. The bytes live in a user page but
+			// belong to the allocator, so the line is attributed Meta.
+			hdr := base + uint64(g)*stride
+			for i := 0; i < units; i += 8 {
+				var w uint64
+				for j := 0; j < 8 && i+j < units; j++ {
+					w |= uint64(compactIdxTag|(i+j)) << (8 * j)
+				}
+				t.Store64(hdr+uint64(i), w)
+			}
+			t.Store64(hdr+compactHdrIdx, uint64(g))
+			t.MarkRegion(hdr, compactHdrBytes, region.Meta)
+		}
+		t.Store64(rec+slCursor, 0) // records are recycled; reset the scan hint
+		t.Store64(rec+slTop, uint64(n))
+	default: // Aggregated
 		base := t.Load64(rec + slBase)
 		size := a.sc.Size(class)
 		var head uint64
@@ -501,10 +667,30 @@ func (a *Allocator) slabPop(t *sim.Thread, rec uint64, class int) uint64 {
 		return 0
 	}
 	t.Store64(rec+slTop, top-1)
-	if a.cfg.Layout == Segregated {
+	switch a.cfg.Layout {
+	case Segregated:
 		t.Exec(2)
 		idx := t.Load16(rec + slStack + (top-1)*2)
 		return t.Load64(rec+slBase) + idx*a.sc.Size(class)
+	case Compact:
+		// Find-first-set over the mask words, scanning from the cursor
+		// (the lowest possibly-nonzero group); top > 0 guarantees a hit.
+		g := t.Load64(rec + slCursor)
+		start := g
+		w := t.Load64(rec + slMasks + g*8)
+		for w == 0 {
+			t.Exec(1)
+			g++
+			w = t.Load64(rec + slMasks + g*8)
+		}
+		t.Exec(2) // tzcnt + single-bit clear
+		i := uint64(bits.TrailingZeros64(w))
+		t.Store64(rec+slMasks+g*8, w&(w-1))
+		if g != start {
+			t.Store64(rec+slCursor, g)
+		}
+		size := a.sc.Size(class)
+		return t.Load64(rec+slBase) + g*compactStride(size) + compactHdrBytes + i*size
 	}
 	head := t.Load64(rec + slFreeHead)
 	t.Store64(rec+slFreeHead, t.Load64(head)) // intrusive: touches the block
@@ -515,11 +701,39 @@ func (a *Allocator) slabPop(t *sim.Thread, rec uint64, class int) uint64 {
 // slabPush returns a block; reports the slab's new free count.
 func (a *Allocator) slabPush(t *sim.Thread, rec uint64, class int, addr uint64) uint64 {
 	top := t.Load64(rec + slTop)
-	if a.cfg.Layout == Segregated {
+	switch a.cfg.Layout {
+	case Segregated:
 		t.Exec(3) // index arithmetic
 		idx := (addr - t.Load64(rec+slBase)) / a.sc.Size(class)
 		t.Store16(rec+slStack+top*2, idx)
-	} else {
+	case Compact:
+		size := a.sc.Size(class)
+		stride := compactStride(size)
+		t.Exec(4) // group/unit decompose
+		base := t.Load64(rec + slBase)
+		rel := addr - base
+		g, off := rel/stride, rel%stride
+		if off < compactHdrBytes || (off-compactHdrBytes)%size != 0 {
+			panic(fmt.Sprintf("core: compact free of unaligned address %#x (class %d)", addr, class))
+		}
+		i := (off - compactHdrBytes) / size
+		if a.cfg.Resilience.Enabled {
+			// Hardened mode reads the in-band offset byte: it must carry
+			// tag|index or the address never came from this group.
+			if b := t.Load8(base + g*stride + i); b != compactIdxTag|i {
+				panic(fmt.Sprintf("core: compact free %#x: offset byte %#x, want %#x", addr, b, compactIdxTag|i))
+			}
+		}
+		mslot := rec + slMasks + g*8
+		w := t.Load64(mslot)
+		if w&(uint64(1)<<i) != 0 {
+			panic(fmt.Sprintf("core: compact double free of %#x", addr))
+		}
+		t.Store64(mslot, w|uint64(1)<<i)
+		if g < t.Load64(rec+slCursor) {
+			t.Store64(rec+slCursor, g)
+		}
+	default: // Aggregated
 		t.Store64(addr, t.Load64(rec+slFreeHead))
 		t.MarkRegion(addr, 16, region.Meta) // link word overwrites user data
 		t.Store64(rec+slFreeHead, addr)

@@ -730,6 +730,32 @@ func (a *Allocator) serveFreeValidated(t *sim.Thread, addr uint64) bool {
 			return false
 		}
 		size := a.sc.Size(class)
+		if a.cfg.Layout == Compact {
+			// Compact validation: decompose into group/unit, check the
+			// in-band offset byte and group ordinal, and reject a free
+			// whose mask bit is already set (per-unit double-free
+			// detection, stronger than the slab-level slTop check).
+			stride := compactStride(size)
+			rel := addr - base
+			g, off := rel/stride, rel%stride
+			if off < compactHdrBytes || (off-compactHdrBytes)%size != 0 {
+				return false
+			}
+			i := (off - compactHdrBytes) / size
+			if g*compactGroupUnits+i >= t.Load64(rec+slCapacity) {
+				return false
+			}
+			hdr := base + g*stride
+			if t.Load8(hdr+i) != compactIdxTag|i || t.Load64(hdr+compactHdrIdx) != g {
+				return false
+			}
+			if t.Load64(rec+slMasks+g*8)&(uint64(1)<<i) != 0 {
+				return false // unit already free: double free
+			}
+			a.stats.LiveBytes -= size
+			a.freeClass(t, rec, class, addr)
+			return true
+		}
 		off := addr - base
 		if off%size != 0 || off/size >= t.Load64(rec+slCapacity) {
 			return false

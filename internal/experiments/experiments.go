@@ -44,7 +44,7 @@ func runSet(w func() workload.Workload, kinds []string) []harness.Result {
 	return runAll(len(kinds), func(i int) harness.Result {
 		// Tune is the CLI's global -batch/-prealloc override (nil unless
 		// set); it only affects NextGen kinds.
-		return run(harness.Options{Allocator: kinds[i], Workload: w(), Tune: transportTune})
+		return run(harness.Options{Allocator: kinds[i], Workload: w(), Tune: globalTune()})
 	})
 }
 
@@ -150,19 +150,6 @@ func Model() Outcome {
 		fmt.Fprintf(&b, "    %3.0f-cycle RMW -> %.3f misses/call\n", costs[i], v)
 	}
 	return Outcome{ID: "model", Text: b.String()}
-}
-
-// AblateLayout compares the aggregated and segregated metadata layouts
-// on the same engine (paper §3.1.2 / Figure 2), inline so the layout is
-// the only variable.
-func AblateLayout(s Scale) Outcome {
-	w := func() workload.Workload { return workload.DefaultXalanc(s.XalancOps) }
-	results := runSet(w, []string{"nextgen-inline", "nextgen-inline-agg"})
-	return Outcome{
-		ID:      "ablate-layout",
-		Results: results,
-		Text:    report.CounterTable("Ablation: segregated vs aggregated metadata layout (inline engine)", results),
-	}
 }
 
 // AblateCore compares offloading to a symmetric big core vs a

@@ -32,16 +32,41 @@ func TestQuickFigure1(t *testing.T) {
 	}
 }
 
-// TestQuickAblateLayout checks the layout ablation runs and renders.
+// TestQuickAblateLayout checks the rebuilt layout x transport ablation:
+// 18 cells (3 layouts x 3 transports x 2 workloads), every layout
+// present in every transport block, and the compact cells carrying the
+// dense record stride.
 func TestQuickAblateLayout(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs two simulations")
+		t.Skip("runs eighteen simulations")
 	}
 	s := Quick
-	s.XalancOps = 20000
+	s.XalancOps = 8000
 	out := AblateLayout(s)
-	if !strings.Contains(out.Text, "nextgen-inline-agg") {
-		t.Errorf("ablation text missing variant:\n%s", out.Text)
+	if len(out.Results) != 18 {
+		t.Fatalf("got %d results, want 18", len(out.Results))
+	}
+	for _, label := range []string{
+		"segregated/default", "aggregated/default", "compact/default",
+		"segregated/batch", "compact/batch",
+		"segregated/adaptive", "compact/adaptive",
+	} {
+		if !strings.Contains(out.Text, label) {
+			t.Errorf("ablation text missing cell %q", label)
+		}
+	}
+	for _, r := range out.Results {
+		wantLayout := strings.SplitN(r.Allocator, "/", 2)[0]
+		if r.Layout != wantLayout {
+			t.Errorf("cell %s ran layout %q", r.Allocator, r.Layout)
+		}
+		wantRec := 1088
+		if wantLayout == "compact" {
+			wantRec = 192
+		}
+		if r.MetaRecordBytes != wantRec {
+			t.Errorf("cell %s: MetaRecordBytes = %d, want %d", r.Allocator, r.MetaRecordBytes, wantRec)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"nextgenmalloc/internal/alloc"
 	"nextgenmalloc/internal/allocators/bump"
@@ -34,6 +35,7 @@ var Kinds = []string{
 	"nextgen", "nextgen-prealloc", "nextgen-sync",
 	"nextgen-inline", "nextgen-inline-agg", "nextgen-nearmem",
 	"nextgen-batch", "nextgen-adaptive",
+	"nextgen-compact", "nextgen-inline-compact",
 }
 
 // ClassicKinds are the four allocators of Figure 1 / Table 1, in the
@@ -164,6 +166,12 @@ type Result struct {
 	// ServerCore is the dedicated allocator core's index, or -1 when the
 	// run had no server daemon.
 	ServerCore int
+	// Layout names the NextGen metadata layout the run used
+	// (segregated/aggregated/compact); empty for non-NextGen allocators.
+	Layout string
+	// MetaRecordBytes is the slab-record stride of that layout (0 for
+	// non-NextGen allocators).
+	MetaRecordBytes int
 	// Resilience carries the degradation/fault telemetry; nil unless the
 	// run armed Options.FaultPlan or a resilience policy.
 	Resilience *ResilienceTelemetry
@@ -281,7 +289,7 @@ func (r Result) MPKI() (llcLoad, llcStore, dtlbLoad, dtlbStore float64) {
 func needsServer(kind string) bool {
 	switch kind {
 	case "nextgen", "nextgen-prealloc", "nextgen-sync", "nextgen-nearmem",
-		"nextgen-batch", "nextgen-adaptive":
+		"nextgen-batch", "nextgen-adaptive", "nextgen-compact":
 		return true
 	}
 	return false
@@ -351,8 +359,29 @@ func nextgenConfig(kind string) core.Config {
 		cfg.Batch = 4
 		cfg.AdaptivePrealloc = true
 		cfg.IdleBackoff = true
+	case "nextgen-compact":
+		cfg.Layout = core.Compact
+	case "nextgen-inline-compact":
+		cfg.Offload = false
+		cfg.Layout = core.Compact
 	}
 	return cfg
+}
+
+// nextgenOptions resolves the core.Config a NextGen run will use — kind
+// defaults, the topology's scheduling policy, then Options.Tune — or
+// ok=false for a non-NextGen allocator. RunE validates the result
+// before any simulated thread runs; makeAllocator builds from it.
+func nextgenOptions(opt Options) (cfg core.Config, ok bool) {
+	if !strings.HasPrefix(opt.Allocator, "nextgen") {
+		return core.Config{}, false
+	}
+	cfg = nextgenConfig(opt.Allocator)
+	cfg.Sched = opt.Sched
+	if opt.Tune != nil {
+		opt.Tune(&cfg)
+	}
+	return cfg, true
 }
 
 // Run executes the experiment, panicking on an invalid topology (the
@@ -380,6 +409,10 @@ func RunE(opt Options) (Result, error) {
 	}
 	if !known {
 		return Result{}, fmt.Errorf("harness: unknown allocator %q", opt.Allocator)
+	}
+	ngCfg, isNG := nextgenOptions(opt)
+	if isNG && !ngCfg.Layout.Valid() {
+		return Result{}, fmt.Errorf("harness: allocator %q tuned to invalid metadata layout %s", opt.Allocator, ngCfg.Layout)
 	}
 	w := opt.Workload
 	n := w.Threads()
@@ -461,6 +494,10 @@ func RunE(opt Options) (Result, error) {
 		Workload:   w.Name(),
 		PerThread:  make([]sim.Counters, n),
 		ServerCore: -1,
+	}
+	if isNG {
+		res.Layout = ngCfg.Layout.String()
+		res.MetaRecordBytes = ngCfg.Layout.RecordBytes()
 	}
 	if len(srvs) > 0 {
 		res.ServerCore = serverCore
@@ -662,12 +699,9 @@ func makeAllocator(t *sim.Thread, opt Options, servers int, srvs []*core.Server,
 	case "bump":
 		return bump.New(t)
 	case "nextgen", "nextgen-prealloc", "nextgen-sync", "nextgen-nearmem",
-		"nextgen-inline", "nextgen-inline-agg", "nextgen-batch", "nextgen-adaptive":
-		cfg := nextgenConfig(kind)
-		cfg.Sched = opt.Sched
-		if opt.Tune != nil {
-			opt.Tune(&cfg)
-		}
+		"nextgen-inline", "nextgen-inline-agg", "nextgen-batch", "nextgen-adaptive",
+		"nextgen-compact", "nextgen-inline-compact":
+		cfg, _ := nextgenOptions(opt)
 		cfg.Latency = latRec
 		if opt.Resilience != nil {
 			cfg.Resilience = *opt.Resilience

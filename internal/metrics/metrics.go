@@ -50,6 +50,15 @@ type Result struct {
 	DTLBLoadMisses  uint64 `json:"dtlb_load_misses"`
 	DTLBStoreMisses uint64 `json:"dtlb_store_misses"`
 
+	// Layout names the NextGen metadata layout the run used
+	// (segregated, aggregated, or compact); absent for non-NextGen
+	// allocators (additive in schema v1).
+	Layout string `json:"layout,omitempty"`
+	// MetaRecordBytes is that layout's slab-record stride in the
+	// metadata region; absent for non-NextGen allocators (additive in
+	// schema v1).
+	MetaRecordBytes int `json:"meta_record_bytes,omitempty"`
+
 	// Classes maps address-class name (user, metadata, ring, global) to
 	// that class's share of the worker cores' traffic and misses.
 	Classes map[string]ClassCounters `json:"classes"`
@@ -326,6 +335,8 @@ func FromResult(r harness.Result) Result {
 		LLCStoreMisses:  r.Total.LLCStoreMisses,
 		DTLBLoadMisses:  r.Total.DTLBLoadMisses,
 		DTLBStoreMisses: r.Total.DTLBStoreMisses,
+		Layout:          r.Layout,
+		MetaRecordBytes: r.MetaRecordBytes,
 		Classes:         classMap(r.Classes),
 	}
 	if r.Offload != nil {
@@ -462,6 +473,12 @@ func Validate(data []byte) error {
 		for i, r := range e.Results {
 			if r.Allocator == "" || r.Workload == "" {
 				return fmt.Errorf("metrics: experiment %q result %d lacks allocator/workload", e.ID, i)
+			}
+			switch r.Layout {
+			case "", "segregated", "aggregated", "compact":
+			default:
+				return fmt.Errorf("metrics: experiment %q result %d (%s/%s) has unknown layout %q",
+					e.ID, i, r.Allocator, r.Workload, r.Layout)
 			}
 			for _, cls := range region.Classes() {
 				if _, ok := r.Classes[cls.String()]; !ok {

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"strings"
 
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/core"
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
@@ -512,4 +514,93 @@ func AttributionTable(title string, results []harness.Result) string {
 		header = append(header, r.Allocator)
 	}
 	return Table(title, header, AttributionRows(results))
+}
+
+// LayoutCell pairs one layout-ablation run with the metadata layout it
+// pinned and the index of its same-transport segregated baseline cell
+// (-1 when the cell is its own baseline).
+type LayoutCell struct {
+	Result   harness.Result
+	Layout   core.Layout
+	Baseline int
+}
+
+// LayoutRows builds the layout-ablation readout: the static metadata
+// footprint of each layout (record stride, allocation-state bytes and
+// bits per block for the 64 B class), the measured metadata-class LLC
+// and dTLB misses summed over worker and server cores, cycles per
+// malloc/free call, and deltas against each cell's segregated baseline.
+func LayoutRows(cells []LayoutCell) [][]string {
+	sc := alloc.NewSizeClasses()
+	class, _ := sc.ClassFor(64)
+	metaMiss := func(r harness.Result, get func(sim.ClassCounters) uint64) uint64 {
+		return get(r.Classes[region.Meta]) + get(r.ServerClasses[region.Meta])
+	}
+	llc := func(c sim.ClassCounters) uint64 { return c.LLCLoadMisses + c.LLCStoreMisses }
+	tlb := func(c sim.ClassCounters) uint64 { return c.DTLBLoadMisses + c.DTLBStoreMisses }
+	cpo := func(r harness.Result) float64 {
+		ops := r.AllocStats.MallocCalls + r.AllocStats.FreeCalls
+		if ops == 0 {
+			return 0
+		}
+		return float64(r.Total.Cycles) / float64(ops)
+	}
+	delta := func(v, base float64) string {
+		if base == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(v-base)/base)
+	}
+	row := func(name string, cell func(LayoutCell) string) []string {
+		cells2 := []string{name}
+		for _, c := range cells {
+			cells2 = append(cells2, cell(c))
+		}
+		return cells2
+	}
+	return [][]string{
+		row("layout", func(c LayoutCell) string { return c.Layout.String() }),
+		row("meta record bytes", func(c LayoutCell) string {
+			return fmt.Sprintf("%d", c.Layout.RecordBytes())
+		}),
+		row("state bytes/slab (64B class)", func(c LayoutCell) string {
+			_, bytes := core.MetaFootprint(c.Layout, sc, class)
+			return fmt.Sprintf("%d", bytes)
+		}),
+		row("state bits/block (64B class)", func(c LayoutCell) string {
+			capacity, bytes := core.MetaFootprint(c.Layout, sc, class)
+			return fmt.Sprintf("%.2f", 8*float64(bytes)/float64(capacity))
+		}),
+		row("meta LLC misses", func(c LayoutCell) string {
+			return Sci(float64(metaMiss(c.Result, llc)))
+		}),
+		row("meta dTLB misses", func(c LayoutCell) string {
+			return Sci(float64(metaMiss(c.Result, tlb)))
+		}),
+		row("cycles/op", func(c LayoutCell) string { return fmt.Sprintf("%.1f", cpo(c.Result)) }),
+		row("d-meta-miss vs seg", func(c LayoutCell) string {
+			if c.Baseline < 0 {
+				return "-"
+			}
+			b := cells[c.Baseline].Result
+			return delta(float64(metaMiss(c.Result, llc)+metaMiss(c.Result, tlb)),
+				float64(metaMiss(b, llc)+metaMiss(b, tlb)))
+		}),
+		row("d-cycles/op vs seg", func(c LayoutCell) string {
+			if c.Baseline < 0 {
+				return "-"
+			}
+			return delta(cpo(c.Result), cpo(cells[c.Baseline].Result))
+		}),
+	}
+}
+
+// LayoutTable renders the layout-ablation cells (layout x transport
+// columns) in the counter table's layout.
+func LayoutTable(title string, cells []LayoutCell) string {
+	header := []string{"Cell"}
+	for _, c := range cells {
+		header = append(header, c.Result.Allocator)
+	}
+	return Table(title, header, LayoutRows(cells))
 }
