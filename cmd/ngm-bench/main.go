@@ -63,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	servers := fs.Int("servers", 1, "offload server shard count for standard-experiment runs (the fleet-sweep owns its per-cell topology)")
 	schedSpec := fs.String("sched", "", "offload ring service order for standard-experiment runs: fixed-scan, round-robin, doorbell-priority, or batch-drain (empty = fixed-scan)")
 	partSpec := fs.String("partition", "", "fleet shard partition for standard-experiment runs: client or class (empty = client)")
+	sloSpec := fs.String("slo", "", "per-tenant SLO tracking on every standard-experiment run: off, on/default, or a comma list of window/interactive/bulk/spans/target-ppm key=value pairs (empty = off; the slo-sweep owns its own tracker)")
+	tenants := fs.Int("tenants", 0, "override the slo-sweep's tenant-count axis (0 = default axis)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -118,6 +120,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	experiments.SetFleet(*servers, sched, part)
 
+	sloOpt, err := experiments.ParseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
+		return 2
+	}
+	experiments.SetSLO(sloOpt)
+	if *tenants < 0 {
+		fmt.Fprintf(stderr, "ngm-bench: negative tenant count %d\n", *tenants)
+		return 2
+	}
+	experiments.SetTenants(*tenants)
+
 	interval := *timelineIv
 	if interval == 0 && *tracePath != "" {
 		interval = defaultTimelineInterval
@@ -153,13 +167,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"ablate-room":      func() experiments.Outcome { return experiments.AblateRoom(scale) },
 		"fault-sweep":      func() experiments.Outcome { return experiments.FaultSweep(scale) },
 		"fleet-sweep":      func() experiments.Outcome { return experiments.FleetSweep(scale) },
+		"slo-sweep":        func() experiments.Outcome { return experiments.SLOSweep(scale) },
 	}
 	order := []string{
 		"figure1", "table1", "table2", "table3", "model",
 		"ablate-layout", "ablate-core", "ablate-prealloc", "ablate-transport",
 		"sensitivity",
 		"ablate-gc", "ablate-faas", "ablate-gpu", "ablate-scaling", "ablate-room",
-		"fault-sweep", "fleet-sweep",
+		"fault-sweep", "fleet-sweep", "slo-sweep",
 	}
 
 	if *list {
@@ -309,12 +324,16 @@ func writeChromeTrace(path string, outcomes []experiments.Outcome) error {
 			if r.Timeline == nil {
 				continue
 			}
-			runs = append(runs, timeline.TraceRun{
+			tr := timeline.TraceRun{
 				Name:       fmt.Sprintf("%s/%s/%s", out.ID, r.Allocator, r.Workload),
 				Series:     r.Timeline,
 				Latency:    r.Latency,
 				ServerCore: r.ServerCore,
-			})
+			}
+			if r.SLO != nil {
+				tr.Tenants = r.SLO.TraceSpans()
+			}
+			runs = append(runs, tr)
 		}
 	}
 	f, err := os.Create(path)

@@ -24,6 +24,8 @@ func resetGlobals() {
 	experiments.SetFault(nil, nil)
 	experiments.SetTimeline(0)
 	experiments.SetFleet(0, core.FixedScan, core.ByClient)
+	experiments.SetSLO(nil)
+	experiments.SetTenants(0)
 	experiments.SetParallelism(1)
 }
 
@@ -94,5 +96,56 @@ func TestTable3ShardedTopology(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "Table 3") {
 		t.Errorf("table3 output missing:\n%s", stdout)
+	}
+}
+
+func TestRejectsBadSLOFlags(t *testing.T) {
+	defer resetGlobals()
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"bad slo key":      {[]string{"-slo", "latency=5"}, "unknown key"},
+		"bad slo value":    {[]string{"-slo", "window=abc"}, "bad value"},
+		"negative tenants": {[]string{"-tenants", "-4"}, "negative tenant count"},
+	} {
+		rc, _, stderr := runCLI(tc.args...)
+		if rc != 2 {
+			t.Errorf("%s: exit code %d, want 2", name, rc)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr %q lacks %q", name, stderr, tc.want)
+		}
+	}
+}
+
+func TestListIncludesSLOSweep(t *testing.T) {
+	defer resetGlobals()
+	rc, stdout, stderr := runCLI("-list")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if !strings.Contains(stdout, "slo-sweep") {
+		t.Errorf("-list output lacks slo-sweep:\n%s", stdout)
+	}
+}
+
+// TestSLOSweepThroughCLI: the sweep renders through ngm-bench with the
+// -tenants override collapsing the grid.
+func TestSLOSweepThroughCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five simulations")
+	}
+	defer resetGlobals()
+	defer experiments.SetSLO(nil)
+	defer experiments.SetTenants(0)
+	rc, stdout, stderr := runCLI("-scale", "quick", "-parallel", "2", "-tenants", "6", "slo-sweep")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	for _, want := range []string{"SLO sweep", "ngm stall t6", "Per-tenant SLO ledger"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("sweep output lacks %q:\n%s", want, stdout)
+		}
 	}
 }

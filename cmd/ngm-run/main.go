@@ -41,7 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ngm-run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	kind := fs.String("alloc", "nextgen", "allocator: "+strings.Join(harness.Kinds, ", "))
-	wname := fs.String("workload", "xalanc", "workload: xalanc, xmalloc, cache-scratch, cache-thrash, larson, churn, sh6bench, faas")
+	wname := fs.String("workload", "xalanc", "workload: xalanc, xmalloc, cache-scratch, cache-thrash, larson, churn, sh6bench, faas, service")
 	ops := fs.Int("ops", 100000, "operation count (total or per thread, workload-dependent)")
 	threads := fs.Int("threads", 1, "worker thread count (multi-thread workloads)")
 	seed := fs.Uint64("seed", 1, "workload seed")
@@ -53,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	layoutSpec := fs.String("layout", "", "override NextGen metadata layout: segregated, aggregated, or compact (empty = per-kind default)")
 	faultSpec := fs.String("fault", "", "inject offload faults: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
 	resSpec := fs.String("resilience", "", "offload degradation policy: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
+	sloSpec := fs.String("slo", "", "per-tenant SLO tracking: off, on/default, or a comma list of window/interactive/bulk/spans/target-ppm key=value pairs (empty = off; only the service workload reports tenants)")
+	tenants := fs.Int("tenants", 8, "tenant count for the service workload (ignored by other workloads)")
 	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
 	timelineIv := fs.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles (0 = off; implied by -chrome-trace)")
 	tracePath := fs.String("chrome-trace", "", "write a Chrome trace-event JSON file (chrome://tracing / Perfetto) to this path")
@@ -87,6 +89,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resilience, err := experiments.ParseResilience(*resSpec)
 	if err != nil {
 		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	sloOpt, err := experiments.ParseSLO(*sloSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	if *tenants < 1 {
+		fmt.Fprintf(stderr, "ngm-run: -tenants must be >= 1 (got %d)\n", *tenants)
 		return 2
 	}
 	if faultPlan != nil && !harness.OffloadKind(*kind) {
@@ -156,6 +167,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		w = &workload.Sh6bench{NThreads: *threads, Passes: *ops / sh6benchBatch, BatchSize: sh6benchBatch, MinSize: 16, MaxSize: 512, RetainPasses: 5, Seed: *seed}
 	case "faas":
 		w = &workload.FaaS{Invocations: *ops, Profile: workload.DefaultFaaSProfile(), ComputePerAlloc: 40, Seed: *seed}
+	case "service":
+		w = &workload.Service{NWorkers: *threads, RequestsPerWorker: *ops, Tenants: *tenants, ChurnEvery: 4, MeanGapCycles: 60000, BurstLen: 4, Seed: *seed}
 	default:
 		fmt.Fprintf(stderr, "ngm-run: unknown workload %q\n", *wname)
 		return 2
@@ -176,6 +189,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Servers:        *servers,
 		Sched:          sched,
 		Partition:      part,
+		SLO:            sloOpt,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
@@ -239,6 +253,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.LatencyTable("offload request latency (cycles)", res.Latency))
 	}
+	if res.SLO != nil {
+		if !res.SLO.HasData() {
+			fmt.Fprintf(stderr, "ngm-run: warning: -slo armed but %q reports no tenant requests (only the service workload does)\n", *wname)
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.SLOTable("per-tenant SLO ledger (end-to-end cycles)", res.SLO))
+	}
 
 	if *tracePath != "" {
 		if !res.Latency.HasSpans() {
@@ -249,12 +270,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ngm-run: %v\n", err)
 			return 1
 		}
-		err = timeline.WriteChromeTrace(f, []timeline.TraceRun{{
+		tr := timeline.TraceRun{
 			Name:       fmt.Sprintf("%s/%s", *kind, *wname),
 			Series:     res.Timeline,
 			Latency:    res.Latency,
 			ServerCore: res.ServerCore,
-		}})
+		}
+		if res.SLO != nil {
+			tr.Tenants = res.SLO.TraceSpans()
+		}
+		err = timeline.WriteChromeTrace(f, []timeline.TraceRun{tr})
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}

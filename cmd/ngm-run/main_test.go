@@ -240,3 +240,85 @@ func TestDefaultLayoutFlagBitIdentical(t *testing.T) {
 		t.Errorf("explicit -layout segregated changed the output:\n--- default ---\n%s\n--- explicit ---\n%s", plain, explicit)
 	}
 }
+
+func TestServiceRunPrintsSLOTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	trace := filepath.Join(t.TempDir(), "t.json")
+	rc, stdout, stderr := runCLI("-alloc", "nextgen", "-workload", "service",
+		"-threads", "2", "-ops", "60", "-tenants", "5", "-slo", "on",
+		"-metrics", path, "-chrome-trace", trace)
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	for _, want := range []string{"per-tenant SLO ledger", "violations", "worst window:"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, stdout)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Validate(data); err != nil {
+		t.Errorf("emitted metrics file invalid: %v", err)
+	}
+	if !strings.Contains(string(data), "\"slo\"") {
+		t.Error("metrics file lacks the slo block")
+	}
+	tdata, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tdata), "\"slo\"") || !strings.Contains(string(tdata), "tenant 0") {
+		t.Error("chrome trace lacks tenant-labeled slo spans")
+	}
+}
+
+func TestSLOFlagRejectsBadSpecs(t *testing.T) {
+	for name, tc := range map[string]struct {
+		args []string
+		want string
+	}{
+		"bad slo key":   {[]string{"-slo", "latency=5"}, "unknown key"},
+		"bad slo value": {[]string{"-slo", "window=abc"}, "bad value"},
+		"zero window":   {[]string{"-slo", "window=0"}, "window must be positive"},
+		"zero tenants":  {[]string{"-tenants", "0"}, "-tenants must be >= 1"},
+	} {
+		rc, _, stderr := runCLI(tc.args...)
+		if rc != 2 {
+			t.Errorf("%s: exit code %d, want 2", name, rc)
+		}
+		if !strings.Contains(stderr, tc.want) {
+			t.Errorf("%s: stderr %q lacks %q", name, stderr, tc.want)
+		}
+	}
+}
+
+// TestSLOOffFlagsBitIdentical: disarmed SLO flags on a non-service
+// workload must not change a single output byte.
+func TestSLOOffFlagsBitIdentical(t *testing.T) {
+	args := []string{"-alloc", "nextgen", "-workload", "xalanc", "-ops", "1500"}
+	rcA, plain, errA := runCLI(args...)
+	rcB, explicit, errB := runCLI(append([]string{"-slo", "off", "-tenants", "8"}, args...)...)
+	if rcA != 0 || rcB != 0 {
+		t.Fatalf("exits %d/%d, stderr: %s%s", rcA, rcB, errA, errB)
+	}
+	if plain != explicit {
+		t.Errorf("disarmed slo flags changed the output:\n--- default ---\n%s\n--- explicit ---\n%s", plain, explicit)
+	}
+}
+
+// TestSLOArmedNonServiceWarns: arming the tracker on a workload that
+// never observes must warn but still exit 0 with an empty ledger.
+func TestSLOArmedNonServiceWarns(t *testing.T) {
+	rc, stdout, stderr := runCLI("-alloc", "nextgen", "-workload", "xalanc", "-ops", "1500", "-slo", "on")
+	if rc != 0 {
+		t.Fatalf("exit %d, stderr: %s", rc, stderr)
+	}
+	if !strings.Contains(stderr, "reports no tenant requests") {
+		t.Errorf("stderr lacks the no-tenant warning: %q", stderr)
+	}
+	if !strings.Contains(stdout, "no slo data recorded") {
+		t.Errorf("stdout lacks the empty-ledger notice:\n%s", stdout)
+	}
+}

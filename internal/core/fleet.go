@@ -88,6 +88,18 @@ func NewFleet(t *sim.Thread, cfg Config, servers int, part Partition) *Fleet {
 // daemon i) for attachment and telemetry.
 func (f *Fleet) Shards() []*Allocator { return f.shards }
 
+// ClientShards reports the thread→home-shard assignment (a copy).
+// Under ByClient it is where each thread's allocations were served;
+// under ByClass threads still get a home shard for large allocations.
+// Host-side observation only.
+func (f *Fleet) ClientShards() map[int]int {
+	out := make(map[int]int, len(f.group))
+	for th, sh := range f.group {
+		out[th] = sh
+	}
+	return out
+}
+
 // Name implements alloc.Allocator.
 func (f *Fleet) Name() string {
 	return fmt.Sprintf("%s-x%d", f.shards[0].Name(), len(f.shards))

@@ -20,18 +20,19 @@ import (
 // Scale sets the op counts; Quick keeps CI fast, Full is the
 // paper-shape configuration the committed EXPERIMENTS.md numbers use.
 type Scale struct {
-	Name          string
-	XalancOps     int
-	XmallocOps    int // per thread
-	ChurnRounds   int
-	ScratchRounds int
+	Name            string
+	XalancOps       int
+	XmallocOps      int // per thread
+	ChurnRounds     int
+	ScratchRounds   int
+	ServiceRequests int // per worker
 }
 
 // Quick is the smoke-test scale.
-var Quick = Scale{Name: "quick", XalancOps: 40000, XmallocOps: 10000, ChurnRounds: 30000, ScratchRounds: 2000}
+var Quick = Scale{Name: "quick", XalancOps: 40000, XmallocOps: 10000, ChurnRounds: 30000, ScratchRounds: 2000, ServiceRequests: 600}
 
 // Full is the reference scale used for the committed results.
-var Full = Scale{Name: "full", XalancOps: 200000, XmallocOps: 40000, ChurnRounds: 100000, ScratchRounds: 8000}
+var Full = Scale{Name: "full", XalancOps: 200000, XmallocOps: 40000, ChurnRounds: 100000, ScratchRounds: 8000, ServiceRequests: 4000}
 
 // Outcome bundles an experiment's raw results and rendered text.
 type Outcome struct {
@@ -215,6 +216,6 @@ func All(s Scale) []Outcome {
 		AblateLayout(s), AblateCore(s), AblatePrealloc(s), AblateTransport(s),
 		Sensitivity(s),
 		AblateGC(s), AblateFaaS(s), AblateGPU(s), AblateScaling(s),
-		AblateRoom(s), FaultSweep(s), FleetSweep(s),
+		AblateRoom(s), FaultSweep(s), FleetSweep(s), SLOSweep(s),
 	}
 }

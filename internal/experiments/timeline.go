@@ -32,6 +32,9 @@ func run(opt harness.Options) harness.Result {
 	if opt.Resilience == nil {
 		opt.Resilience = faultResilience
 	}
+	if opt.SLO == nil {
+		opt.SLO = sloOptions
+	}
 	// The CLI's -servers/-sched/-partition topology applies to offload
 	// kinds only (inline allocators have no server to shard or schedule).
 	if harness.OffloadKind(opt.Allocator) {

@@ -25,6 +25,7 @@ import (
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/slo"
 	"nextgenmalloc/internal/timeline"
 	"nextgenmalloc/internal/workload"
 )
@@ -119,6 +120,12 @@ type Options struct {
 	// FaultPlan forces the default policy on (see above). Ignored for
 	// non-NextGen allocators.
 	Resilience *core.Resilience
+	// SLO, when non-nil, arms a per-tenant SLO tracker handed to the
+	// workload (via slo.Observable) before Setup. Host-side observation
+	// only: an armed run's counters stay bit-identical to an unarmed one
+	// (pinned by TestSLOZeroTraffic). Workloads that don't implement
+	// slo.Observable leave the tracker empty.
+	SLO *slo.Options
 }
 
 // Result carries everything a table needs.
@@ -156,6 +163,10 @@ type Result struct {
 	// core, busy/idle split, ring stats, served/NACK counts, and the
 	// per-client service-fairness ledger.
 	Servers []ServerTelemetry
+	// ClientShards maps each application thread to its home shard (the
+	// fleet's first-touch assignment, where its allocations were
+	// served); nil unless the run was sharded (Servers > 1).
+	ClientShards map[int]int
 	// Timeline is the sampled counter series; nil unless
 	// Options.SampleInterval armed the sampler.
 	Timeline *timeline.Series
@@ -180,6 +191,10 @@ type Result struct {
 	// only — every other field of Result is bit-identical whether warp
 	// was on or off (pinned by TestWarpEquivalence).
 	Warp sim.WarpStats
+	// SLO is the per-tenant SLO tracker; nil unless Options.SLO armed
+	// it. Empty (SLO.HasData() == false) when the workload doesn't feed
+	// one.
+	SLO *slo.Tracker
 }
 
 // ResilienceTelemetry pairs the client-side degradation counters with
@@ -489,6 +504,17 @@ func RunE(opt Options) (Result, error) {
 		inj.Attach(m)
 	}
 
+	// Per-tenant SLO observation (host-side only). The tracker — or nil,
+	// detaching any tracker left by a previous run of the same workload
+	// instance — is handed over before Setup.
+	var sloTracker *slo.Tracker
+	if opt.SLO != nil {
+		sloTracker = slo.NewTracker(*opt.SLO)
+	}
+	if obs, ok := w.(slo.Observable); ok {
+		obs.AttachSLO(sloTracker)
+	}
+
 	res := Result{
 		Allocator:  opt.Allocator,
 		Workload:   w.Name(),
@@ -621,6 +647,9 @@ func RunE(opt Options) (Result, error) {
 	}
 	res.AllocStats = a.Stats()
 	res.Kernel = m.Kernel().Stats()
+	if f, ok := a.(*core.Fleet); ok {
+		res.ClientShards = f.ClientShards()
+	}
 	if shards := offloadShards(a); len(shards) > 0 {
 		for _, ng := range shards {
 			res.Served += ng.Served()
@@ -666,8 +695,35 @@ func RunE(opt Options) (Result, error) {
 		res.Timeline = sampler.Series()
 		res.Latency = latRec
 	}
+	res.SLO = sloTracker
 	res.Warp = m.WarpStats()
 	return res, nil
+}
+
+// TenantShardRollup joins the SLO tracker's per-thread tenant ledger
+// with each server shard's client list (the per-client service ledger),
+// returning per-shard tenant->completed-request maps. Empty when the
+// run had no tracker or no server telemetry.
+func (r Result) TenantShardRollup() []map[int]uint64 {
+	if r.SLO == nil || len(r.Servers) == 0 {
+		return nil
+	}
+	shards := make([][]int, len(r.Servers))
+	if r.ClientShards != nil {
+		// Sharded fleet: each thread's home shard served its
+		// allocations, so the rollup partitions the completed requests.
+		for th, i := range r.ClientShards {
+			if i >= 0 && i < len(shards) {
+				shards[i] = append(shards[i], th)
+			}
+		}
+		return r.SLO.Rollup(shards)
+	}
+	// Single server: every client belongs to shard 0.
+	for _, c := range r.Servers[0].Clients {
+		shards[0] = append(shards[0], c.ThreadID)
+	}
+	return r.SLO.Rollup(shards)
 }
 
 // offloadShards exposes the NextGen allocator(s) behind a (possibly

@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"testing"
+
+	"nextgenmalloc/internal/slo"
+	"nextgenmalloc/internal/workload"
+)
+
+func sloService() *workload.Service {
+	return &workload.Service{
+		NWorkers:          2,
+		RequestsPerWorker: 60,
+		Tenants:           5,
+		ChurnEvery:        4,
+		MeanGapCycles:     3000,
+		BurstLen:          4,
+		Seed:              7,
+	}
+}
+
+// TestSLOZeroTraffic pins the SLO observability contract: arming the
+// per-tenant tracker must add zero simulated traffic. Every counter the
+// golden tests pin — worker deltas, server delta, wall cycles, ring
+// ops — must be bit-identical between an armed and an unarmed run.
+func TestSLOZeroTraffic(t *testing.T) {
+	for _, kind := range []string{"nextgen", "mimalloc"} {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			opts := func() Options {
+				return Options{Allocator: kind, Workload: sloService()}
+			}
+			plain := Run(opts())
+			armedOpt := opts()
+			o := slo.DefaultOptions()
+			armedOpt.SLO = &o
+			armed := Run(armedOpt)
+
+			if plain.Total != armed.Total {
+				t.Errorf("Total diverged:\n%+v\n%+v", plain.Total, armed.Total)
+			}
+			if len(plain.PerThread) != len(armed.PerThread) {
+				t.Fatalf("PerThread length diverged: %d vs %d", len(plain.PerThread), len(armed.PerThread))
+			}
+			for i := range plain.PerThread {
+				if plain.PerThread[i] != armed.PerThread[i] {
+					t.Errorf("PerThread[%d] diverged", i)
+				}
+			}
+			if plain.Server != armed.Server {
+				t.Errorf("Server diverged:\n%+v\n%+v", plain.Server, armed.Server)
+			}
+			if plain.WallCycles != armed.WallCycles {
+				t.Errorf("WallCycles diverged: %d vs %d", plain.WallCycles, armed.WallCycles)
+			}
+			if plain.Served != armed.Served {
+				t.Errorf("Served diverged: %d vs %d", plain.Served, armed.Served)
+			}
+			if plain.AllocStats != armed.AllocStats {
+				t.Errorf("AllocStats diverged")
+			}
+
+			// The unarmed run must carry no tracker; the armed run must
+			// carry a populated one.
+			if plain.SLO != nil {
+				t.Fatalf("unarmed run carries an SLO tracker")
+			}
+			if armed.SLO == nil || !armed.SLO.HasData() {
+				t.Fatal("armed run recorded no SLO data")
+			}
+			if got := armed.SLO.Completed(); got == 0 {
+				t.Fatalf("armed run completed %d requests", got)
+			}
+			// Per-thread counts partition the completed total.
+			var byThread uint64
+			for _, id := range armed.SLO.ThreadIDs() {
+				for _, n := range armed.SLO.ThreadRequests(id) {
+					byThread += n
+				}
+			}
+			if byThread != armed.SLO.Completed() {
+				t.Errorf("per-thread requests sum %d != completed %d", byThread, armed.SLO.Completed())
+			}
+		})
+	}
+}
+
+// TestSLODetachOnReuse: re-running a workload instance without SLO
+// options must detach the stale tracker (the harness attaches nil), so
+// the second run neither panics nor mutates the first run's ledger.
+func TestSLODetachOnReuse(t *testing.T) {
+	w := sloService()
+	o := slo.DefaultOptions()
+	armed := Run(Options{Allocator: "nextgen", Workload: w, SLO: &o})
+	if armed.SLO == nil || armed.SLO.Completed() == 0 {
+		t.Fatal("armed run recorded nothing")
+	}
+	before := armed.SLO.Completed()
+	plain := Run(Options{Allocator: "nextgen", Workload: w})
+	if plain.SLO != nil {
+		t.Fatalf("unarmed reuse run carries a tracker")
+	}
+	if got := armed.SLO.Completed(); got != before {
+		t.Errorf("stale tracker mutated on reuse: %d -> %d", before, got)
+	}
+}
+
+// TestSLOAbandon: with a tight abandon threshold and a hot arrival
+// stream the open-loop backlog must trip the abandon path, and
+// abandoned requests must never appear in the completed ledger.
+func TestSLOAbandon(t *testing.T) {
+	w := sloService()
+	w.MeanGapCycles = 200 // overload: arrivals far outpace service
+	w.AbandonAfter = 5000
+	o := slo.DefaultOptions()
+	res := Run(Options{Allocator: "mimalloc", Workload: w, SLO: &o})
+	if res.SLO == nil {
+		t.Fatal("no tracker")
+	}
+	if res.SLO.Abandoned() == 0 {
+		t.Fatal("overloaded run abandoned nothing")
+	}
+	total := res.SLO.Completed() + res.SLO.Abandoned()
+	if want := uint64(w.NWorkers * w.RequestsPerWorker); total != want {
+		t.Errorf("completed %d + abandoned %d != arrivals %d",
+			res.SLO.Completed(), res.SLO.Abandoned(), want)
+	}
+}
+
+// TestTenantShardRollup: on a sharded fleet the per-shard tenant rollup
+// must partition the completed requests using the fleet's home-shard
+// assignment.
+func TestTenantShardRollup(t *testing.T) {
+	w := sloService()
+	w.NWorkers = 4
+	o := slo.DefaultOptions()
+	res := Run(Options{Allocator: "nextgen", Workload: w, SLO: &o, Servers: 2})
+	if res.ClientShards == nil {
+		t.Fatal("sharded run recorded no client-shard assignment")
+	}
+	roll := res.TenantShardRollup()
+	if len(roll) != 2 {
+		t.Fatalf("rollup has %d shards, want 2", len(roll))
+	}
+	var sum uint64
+	perShard := make([]uint64, len(roll))
+	for i, m := range roll {
+		for _, n := range m {
+			sum += n
+			perShard[i] += n
+		}
+	}
+	if sum != res.SLO.Completed() {
+		t.Errorf("rollup sum %d != completed %d (per shard: %v)", sum, res.SLO.Completed(), perShard)
+	}
+	for i, n := range perShard {
+		if n == 0 {
+			t.Errorf("shard %d's clients completed no requests", i)
+		}
+	}
+
+	// Single-server runs roll everything into shard 0.
+	single := Run(Options{Allocator: "nextgen", Workload: sloService(), SLO: &o})
+	sroll := single.TenantShardRollup()
+	if len(sroll) != 1 {
+		t.Fatalf("single-server rollup has %d shards", len(sroll))
+	}
+	var ssum uint64
+	for _, n := range sroll[0] {
+		ssum += n
+	}
+	if ssum != single.SLO.Completed() {
+		t.Errorf("single-server rollup sum %d != completed %d", ssum, single.SLO.Completed())
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/slo"
 	"nextgenmalloc/internal/timeline"
 )
 
@@ -84,6 +85,67 @@ type Result struct {
 	// entry per server daemon — the sharded-fleet view. A single-server
 	// run carries one entry whose totals match the offload block.
 	Servers []ServerMetrics `json:"servers,omitempty"`
+	// SLO is present when the run armed the per-tenant SLO tracker and
+	// the workload fed it at least one request (additive in schema v1).
+	SLO *SLO `json:"slo,omitempty"`
+}
+
+// SLO is the per-tenant SLO telemetry of a request-serving run: the
+// armed budgets, the tumbling violation windows, and one row per
+// tenant. Per-tenant request counts partition completed_requests, as do
+// the window request counts (both checked by Validate).
+type SLO struct {
+	WindowCycles      uint64  `json:"window_cycles"`
+	TargetRate        float64 `json:"target_rate"`
+	BudgetInteractive uint64  `json:"budget_interactive_cycles"`
+	BudgetBulk        uint64  `json:"budget_bulk_cycles"`
+	CompletedRequests uint64  `json:"completed_requests"`
+	AbandonedRequests uint64  `json:"abandoned_requests"`
+	Violations        uint64  `json:"violations"`
+	// WorstWindow is the retained window with the most violations
+	// (absent when no request completed); WorstBurnRate is that window's
+	// violation rate over target_rate.
+	WorstWindow   *SLOWindow  `json:"worst_window,omitempty"`
+	WorstBurnRate float64     `json:"worst_burn_rate"`
+	Windows       []SLOWindow `json:"windows"`
+	Tenants       []TenantSLO `json:"tenants"`
+	// DroppedSpans counts raw request spans beyond the retention cap
+	// (the ledgers above still include them).
+	DroppedSpans uint64 `json:"dropped_spans"`
+}
+
+// SLOWindow is one tumbling violation-accounting window.
+type SLOWindow struct {
+	StartCycle uint64 `json:"start_cycle"`
+	Requests   uint64 `json:"requests"`
+	Violations uint64 `json:"violations"`
+}
+
+// TenantSLO is one tenant's ledger. Percentiles are end-to-end cycles
+// across the tenant's classes; a tenant that completed no request
+// (churned out, or abandons only) carries zero digests.
+type TenantSLO struct {
+	Tenant                int                 `json:"tenant"`
+	Requests              uint64              `json:"requests"`
+	Abandons              uint64              `json:"abandons"`
+	Violations            uint64              `json:"violations"`
+	P50                   uint64              `json:"p50"`
+	P99                   uint64              `json:"p99"`
+	P999                  uint64              `json:"p999"`
+	Max                   uint64              `json:"max"`
+	MeanCycles            float64             `json:"mean_cycles"`
+	WorstWindowViolations uint64              `json:"worst_window_violations"`
+	WorstWindowStart      uint64              `json:"worst_window_start_cycle"`
+	Classes               map[string]SLOClass `json:"classes,omitempty"`
+}
+
+// SLOClass is one (tenant, op class) slice with the class's budget.
+type SLOClass struct {
+	Requests     uint64 `json:"requests"`
+	Violations   uint64 `json:"violations"`
+	BudgetCycles uint64 `json:"budget_cycles"`
+	P99          uint64 `json:"p99"`
+	Max          uint64 `json:"max"`
 }
 
 // ServerMetrics is one server daemon's slice of a (possibly sharded)
@@ -229,8 +291,8 @@ type OpLatency struct {
 }
 
 // LatencyDigest summarizes one histogram in cycles. Percentiles are
-// log2-linear bucket lower bounds (≤12.5% relative error); max is
-// exact.
+// log2-linear bucket midpoints (≤6.25% relative error, exact for small
+// values), clamped to the exact max.
 type LatencyDigest struct {
 	Count uint64  `json:"count"`
 	Mean  float64 `json:"mean"`
@@ -283,6 +345,63 @@ func latencyMetrics(rec *timeline.LatencyRecorder) *OffloadLatency {
 		Batch:        opLatency(rec.ByOp[timeline.OpBatch]),
 		DroppedSpans: rec.Dropped,
 	}
+}
+
+// sloMetrics converts an armed tracker's ledgers (caller checks
+// HasData).
+func sloMetrics(tr *slo.Tracker) *SLO {
+	opt := tr.Options()
+	out := &SLO{
+		WindowCycles:      tr.Width(),
+		TargetRate:        opt.TargetRate,
+		BudgetInteractive: opt.Budgets[slo.Interactive],
+		BudgetBulk:        opt.Budgets[slo.Bulk],
+		CompletedRequests: tr.Completed(),
+		AbandonedRequests: tr.Abandoned(),
+		Violations:        tr.Violations(),
+		DroppedSpans:      tr.DroppedSpans(),
+	}
+	if w, ok := tr.WorstWindow(); ok {
+		out.WorstWindow = &SLOWindow{StartCycle: w.Start, Requests: w.Requests, Violations: w.Violations}
+		out.WorstBurnRate = tr.BurnRate(w)
+	}
+	for _, w := range tr.Windows() {
+		out.Windows = append(out.Windows, SLOWindow{StartCycle: w.Start, Requests: w.Requests, Violations: w.Violations})
+	}
+	for _, id := range tr.TenantIDs() {
+		ts := tr.Tenant(id)
+		row := TenantSLO{
+			Tenant:                id,
+			Requests:              ts.Requests,
+			Abandons:              ts.Abandons,
+			Violations:            ts.Violations,
+			P50:                   ts.Total.Total.Quantile(0.50),
+			P99:                   ts.Total.Total.Quantile(0.99),
+			P999:                  ts.Total.Total.Quantile(0.999),
+			Max:                   ts.Total.Total.Max,
+			MeanCycles:            ts.Total.Total.Mean(),
+			WorstWindowViolations: ts.WorstWindowViolations,
+			WorstWindowStart:      ts.WorstWindowStart,
+		}
+		for c := slo.Class(0); c < slo.NumClasses; c++ {
+			cl := ts.ByClass[c]
+			if cl.Total.Count == 0 {
+				continue
+			}
+			if row.Classes == nil {
+				row.Classes = map[string]SLOClass{}
+			}
+			row.Classes[c.String()] = SLOClass{
+				Requests:     cl.Total.Count,
+				Violations:   ts.ClassViolations[c],
+				BudgetCycles: opt.Budgets[c],
+				P99:          cl.Total.Quantile(0.99),
+				Max:          cl.Total.Max,
+			}
+		}
+		out.Tenants = append(out.Tenants, row)
+	}
+	return out
 }
 
 func timelineMetrics(s *timeline.Series) *Timeline {
@@ -401,6 +520,9 @@ func FromResult(r harness.Result) Result {
 			InjectedSlowdownCycles: inj.SlowdownCycles,
 		}
 	}
+	if r.SLO.HasData() {
+		out.SLO = sloMetrics(r.SLO)
+	}
 	if r.Warp.Windows > 0 {
 		out.Warp = &Warp{
 			Windows:      r.Warp.Windows,
@@ -501,6 +623,9 @@ func Validate(data []byte) error {
 			if err := validateServers(e.ID, i, r.Servers, r.Offload); err != nil {
 				return err
 			}
+			if err := validateSLO(e.ID, i, r.SLO); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -528,6 +653,100 @@ func validateServers(exp string, i int, srvs []ServerMetrics, off *Offload) erro
 	if off != nil && fleetServed != off.ServedOps {
 		return fmt.Errorf("metrics: experiment %q result %d servers sum to %d served ops but offload reports %d",
 			exp, i, fleetServed, off.ServedOps)
+	}
+	return nil
+}
+
+// validateSLO checks the per-tenant SLO accounting: windows never count
+// more violations than requests, window and tenant request counts each
+// partition the completed total, per-tenant violations sum to the run
+// total, and every tenant that completed a request carries monotone
+// percentiles (p50 ≤ p99 ≤ p999 ≤ max).
+func validateSLO(exp string, i int, s *SLO) error {
+	if s == nil {
+		return nil
+	}
+	if s.WindowCycles == 0 {
+		return fmt.Errorf("metrics: experiment %q result %d slo has zero window width", exp, i)
+	}
+	var winRequests, winViolations uint64
+	for j, w := range s.Windows {
+		if w.Violations > w.Requests {
+			return fmt.Errorf("metrics: experiment %q result %d slo window %d has %d violations for %d requests",
+				exp, i, j, w.Violations, w.Requests)
+		}
+		if j > 0 && w.StartCycle <= s.Windows[j-1].StartCycle {
+			return fmt.Errorf("metrics: experiment %q result %d slo window starts not increasing at %d", exp, i, j)
+		}
+		winRequests += w.Requests
+		winViolations += w.Violations
+	}
+	if winRequests != s.CompletedRequests {
+		return fmt.Errorf("metrics: experiment %q result %d slo windows hold %d requests but completed_requests is %d",
+			exp, i, winRequests, s.CompletedRequests)
+	}
+	if winViolations != s.Violations {
+		return fmt.Errorf("metrics: experiment %q result %d slo windows hold %d violations but total is %d",
+			exp, i, winViolations, s.Violations)
+	}
+	if s.WorstWindow != nil && s.WorstWindow.Violations > s.WorstWindow.Requests {
+		return fmt.Errorf("metrics: experiment %q result %d slo worst window has %d violations for %d requests",
+			exp, i, s.WorstWindow.Violations, s.WorstWindow.Requests)
+	}
+	var tenRequests, tenAbandons, tenViolations uint64
+	for j, t := range s.Tenants {
+		if j > 0 && t.Tenant <= s.Tenants[j-1].Tenant {
+			return fmt.Errorf("metrics: experiment %q result %d slo tenants not sorted at %d", exp, i, j)
+		}
+		if t.Violations > t.Requests {
+			return fmt.Errorf("metrics: experiment %q result %d slo tenant %d has %d violations for %d requests",
+				exp, i, t.Tenant, t.Violations, t.Requests)
+		}
+		if t.WorstWindowViolations > t.Violations {
+			return fmt.Errorf("metrics: experiment %q result %d slo tenant %d worst window exceeds its violations",
+				exp, i, t.Tenant)
+		}
+		if t.Requests > 0 {
+			if t.P50 > t.P99 || t.P99 > t.P999 || t.P999 > t.Max {
+				return fmt.Errorf("metrics: experiment %q result %d slo tenant %d percentiles not monotone",
+					exp, i, t.Tenant)
+			}
+		}
+		var clsRequests, clsViolations uint64
+		for name, c := range t.Classes {
+			if c.Violations > c.Requests {
+				return fmt.Errorf("metrics: experiment %q result %d slo tenant %d class %s has %d violations for %d requests",
+					exp, i, t.Tenant, name, c.Violations, c.Requests)
+			}
+			clsRequests += c.Requests
+			clsViolations += c.Violations
+		}
+		if len(t.Classes) > 0 && clsRequests != t.Requests {
+			return fmt.Errorf("metrics: experiment %q result %d slo tenant %d classes hold %d requests of %d",
+				exp, i, t.Tenant, clsRequests, t.Requests)
+		}
+		if len(t.Classes) > 0 && clsViolations != t.Violations {
+			return fmt.Errorf("metrics: experiment %q result %d slo tenant %d classes hold %d violations of %d",
+				exp, i, t.Tenant, clsViolations, t.Violations)
+		}
+		tenRequests += t.Requests
+		tenAbandons += t.Abandons
+		tenViolations += t.Violations
+	}
+	if tenRequests != s.CompletedRequests {
+		return fmt.Errorf("metrics: experiment %q result %d slo tenants hold %d requests but completed_requests is %d",
+			exp, i, tenRequests, s.CompletedRequests)
+	}
+	if tenAbandons != s.AbandonedRequests {
+		return fmt.Errorf("metrics: experiment %q result %d slo tenants hold %d abandons but abandoned_requests is %d",
+			exp, i, tenAbandons, s.AbandonedRequests)
+	}
+	if tenViolations != s.Violations {
+		return fmt.Errorf("metrics: experiment %q result %d slo tenants hold %d violations but total is %d",
+			exp, i, tenViolations, s.Violations)
+	}
+	if s.WorstBurnRate < 0 {
+		return fmt.Errorf("metrics: experiment %q result %d slo has negative burn rate", exp, i)
 	}
 	return nil
 }

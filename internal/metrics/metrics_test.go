@@ -12,6 +12,7 @@ import (
 	"nextgenmalloc/internal/fault"
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
+	"nextgenmalloc/internal/slo"
 	"nextgenmalloc/internal/workload"
 )
 
@@ -190,5 +191,103 @@ func TestValidateRejectsBadResilience(t *testing.T) {
 		if err := Validate([]byte(doc)); err == nil {
 			t.Errorf("Validate accepted resilience document with %s", name)
 		}
+	}
+}
+
+func TestSLOMetricsRoundTrip(t *testing.T) {
+	o := slo.DefaultOptions()
+	res := harness.Run(harness.Options{
+		Allocator: "nextgen",
+		Workload: &workload.Service{NWorkers: 2, RequestsPerWorker: 80, Tenants: 5,
+			ChurnEvery: 4, MeanGapCycles: 3000, BurstLen: 4, Seed: 7},
+		SLO: &o,
+	})
+	if res.SLO == nil || !res.SLO.HasData() {
+		t.Fatal("armed run recorded no SLO data")
+	}
+	data, err := NewFile(FromResults("slo-sweep", []harness.Result{res})).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("slo-run metrics fail validation: %v", err)
+	}
+	s := string(data)
+	for _, key := range []string{
+		`"slo"`, `"window_cycles"`, `"target_rate"`,
+		`"budget_interactive_cycles"`, `"budget_bulk_cycles"`,
+		`"completed_requests"`, `"worst_window"`, `"worst_burn_rate"`,
+		`"windows"`, `"tenants"`, `"worst_window_violations"`,
+		`"dropped_spans"`, `"p999"`, `"mean_cycles"`,
+	} {
+		if !strings.Contains(s, key) {
+			t.Errorf("schema key %s missing from output", key)
+		}
+	}
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	sl := back.Experiments[0].Results[0].SLO
+	if sl == nil {
+		t.Fatal("slo block lost in round trip")
+	}
+	if sl.CompletedRequests != res.SLO.Completed() || sl.Violations != res.SLO.Violations() {
+		t.Errorf("slo totals did not round-trip: %d/%d vs %d/%d",
+			sl.CompletedRequests, sl.Violations, res.SLO.Completed(), res.SLO.Violations())
+	}
+	if len(sl.Tenants) != len(res.SLO.TenantIDs()) {
+		t.Errorf("tenant count %d, want %d", len(sl.Tenants), len(res.SLO.TenantIDs()))
+	}
+	// An unarmed run must not grow the block.
+	clean := sampleResult(t)
+	cleanData, err := NewFile(FromResults("clean", []harness.Result{clean})).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(cleanData), `"slo"`) {
+		t.Error("unarmed run emitted an slo block")
+	}
+}
+
+func TestValidateRejectsBadSLO(t *testing.T) {
+	base := `{"schema":"ngm-metrics/v1","experiments":[{"id":"a","results":[{"allocator":"x","workload":"w",` +
+		`"classes":{"user":{},"metadata":{},"ring":{},"global":{}},"slo":%s}]}]}`
+	for name, sl := range map[string]string{
+		"zero window width": `{"window_cycles":0}`,
+		"window violations > requests": `{"window_cycles":100,` +
+			`"windows":[{"start_cycle":0,"requests":1,"violations":2}],"completed_requests":1,"violations":2}`,
+		"window starts not increasing": `{"window_cycles":100,"completed_requests":2,` +
+			`"windows":[{"start_cycle":100,"requests":1},{"start_cycle":100,"requests":1}],` +
+			`"tenants":[{"tenant":0,"requests":2,"p50":1,"p99":1,"p999":1,"max":1}]}`,
+		"windows do not partition completed": `{"window_cycles":100,"completed_requests":5,` +
+			`"windows":[{"start_cycle":0,"requests":1}]}`,
+		"tenants do not partition completed": `{"window_cycles":100,"completed_requests":2,` +
+			`"windows":[{"start_cycle":0,"requests":2}],` +
+			`"tenants":[{"tenant":0,"requests":1,"p50":1,"p99":1,"p999":1,"max":1}]}`,
+		"tenants unsorted": `{"window_cycles":100,"completed_requests":2,` +
+			`"windows":[{"start_cycle":0,"requests":2}],` +
+			`"tenants":[{"tenant":1,"requests":1,"p50":1,"p99":1,"p999":1,"max":1},` +
+			`{"tenant":0,"requests":1,"p50":1,"p99":1,"p999":1,"max":1}]}`,
+		"tenant percentiles not monotone": `{"window_cycles":100,"completed_requests":1,` +
+			`"windows":[{"start_cycle":0,"requests":1}],` +
+			`"tenants":[{"tenant":0,"requests":1,"p50":9,"p99":1,"p999":1,"max":1}]}`,
+		"tenant worst window exceeds violations": `{"window_cycles":100,"completed_requests":1,"violations":1,` +
+			`"windows":[{"start_cycle":0,"requests":1,"violations":1}],` +
+			`"tenants":[{"tenant":0,"requests":1,"violations":1,"worst_window_violations":2,"p50":1,"p99":1,"p999":1,"max":1}]}`,
+		"class sums mismatch": `{"window_cycles":100,"completed_requests":2,` +
+			`"windows":[{"start_cycle":0,"requests":2}],` +
+			`"tenants":[{"tenant":0,"requests":2,"p50":1,"p99":1,"p999":1,"max":1,` +
+			`"classes":{"interactive":{"requests":1}}}]}`,
+		"negative burn rate": `{"window_cycles":100,"worst_burn_rate":-1}`,
+	} {
+		doc := fmt.Sprintf(base, sl)
+		if err := Validate([]byte(doc)); err == nil {
+			t.Errorf("Validate accepted slo document with %s", name)
+		}
+	}
+	// Baseline sanity: an empty-but-armed block is valid.
+	if err := Validate([]byte(fmt.Sprintf(base, `{"window_cycles":100}`))); err != nil {
+		t.Errorf("minimal valid slo block rejected: %v", err)
 	}
 }

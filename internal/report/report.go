@@ -13,6 +13,7 @@ import (
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/slo"
 	"nextgenmalloc/internal/timeline"
 )
 
@@ -471,6 +472,82 @@ func LatencyTable(title string, rec *timeline.LatencyRecorder) string {
 		out += fmt.Sprintf("(%d spans beyond the retention cap; histograms include them)\n", rec.Dropped)
 	}
 	return out
+}
+
+// SLOTable renders the per-tenant SLO ledger: one row per tenant with
+// end-to-end percentiles, violation counts, the tenant's worst window,
+// and how far its p99 sits from its class budget. Tenants that
+// completed no request (churned out early, or abandons only) render "-"
+// latency cells instead of dividing by zero.
+func SLOTable(title string, tr *slo.Tracker) string {
+	if tr == nil || !tr.HasData() {
+		return title + "\n(no slo data recorded)\n"
+	}
+	header := []string{"tenant", "class", "requests", "abandons", "violations",
+		"p50", "p99", "p999", "max", "worst win", "vs budget"}
+	var rows [][]string
+	for _, id := range tr.TenantIDs() {
+		ts := tr.Tenant(id)
+		row := []string{fmt.Sprintf("%d", id), tenantClasses(ts),
+			fmt.Sprintf("%d", ts.Requests), fmt.Sprintf("%d", ts.Abandons),
+			fmt.Sprintf("%d", ts.Violations)}
+		if ts.Requests == 0 {
+			row = append(row, "-", "-", "-", "-", "-", "-")
+		} else {
+			h := ts.Total.Total
+			row = append(row,
+				fmt.Sprintf("%d", h.Quantile(0.50)),
+				fmt.Sprintf("%d", h.Quantile(0.99)),
+				fmt.Sprintf("%d", h.Quantile(0.999)),
+				fmt.Sprintf("%d", h.Max),
+				fmt.Sprintf("%d", ts.WorstWindowViolations),
+				vsBudget(tr, ts))
+		}
+		rows = append(rows, row)
+	}
+	out := Table(title, header, rows)
+	if w, ok := tr.WorstWindow(); ok {
+		out += fmt.Sprintf("worst window: [%d, %d) — %d violations / %d requests (burn rate %.1fx)\n",
+			w.Start, w.Start+tr.Width(), w.Violations, w.Requests, tr.BurnRate(w))
+	}
+	if tr.DroppedSpans() > 0 {
+		out += fmt.Sprintf("(%d request spans beyond the retention cap; ledgers include them)\n", tr.DroppedSpans())
+	}
+	return out
+}
+
+// tenantClasses names the op classes a tenant actually ran.
+func tenantClasses(ts *slo.TenantStats) string {
+	var names []string
+	for c := slo.Class(0); c < slo.NumClasses; c++ {
+		if ts.ByClass[c].Total.Count > 0 {
+			names = append(names, c.String())
+		}
+	}
+	if len(names) == 0 {
+		return "-"
+	}
+	return strings.Join(names, "+")
+}
+
+// vsBudget formats the worst per-class p99-vs-budget delta as a signed
+// percentage ("-" when every class the tenant ran is unbudgeted).
+func vsBudget(tr *slo.Tracker, ts *slo.TenantStats) string {
+	worst, ok := 0.0, false
+	for c := slo.Class(0); c < slo.NumClasses; c++ {
+		b := tr.Options().Budgets[c]
+		if b == 0 || ts.ByClass[c].Total.Count == 0 {
+			continue
+		}
+		d := (float64(ts.ByClass[c].Total.Quantile(0.99)) - float64(b)) / float64(b)
+		if !ok || d > worst {
+			worst, ok = d, true
+		}
+	}
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%+.0f%%", worst*100)
 }
 
 // AttributionRows builds the miss-attribution layout: for every address

@@ -10,6 +10,7 @@ import (
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/slo"
 )
 
 func TestSci(t *testing.T) {
@@ -195,5 +196,61 @@ func TestWarpTable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q in:\n%s", want, out)
 		}
+	}
+}
+
+func TestSLOTableEmpty(t *testing.T) {
+	for name, tr := range map[string]*slo.Tracker{
+		"nil tracker":   nil,
+		"fresh tracker": slo.NewTracker(slo.DefaultOptions()),
+	} {
+		out := SLOTable("t", tr)
+		if !strings.Contains(out, "no slo data recorded") {
+			t.Errorf("%s: missing empty notice:\n%s", name, out)
+		}
+	}
+}
+
+func TestSLOTableZeroRequestTenant(t *testing.T) {
+	// A tenant that churned out with abandons only must render dash
+	// latency cells, not divide by zero; a single-tenant ledger must
+	// still carry the worst-window footer.
+	tr := slo.NewTracker(slo.DefaultOptions())
+	tr.Observe(0, 1, slo.Interactive, 0, 10, 30000) // violates the 25k budget
+	tr.Abandon(3, slo.Bulk)
+	out := SLOTable("per-tenant", tr)
+	lines := strings.Split(out, "\n")
+	var zeroRow string
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "3 ") {
+			zeroRow = l
+		}
+	}
+	if zeroRow == "" {
+		t.Fatalf("abandons-only tenant missing from table:\n%s", out)
+	}
+	if got := strings.Count(zeroRow, "-"); got < 6 {
+		t.Errorf("zero-request tenant row has %d dashes, want >= 6: %q", got, zeroRow)
+	}
+	if !strings.Contains(out, "worst window:") {
+		t.Errorf("missing worst-window footer:\n%s", out)
+	}
+	if !strings.Contains(out, "interactive") {
+		t.Errorf("missing class label:\n%s", out)
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "%") {
+		t.Errorf("missing vs-budget cell:\n%s", out)
+	}
+}
+
+func TestSLOTableDroppedSpansFooter(t *testing.T) {
+	o := slo.DefaultOptions()
+	o.SpanCap = 2
+	tr := slo.NewTracker(o)
+	for i := 0; i < 5; i++ {
+		tr.Observe(0, 1, slo.Interactive, uint64(i), uint64(i), uint64(i+10))
+	}
+	if out := SLOTable("t", tr); !strings.Contains(out, "3 request spans beyond the retention cap") {
+		t.Errorf("missing dropped-spans footer:\n%s", out)
 	}
 }

@@ -1,0 +1,455 @@
+// Package slo tracks per-tenant service-level objectives for the
+// request-serving workloads: per-tenant latency histograms, per-class
+// cycle budgets, and violation counts in tumbling windows. The tracker
+// is host-side bookkeeping only — observing a run issues zero simulated
+// instructions, so an armed run stays bit-identical to an unarmed one
+// (pinned by TestSLOZeroTraffic in the harness).
+package slo
+
+import (
+	"sort"
+
+	"nextgenmalloc/internal/timeline"
+)
+
+// Class is a request's op class; budgets are per class.
+type Class int
+
+const (
+	// Interactive is a small point request (tight budget).
+	Interactive Class = iota
+	// Bulk is a heavy request (more allocations, looser budget).
+	Bulk
+	// NumClasses sizes per-class arrays.
+	NumClasses
+)
+
+// String names the class for reports and trace events.
+func (c Class) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Bulk:
+		return "bulk"
+	}
+	return "unknown"
+}
+
+// Budgets holds the per-class end-to-end cycle budgets. A zero budget
+// means the class is unbudgeted (never violates).
+type Budgets [NumClasses]uint64
+
+// Options arms a tracker.
+type Options struct {
+	// Budgets are the per-class end-to-end cycle budgets.
+	Budgets Budgets
+	// WindowCycles is the initial tumbling-window width. When the
+	// retained window count would exceed WindowCap, adjacent windows
+	// merge pairwise and the width doubles (the timeline sampler's
+	// decimation scheme), so memory stays O(WindowCap) for any run
+	// length.
+	WindowCycles uint64
+	// WindowCap bounds the retained windows (defaulted when <= 0).
+	WindowCap int
+	// SpanCap bounds the retained raw request spans kept for Chrome
+	// trace export (defaulted when <= 0; counting continues past it).
+	SpanCap int
+	// TargetRate is the violation budget per window used as the burn
+	// rate denominator (defaulted to 0.05, a 95% objective).
+	TargetRate float64
+}
+
+// Default option values.
+const (
+	DefaultWindowCycles = 1 << 16
+	DefaultWindowCap    = 256
+	DefaultSpanCap      = 1 << 15
+	DefaultTargetRate   = 0.05
+)
+
+// DefaultOptions returns an armed tracker configuration with budgets
+// sized for the quick-scale service workload.
+func DefaultOptions() Options {
+	return Options{
+		Budgets:      Budgets{Interactive: 25000, Bulk: 60000},
+		WindowCycles: DefaultWindowCycles,
+		WindowCap:    DefaultWindowCap,
+		SpanCap:      DefaultSpanCap,
+		TargetRate:   DefaultTargetRate,
+	}
+}
+
+// TenantStats is one tenant's merged ledger: request/abandon/violation
+// counts and per-class latency histograms. Every uint64 leaf accumulates
+// by addition under Add (reflection-covered like the other telemetry
+// structs); the tenant id lives in the tracker's map key, not here.
+type TenantStats struct {
+	// Requests counts completed requests; Abandons counts requests the
+	// workload gave up on before service; Violations counts completed
+	// requests over their class budget, with ClassViolations the per-op-
+	// class split (summing to Violations).
+	Requests        uint64
+	Abandons        uint64
+	Violations      uint64
+	ClassViolations [NumClasses]uint64
+	// ByClass holds the queue/service/total distributions per op class.
+	ByClass [NumClasses]timeline.OpLatency
+	// Total merges all classes (the SLO table's headline percentiles).
+	Total timeline.OpLatency
+	// WorstWindowViolations is the largest violation count this tenant
+	// accumulated in a single tumbling window, and WorstWindowStart that
+	// window's start cycle. Evaluated at the window width in effect when
+	// the window closed; Add merges by maximum (".Worst" prefix in the
+	// reflection test).
+	WorstWindowViolations uint64
+	WorstWindowStart      uint64
+
+	curWindowStart      uint64
+	curWindowViolations uint64
+}
+
+// Add merges o into s: counts and histograms add, the worst-window
+// ledger merges by maximum (a rollup's worst window is the worst of its
+// parts).
+func (s *TenantStats) Add(o TenantStats) {
+	s.Requests += o.Requests
+	s.Abandons += o.Abandons
+	s.Violations += o.Violations
+	for i := range s.ClassViolations {
+		s.ClassViolations[i] += o.ClassViolations[i]
+	}
+	for i := range s.ByClass {
+		s.ByClass[i].Add(o.ByClass[i])
+	}
+	s.Total.Add(o.Total)
+	if o.WorstWindowViolations > s.WorstWindowViolations {
+		s.WorstWindowViolations = o.WorstWindowViolations
+		s.WorstWindowStart = o.WorstWindowStart
+	}
+}
+
+// Window is one tumbling violation-accounting window.
+type Window struct {
+	// Start is the window's first cycle; its width is the tracker's
+	// Width at read time (all retained windows share one width).
+	Start uint64
+	// Requests and Violations count completions landing in the window.
+	Requests   uint64
+	Violations uint64
+}
+
+// Span is one completed request retained for trace export. All three
+// stamps are the serving worker's clock, so Arrival <= Start <=
+// Complete holds exactly.
+type Span struct {
+	Tenant   int
+	Thread   int
+	Class    Class
+	Arrival  uint64
+	Start    uint64
+	Complete uint64
+}
+
+// QueueWait is the open-loop backlog: arrival to service start.
+func (s Span) QueueWait() uint64 { return s.Start - s.Arrival }
+
+// Service is the in-service time.
+func (s Span) Service() uint64 { return s.Complete - s.Start }
+
+// EndToEnd is the full request latency the budgets are judged against.
+func (s Span) EndToEnd() uint64 { return s.Complete - s.Arrival }
+
+// Tracker accumulates per-tenant SLO telemetry for one run. It is
+// host-side only and not safe for concurrent use; the simulator runs
+// all threads on one host goroutine, so Observe calls are naturally
+// serialized.
+type Tracker struct {
+	opt      Options
+	width    uint64
+	windows  []Window
+	tenants  map[int]*TenantStats
+	byThread map[int]map[int]uint64 // thread id -> tenant -> completed requests
+	spans    []Span
+	dropped  uint64
+	abandons uint64
+}
+
+// NewTracker builds a tracker from opt, applying defaults for
+// unspecified fields.
+func NewTracker(opt Options) *Tracker {
+	if opt.WindowCycles == 0 {
+		opt.WindowCycles = DefaultWindowCycles
+	}
+	if opt.WindowCap <= 0 {
+		opt.WindowCap = DefaultWindowCap
+	}
+	if opt.WindowCap < 2 {
+		opt.WindowCap = 2
+	}
+	if opt.SpanCap <= 0 {
+		opt.SpanCap = DefaultSpanCap
+	}
+	if opt.TargetRate <= 0 {
+		opt.TargetRate = DefaultTargetRate
+	}
+	return &Tracker{
+		opt:      opt,
+		width:    opt.WindowCycles,
+		tenants:  map[int]*TenantStats{},
+		byThread: map[int]map[int]uint64{},
+	}
+}
+
+// Options returns the armed configuration (defaults applied).
+func (tr *Tracker) Options() Options { return tr.opt }
+
+// Width returns the current tumbling-window width in cycles (doubles on
+// decimation).
+func (tr *Tracker) Width() uint64 { return tr.width }
+
+// Violated reports whether an end-to-end latency blows the class budget
+// (zero budget = unbudgeted).
+func (tr *Tracker) Violated(c Class, endToEnd uint64) bool {
+	b := tr.opt.Budgets[c]
+	return b != 0 && endToEnd > b
+}
+
+// Observe folds one completed request into the ledgers. thread is the
+// serving worker's simulated thread id (joins the fleet per-client
+// service ledger for per-shard rollups); arrival/start/complete are
+// that worker's clock stamps with arrival <= start <= complete.
+func (tr *Tracker) Observe(tenant, thread int, c Class, arrival, start, complete uint64) {
+	sp := Span{Tenant: tenant, Thread: thread, Class: c,
+		Arrival: arrival, Start: start, Complete: complete}
+	queue, service, total := sp.QueueWait(), sp.Service(), sp.EndToEnd()
+	violated := tr.Violated(c, total)
+
+	ts := tr.tenant(tenant)
+	ts.Requests++
+	observeOp(&ts.ByClass[c], queue, service, total)
+	observeOp(&ts.Total, queue, service, total)
+
+	w := tr.window(complete)
+	w.Requests++
+	if violated {
+		ts.Violations++
+		ts.ClassViolations[c]++
+		w.Violations++
+		// Per-tenant worst window, counted at the current width. The
+		// window's start identifies it; a width change starts a new
+		// count (historical worsts keep the width they were measured
+		// at, documented on the field).
+		ws := (complete / tr.width) * tr.width
+		if ws != ts.curWindowStart || ts.curWindowViolations == 0 {
+			ts.curWindowStart = ws
+			ts.curWindowViolations = 0
+		}
+		ts.curWindowViolations++
+		if ts.curWindowViolations > ts.WorstWindowViolations {
+			ts.WorstWindowViolations = ts.curWindowViolations
+			ts.WorstWindowStart = ws
+		}
+	}
+
+	byTenant := tr.byThread[thread]
+	if byTenant == nil {
+		byTenant = map[int]uint64{}
+		tr.byThread[thread] = byTenant
+	}
+	byTenant[tenant]++
+
+	if len(tr.spans) < tr.opt.SpanCap {
+		tr.spans = append(tr.spans, sp)
+	} else {
+		tr.dropped++
+	}
+}
+
+// Abandon records a request the workload gave up on before service
+// (open-loop backlog past the workload's abandon threshold).
+func (tr *Tracker) Abandon(tenant int, c Class) {
+	tr.tenant(tenant).Abandons++
+	tr.abandons++
+}
+
+func observeOp(l *timeline.OpLatency, queue, service, total uint64) {
+	l.Queue.Observe(queue)
+	l.Service.Observe(service)
+	l.Total.Observe(total)
+}
+
+func (tr *Tracker) tenant(id int) *TenantStats {
+	ts := tr.tenants[id]
+	if ts == nil {
+		ts = &TenantStats{}
+		tr.tenants[id] = ts
+	}
+	return ts
+}
+
+// window returns the tumbling window holding cycle, growing the dense
+// window list and decimating (pairwise merge, width doubling) when the
+// list would exceed WindowCap.
+func (tr *Tracker) window(cycle uint64) *Window {
+	for int(cycle/tr.width) >= tr.opt.WindowCap {
+		tr.decimate()
+	}
+	idx := int(cycle / tr.width)
+	for len(tr.windows) <= idx {
+		tr.windows = append(tr.windows, Window{Start: uint64(len(tr.windows)) * tr.width})
+	}
+	return &tr.windows[idx]
+}
+
+// decimate merges adjacent window pairs and doubles the width, keeping
+// request/violation sums exact (the timeline sampler's scheme).
+func (tr *Tracker) decimate() {
+	half := (len(tr.windows) + 1) / 2
+	for i := 0; i < half; i++ {
+		w := tr.windows[2*i]
+		if 2*i+1 < len(tr.windows) {
+			w.Requests += tr.windows[2*i+1].Requests
+			w.Violations += tr.windows[2*i+1].Violations
+		}
+		w.Start = uint64(i) * tr.width * 2
+		tr.windows[i] = w
+	}
+	tr.windows = tr.windows[:half]
+	tr.width *= 2
+}
+
+// Windows returns the retained tumbling windows in time order (all at
+// the current Width).
+func (tr *Tracker) Windows() []Window { return tr.windows }
+
+// TenantIDs returns the observed tenant ids in ascending order.
+func (tr *Tracker) TenantIDs() []int {
+	ids := make([]int, 0, len(tr.tenants))
+	for id := range tr.tenants {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Tenant returns one tenant's ledger (nil when never observed).
+func (tr *Tracker) Tenant(id int) *TenantStats { return tr.tenants[id] }
+
+// Completed returns the total completed requests across tenants.
+func (tr *Tracker) Completed() uint64 {
+	var n uint64
+	for _, ts := range tr.tenants {
+		n += ts.Requests
+	}
+	return n
+}
+
+// Abandoned returns the total abandoned requests across tenants.
+func (tr *Tracker) Abandoned() uint64 { return tr.abandons }
+
+// Violations returns the total budget violations across tenants.
+func (tr *Tracker) Violations() uint64 {
+	var n uint64
+	for _, ts := range tr.tenants {
+		n += ts.Violations
+	}
+	return n
+}
+
+// HasData reports whether the tracker observed any request or abandon
+// (metrics docs omit the slo block otherwise, keeping unarmed runs
+// byte-identical).
+func (tr *Tracker) HasData() bool {
+	return tr != nil && (len(tr.tenants) > 0 || tr.abandons > 0)
+}
+
+// WorstWindow returns the retained window with the most violations
+// (ties break earliest) and whether any window exists.
+func (tr *Tracker) WorstWindow() (Window, bool) {
+	if len(tr.windows) == 0 {
+		return Window{}, false
+	}
+	worst := tr.windows[0]
+	for _, w := range tr.windows[1:] {
+		if w.Violations > worst.Violations {
+			worst = w
+		}
+	}
+	return worst, true
+}
+
+// BurnRate is a window's violation rate over the target rate (the SRE
+// burn-rate convention: 1.0 = exactly consuming the error budget).
+// Empty windows burn nothing.
+func (tr *Tracker) BurnRate(w Window) float64 {
+	if w.Requests == 0 {
+		return 0
+	}
+	return float64(w.Violations) / float64(w.Requests) / tr.opt.TargetRate
+}
+
+// Spans returns the retained raw request spans in completion order.
+func (tr *Tracker) Spans() []Span { return tr.spans }
+
+// DroppedSpans counts spans past SpanCap (ledgers still include them).
+func (tr *Tracker) DroppedSpans() uint64 { return tr.dropped }
+
+// TraceSpans converts the retained spans to tenant-labeled Chrome trace
+// spans (one viewer track per tenant).
+func (tr *Tracker) TraceSpans() []timeline.TenantSpan {
+	if tr == nil || len(tr.spans) == 0 {
+		return nil
+	}
+	out := make([]timeline.TenantSpan, len(tr.spans))
+	for i, sp := range tr.spans {
+		out[i] = timeline.TenantSpan{
+			Tenant:   sp.Tenant,
+			Class:    sp.Class.String(),
+			Arrival:  sp.Arrival,
+			Start:    sp.Start,
+			Complete: sp.Complete,
+			Violated: tr.Violated(sp.Class, sp.EndToEnd()),
+		}
+	}
+	return out
+}
+
+// ThreadRequests returns one thread's per-tenant completed-request
+// counts (nil when the thread served nothing).
+func (tr *Tracker) ThreadRequests(thread int) map[int]uint64 {
+	return tr.byThread[thread]
+}
+
+// ThreadIDs returns the serving thread ids in ascending order.
+func (tr *Tracker) ThreadIDs() []int {
+	ids := make([]int, 0, len(tr.byThread))
+	for id := range tr.byThread {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Rollup aggregates per-tenant completed-request counts per shard,
+// where shards lists each shard's client thread ids (the PR 7
+// per-client service ledger). The result holds one tenant->count map
+// per shard; threads absent from every shard are ignored.
+func (tr *Tracker) Rollup(shards [][]int) []map[int]uint64 {
+	out := make([]map[int]uint64, len(shards))
+	for i, threads := range shards {
+		m := map[int]uint64{}
+		for _, th := range threads {
+			for tenant, n := range tr.byThread[th] {
+				m[tenant] += n
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Observable is implemented by workloads that can feed a tracker; the
+// harness attaches the armed tracker before Setup.
+type Observable interface {
+	AttachSLO(*Tracker)
+}

@@ -1,0 +1,302 @@
+package slo
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// opts is a small-window configuration that keeps test arithmetic
+// readable: width 100, budget 50 for interactive, bulk unbudgeted.
+func testOpts() Options {
+	return Options{
+		Budgets:      Budgets{Interactive: 50},
+		WindowCycles: 100,
+		WindowCap:    4,
+		SpanCap:      8,
+		TargetRate:   0.10,
+	}
+}
+
+func TestViolated(t *testing.T) {
+	tr := NewTracker(testOpts())
+	if tr.Violated(Interactive, 50) {
+		t.Errorf("exactly-on-budget must not violate")
+	}
+	if !tr.Violated(Interactive, 51) {
+		t.Errorf("one over budget must violate")
+	}
+	if tr.Violated(Bulk, 1<<40) {
+		t.Errorf("zero budget means unbudgeted, never violating")
+	}
+}
+
+func TestObserveLedgers(t *testing.T) {
+	tr := NewTracker(testOpts())
+	// Tenant 1: one fast, one violating interactive request on thread 7.
+	tr.Observe(1, 7, Interactive, 0, 10, 40)   // end-to-end 40, ok
+	tr.Observe(1, 7, Interactive, 50, 60, 160) // end-to-end 110, violates
+	// Tenant 2: one bulk request on thread 8 (unbudgeted).
+	tr.Observe(2, 8, Bulk, 100, 100, 300)
+	tr.Abandon(1, Interactive)
+
+	if got := tr.Completed(); got != 3 {
+		t.Fatalf("Completed = %d, want 3", got)
+	}
+	if got := tr.Violations(); got != 1 {
+		t.Fatalf("Violations = %d, want 1", got)
+	}
+	if got := tr.Abandoned(); got != 1 {
+		t.Fatalf("Abandoned = %d, want 1", got)
+	}
+	if ids := tr.TenantIDs(); len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("TenantIDs = %v, want [1 2]", ids)
+	}
+	ts := tr.Tenant(1)
+	if ts.Requests != 2 || ts.Abandons != 1 || ts.Violations != 1 {
+		t.Fatalf("tenant 1 ledger = %+v", ts)
+	}
+	if ts.ClassViolations[Interactive] != 1 || ts.ClassViolations[Bulk] != 0 {
+		t.Fatalf("tenant 1 class violations = %v", ts.ClassViolations)
+	}
+	if ts.Total.Total.Count != 2 || ts.Total.Total.Max != 110 {
+		t.Fatalf("tenant 1 total hist = %+v", ts.Total.Total)
+	}
+	if ts.ByClass[Interactive].Queue.Max != 10 {
+		t.Fatalf("tenant 1 queue max = %d, want 10", ts.ByClass[Interactive].Queue.Max)
+	}
+	if m := tr.ThreadRequests(7); m[1] != 2 || len(m) != 1 {
+		t.Fatalf("thread 7 requests = %v", m)
+	}
+	if !tr.HasData() {
+		t.Fatalf("tracker with observations must report data")
+	}
+	var nilTr *Tracker
+	if nilTr.HasData() {
+		t.Fatalf("nil tracker must report no data")
+	}
+	if NewTracker(Options{}).HasData() {
+		t.Fatalf("fresh tracker must report no data")
+	}
+}
+
+func TestWindowsAndWorstWindow(t *testing.T) {
+	tr := NewTracker(testOpts())
+	// Completions at cycles 10, 110, 120: windows [0,100) and [100,200).
+	tr.Observe(0, 0, Interactive, 0, 0, 10)    // ok
+	tr.Observe(0, 0, Interactive, 0, 0, 110)   // violates (110 > 50)
+	tr.Observe(0, 0, Interactive, 60, 60, 120) // violates (60 > 50)
+	ws := tr.Windows()
+	if len(ws) != 2 {
+		t.Fatalf("windows = %v, want 2", ws)
+	}
+	if ws[0].Start != 0 || ws[0].Requests != 1 || ws[0].Violations != 0 {
+		t.Fatalf("window 0 = %+v", ws[0])
+	}
+	if ws[1].Start != 100 || ws[1].Requests != 2 || ws[1].Violations != 2 {
+		t.Fatalf("window 1 = %+v", ws[1])
+	}
+	worst, ok := tr.WorstWindow()
+	if !ok || worst.Start != 100 || worst.Violations != 2 {
+		t.Fatalf("worst window = %+v ok=%v", worst, ok)
+	}
+	// Burn rate: 2 violations / 2 requests over a 0.10 target = 10x.
+	if got := tr.BurnRate(worst); got != 10.0 {
+		t.Fatalf("burn rate = %v, want 10", got)
+	}
+	if got := tr.BurnRate(Window{}); got != 0 {
+		t.Fatalf("empty-window burn rate = %v, want 0", got)
+	}
+	// Per-tenant worst window tracked at observation width.
+	ts := tr.Tenant(0)
+	if ts.WorstWindowViolations != 2 || ts.WorstWindowStart != 100 {
+		t.Fatalf("tenant worst window = %d@%d", ts.WorstWindowViolations, ts.WorstWindowStart)
+	}
+
+	// Ties break earliest: fresh tracker, one violation in each of two
+	// windows.
+	tr2 := NewTracker(testOpts())
+	tr2.Observe(0, 0, Interactive, 0, 0, 60)
+	tr2.Observe(0, 0, Interactive, 100, 100, 160)
+	if w, _ := tr2.WorstWindow(); w.Start != 0 {
+		t.Fatalf("tied worst window start = %d, want earliest 0", w.Start)
+	}
+	if _, ok := NewTracker(testOpts()).WorstWindow(); ok {
+		t.Fatalf("fresh tracker must report no worst window")
+	}
+}
+
+func TestWindowDecimation(t *testing.T) {
+	tr := NewTracker(testOpts()) // width 100, cap 4
+	// Fill windows 0..3 with one request each, window 1 violating.
+	tr.Observe(0, 0, Interactive, 0, 0, 10)
+	tr.Observe(0, 0, Interactive, 100, 100, 160) // violates
+	tr.Observe(0, 0, Interactive, 210, 210, 230)
+	tr.Observe(0, 0, Interactive, 310, 310, 330)
+	if tr.Width() != 100 || len(tr.Windows()) != 4 {
+		t.Fatalf("pre-decimation width %d windows %d", tr.Width(), len(tr.Windows()))
+	}
+	// Cycle 450 lands in index 4 >= cap: decimate once (width 200).
+	tr.Observe(0, 0, Interactive, 440, 440, 450)
+	if tr.Width() != 200 {
+		t.Fatalf("width = %d, want 200 after decimation", tr.Width())
+	}
+	ws := tr.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3 (two merged pairs + the new one)", len(ws))
+	}
+	// Sums are exact across decimation.
+	var reqs, viols uint64
+	for i, w := range ws {
+		if w.Start != uint64(i)*200 {
+			t.Fatalf("window %d start = %d, want %d", i, w.Start, i*200)
+		}
+		reqs += w.Requests
+		viols += w.Violations
+	}
+	if reqs != 5 || viols != 1 {
+		t.Fatalf("decimated sums: %d requests %d violations, want 5/1", reqs, viols)
+	}
+	if ws[0].Requests != 2 || ws[0].Violations != 1 {
+		t.Fatalf("merged window 0 = %+v", ws[0])
+	}
+	// A far-future completion forces repeated doubling in one call.
+	tr.Observe(0, 0, Interactive, 0, 0, 100*100)
+	if int(100*100/tr.Width()) >= tr.Options().WindowCap {
+		t.Fatalf("width %d still exceeds cap for cycle 10000", tr.Width())
+	}
+}
+
+func TestSpansAndTraceExport(t *testing.T) {
+	tr := NewTracker(testOpts()) // span cap 8
+	for i := 0; i < 10; i++ {
+		tr.Observe(i%2, 0, Interactive, uint64(i*10), uint64(i*10+5), uint64(i*10+100))
+	}
+	if got := len(tr.Spans()); got != 8 {
+		t.Fatalf("retained spans = %d, want cap 8", got)
+	}
+	if got := tr.DroppedSpans(); got != 2 {
+		t.Fatalf("dropped spans = %d, want 2", got)
+	}
+	sp := tr.Spans()[0]
+	if sp.QueueWait() != 5 || sp.Service() != 95 || sp.EndToEnd() != 100 {
+		t.Fatalf("span splits = %d/%d/%d", sp.QueueWait(), sp.Service(), sp.EndToEnd())
+	}
+	out := tr.TraceSpans()
+	if len(out) != 8 {
+		t.Fatalf("trace spans = %d, want 8", len(out))
+	}
+	if out[0].Tenant != 0 || out[0].Class != "interactive" || !out[0].Violated {
+		t.Fatalf("trace span 0 = %+v", out[0])
+	}
+	var nilTr *Tracker
+	if nilTr.TraceSpans() != nil {
+		t.Fatalf("nil tracker must export no trace spans")
+	}
+}
+
+func TestRollup(t *testing.T) {
+	tr := NewTracker(testOpts())
+	tr.Observe(1, 10, Interactive, 0, 0, 10)
+	tr.Observe(1, 10, Interactive, 0, 0, 10)
+	tr.Observe(2, 11, Bulk, 0, 0, 10)
+	tr.Observe(1, 12, Interactive, 0, 0, 10)
+	got := tr.Rollup([][]int{{10, 11}, {12}, {99}})
+	if len(got) != 3 {
+		t.Fatalf("rollup shards = %d, want 3", len(got))
+	}
+	if got[0][1] != 2 || got[0][2] != 1 || len(got[0]) != 2 {
+		t.Fatalf("shard 0 rollup = %v", got[0])
+	}
+	if got[1][1] != 1 || len(got[1]) != 1 {
+		t.Fatalf("shard 1 rollup = %v", got[1])
+	}
+	if len(got[2]) != 0 {
+		t.Fatalf("unknown-thread shard rollup = %v, want empty", got[2])
+	}
+}
+
+// --- TenantStats.Add coverage (reflection, PR 3/5 telemetry pattern) --------
+
+// fillExported numbers every exported uint64 leaf; unexported fields
+// (the tracker's in-flight window cursor) stay zero — Add must not
+// depend on them.
+func fillExported(v reflect.Value, next *uint64, mul uint64) {
+	switch v.Kind() {
+	case reflect.Uint64:
+		*next++
+		v.SetUint(*next * mul)
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			fillExported(v.Index(i), next, mul)
+		}
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if v.Type().Field(i).PkgPath != "" {
+				continue // unexported
+			}
+			fillExported(v.Field(i), next, mul)
+		}
+	default:
+		panic("fillExported: unhandled kind " + v.Kind().String())
+	}
+}
+
+// checkAdded verifies every exported uint64 leaf was merged: the worst-
+// window pair by max-selection (b's fill dominates, so both take b's
+// value), Hist maxima by maximum, everything else by addition. A field
+// Add drops fails either rule because b's fill is strictly larger.
+func checkAdded(t *testing.T, path string, a, b, merged reflect.Value) {
+	t.Helper()
+	switch a.Kind() {
+	case reflect.Uint64:
+		want := a.Uint() + b.Uint()
+		if strings.HasSuffix(path, ".Max") ||
+			strings.HasSuffix(path, ".WorstWindowViolations") ||
+			strings.HasSuffix(path, ".WorstWindowStart") {
+			want = max(a.Uint(), b.Uint())
+		}
+		if merged.Uint() != want {
+			t.Errorf("%s: Add gave %d, want %d (a=%d b=%d)", path, merged.Uint(), want, a.Uint(), b.Uint())
+		}
+	case reflect.Array, reflect.Slice:
+		for i := 0; i < a.Len(); i++ {
+			checkAdded(t, fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i), merged.Index(i))
+		}
+	case reflect.Struct:
+		for i := 0; i < a.NumField(); i++ {
+			f := a.Type().Field(i)
+			if f.PkgPath != "" {
+				continue
+			}
+			checkAdded(t, path+"."+f.Name, a.Field(i), b.Field(i), merged.Field(i))
+		}
+	default:
+		t.Fatalf("%s: unhandled kind %s", path, a.Kind())
+	}
+}
+
+func TestTenantStatsAddCoverage(t *testing.T) {
+	var a, b TenantStats
+	next := uint64(0)
+	fillExported(reflect.ValueOf(&a).Elem(), &next, 1)
+	next = 0
+	fillExported(reflect.ValueOf(&b).Elem(), &next, 1000)
+	merged := a
+	merged.Add(b)
+	checkAdded(t, "TenantStats",
+		reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(merged))
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	tr := NewTracker(Options{})
+	o := tr.Options()
+	if o.WindowCycles != DefaultWindowCycles || o.WindowCap != DefaultWindowCap ||
+		o.SpanCap != DefaultSpanCap || o.TargetRate != DefaultTargetRate {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if tr.Width() != DefaultWindowCycles {
+		t.Fatalf("initial width = %d", tr.Width())
+	}
+}

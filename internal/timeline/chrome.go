@@ -9,13 +9,32 @@ import (
 
 // TraceRun is one run's worth of trace data: the sampled counter series
 // and (for offload allocators) the recorded latency spans. ServerCore
-// is the dedicated core's index, or -1 when the run had none.
+// is the dedicated core's index, or -1 when the run had none. Tenants
+// carries service-workload request spans, one trace track per tenant.
 type TraceRun struct {
 	Name       string
 	Series     *Series
 	Latency    *LatencyRecorder
 	ServerCore int
+	Tenants    []TenantSpan
 }
+
+// TenantSpan is one service request's life on a tenant-labeled track:
+// it arrives (open loop), waits for a worker, and is served until
+// Complete. Class names the request's op class; Violated marks spans
+// that blew their SLO budget (highlighted in trace args).
+type TenantSpan struct {
+	Tenant   int
+	Class    string
+	Arrival  uint64
+	Start    uint64
+	Complete uint64
+	Violated bool
+}
+
+// tenantTidBase offsets tenant track ids past any plausible core count
+// so tenant tracks never collide with per-core tracks.
+const tenantTidBase = 1 << 20
 
 // chromeEvent is one entry of the Chrome trace-event format's
 // traceEvents array (the "JSON Array Format" consumed by
@@ -97,10 +116,24 @@ func writeRun(emit func(chromeEvent) error, pid int, run TraceRun) error {
 		}
 	}
 
+	seen := map[int]bool{}
+	for _, sp := range run.Tenants {
+		if !seen[sp.Tenant] {
+			seen[sp.Tenant] = true
+			label := fmt.Sprintf("tenant %d", sp.Tenant)
+			if err := meta("thread_name", tenantTidBase+sp.Tenant, label); err != nil {
+				return err
+			}
+		}
+	}
+
 	if err := writeCounters(emit, pid, run); err != nil {
 		return err
 	}
-	return writeSpans(emit, pid, run)
+	if err := writeSpans(emit, pid, run); err != nil {
+		return err
+	}
+	return writeTenantSpans(emit, pid, run)
 }
 
 // writeCounters emits per-interval counter deltas as ph "C" events.
@@ -178,6 +211,31 @@ func writeSpans(emit func(chromeEvent) error, pid int, run TraceRun) error {
 			Args: map[string]any{
 				"queue_wait": sp.QueueWait(),
 				"service":    sp.Service(),
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTenantSpans emits each retained service request as a ph "X"
+// complete event on its tenant's track, queue-wait/service split and
+// SLO verdict in args.
+func writeTenantSpans(emit func(chromeEvent) error, pid int, run TraceRun) error {
+	for _, sp := range run.Tenants {
+		dur := sp.Complete - sp.Arrival
+		if dur == 0 {
+			dur = 1 // zero-duration X events collapse invisibly in viewers
+		}
+		if err := emit(chromeEvent{
+			Name: sp.Class, Ph: "X",
+			Ts: sp.Arrival, Dur: dur,
+			Pid: pid, Tid: tenantTidBase + sp.Tenant, Cat: "slo",
+			Args: map[string]any{
+				"queue_wait": sp.Start - sp.Arrival,
+				"service":    sp.Complete - sp.Start,
+				"violated":   sp.Violated,
 			},
 		}); err != nil {
 			return err

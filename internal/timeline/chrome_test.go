@@ -130,3 +130,58 @@ func TestWriteChromeTraceEmptyRuns(t *testing.T) {
 		t.Fatalf("empty trace is not valid JSON: %v\n%s", err, buf.String())
 	}
 }
+
+func TestWriteChromeTraceTenantTracks(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, []TraceRun{{
+		Name: "slo/run", Series: testSeries(), Latency: NewLatencyRecorder(0), ServerCore: -1,
+		Tenants: []TenantSpan{
+			{Tenant: 0, Class: "interactive", Arrival: 100, Start: 120, Complete: 300, Violated: true},
+			{Tenant: 2, Class: "bulk", Arrival: 150, Start: 150, Complete: 150}, // zero-duration: dur >= 1
+			{Tenant: 0, Class: "interactive", Arrival: 400, Start: 410, Complete: 500},
+		},
+	}})
+	if err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	tracks := map[float64]bool{}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] == "M" && ev["name"] == "thread_name" {
+			if args, ok := ev["args"].(map[string]any); ok {
+				if name, _ := args["name"].(string); len(name) >= 6 && name[:6] == "tenant" {
+					tracks[ev["tid"].(float64)] = true
+				}
+			}
+		}
+		if ev["cat"] == "slo" {
+			spans++
+			tid := ev["tid"].(float64)
+			if tid < float64(tenantTidBase) {
+				t.Errorf("slo span tid %v below tenant track base", tid)
+			}
+			if dur := ev["dur"].(float64); dur < 1 {
+				t.Errorf("slo span dur %v < 1", dur)
+			}
+			args := ev["args"].(map[string]any)
+			for _, k := range []string{"queue_wait", "service", "violated"} {
+				if _, ok := args[k]; !ok {
+					t.Errorf("slo span missing arg %s: %v", k, args)
+				}
+			}
+		}
+	}
+	if spans != 3 {
+		t.Errorf("want 3 tenant spans, got %d", spans)
+	}
+	// One viewer track per distinct tenant (0 and 2), not per span.
+	if len(tracks) != 2 {
+		t.Errorf("want 2 tenant thread_name tracks, got %d", len(tracks))
+	}
+}

@@ -31,8 +31,8 @@ func (o Op) String() string {
 }
 
 // Histogram geometry: log2 major buckets with histSub linear sub-buckets
-// each, HDR style. Relative quantile error is bounded by 1/histSub
-// (12.5%).
+// each, HDR style. Quantile reports bucket midpoints, so relative error
+// is bounded by half the sub-bucket width, 1/(2*histSub) (6.25%).
 const (
 	histSubBits = 3
 	histSub     = 1 << histSubBits
@@ -56,8 +56,7 @@ func histIndex(v uint64) int {
 	return (top-histSubBits+1)*histSub + int((v>>(top-histSubBits))&(histSub-1))
 }
 
-// histLower returns the smallest value mapping to bucket idx (used as
-// the quantile estimate).
+// histLower returns the smallest value mapping to bucket idx.
 func histLower(idx int) uint64 {
 	if idx < histSub {
 		return uint64(idx)
@@ -65,6 +64,16 @@ func histLower(idx int) uint64 {
 	b := idx / histSub
 	sub := idx % histSub
 	return uint64(histSub+sub) << (b - 1)
+}
+
+// histMid returns the midpoint of bucket idx (the quantile estimate).
+// Buckets below histSub have width 1, so small values stay exact.
+func histMid(idx int) uint64 {
+	lo := histLower(idx)
+	if idx+1 >= histBuckets {
+		return lo
+	}
+	return lo + (histLower(idx+1)-lo)/2
 }
 
 // Observe records one value.
@@ -98,9 +107,12 @@ func (h *Hist) Mean() float64 {
 	return float64(h.Sum) / float64(h.Count)
 }
 
-// Quantile returns the lower bound of the bucket holding the q-th
-// quantile (0 < q < 1); q >= 1 returns the exact Max. Relative error is
-// bounded by the sub-bucket width (12.5%).
+// Quantile returns the midpoint of the bucket holding the q-th quantile
+// (0 < q < 1), clamped to the exact observed Max; q >= 1 returns Max.
+// The lower bound would systematically under-report tail latencies for
+// SLO comparisons; the midpoint bounds the relative error by half the
+// sub-bucket width (6.25%), and small values (buckets of width 1) stay
+// exact.
 func (h *Hist) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
@@ -119,7 +131,10 @@ func (h *Hist) Quantile(q float64) uint64 {
 	for i, n := range h.Buckets {
 		seen += n
 		if seen > rank {
-			return histLower(i)
+			if est := histMid(i); est < h.Max {
+				return est
+			}
+			return h.Max
 		}
 	}
 	return h.Max

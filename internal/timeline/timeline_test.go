@@ -53,10 +53,13 @@ func TestHistQuantile(t *testing.T) {
 		q     float64
 		exact uint64
 	}{{0.50, 500}, {0.90, 900}, {0.99, 990}} {
+		// The bucket-midpoint estimate lands within half a bucket width
+		// (1/(2*histSub) = 6.25%) of the exact order statistic, on
+		// either side.
 		got := h.Quantile(tc.q)
-		lo := tc.exact - tc.exact/8 - 1
-		if got < lo || got > tc.exact {
-			t.Errorf("p%.0f = %d, want within [%d, %d]", tc.q*100, got, lo, tc.exact)
+		slack := tc.exact/(2*histSub) + 1
+		if got < tc.exact-slack || got > tc.exact+slack {
+			t.Errorf("p%.0f = %d, want within [%d, %d]", tc.q*100, got, tc.exact-slack, tc.exact+slack)
 		}
 	}
 	if got := h.Quantile(1.0); got != 1000 {
@@ -65,6 +68,25 @@ func TestHistQuantile(t *testing.T) {
 	var empty Hist
 	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
 		t.Errorf("empty histogram should report zeros")
+	}
+}
+
+func TestHistQuantileMidpointClamp(t *testing.T) {
+	// A single observation just past its bucket's lower bound puts the
+	// midpoint above the observed maximum; the estimate must clamp to
+	// Max so no quantile ever exceeds an actually-observed value.
+	var h Hist
+	h.Observe(961) // bucket [960, 1024): midpoint 992 > max 961
+	for _, q := range []float64{0, 0.5, 0.99} {
+		if got := h.Quantile(q); got != 961 {
+			t.Fatalf("Quantile(%v) = %d, want clamped max 961", q, got)
+		}
+	}
+	// Small values sit in width-1 buckets and stay exact.
+	var s Hist
+	s.Observe(5)
+	if got := s.Quantile(0.5); got != 5 {
+		t.Fatalf("small-value quantile = %d, want exact 5", got)
 	}
 }
 

@@ -54,7 +54,9 @@ func (f *FaaS) Setup(t *sim.Thread, a alloc.Allocator) {
 	scratchPages := (len(f.Profile)*8 + 4095) >> 12
 	f.scratch = t.Mmap(scratchPages)
 	t.MarkRegion(f.scratch, scratchPages<<12, region.Global)
-	f.InvocationCycles = make([]uint64, 0, f.Invocations)
+	if cap(f.InvocationCycles) < f.Invocations {
+		f.InvocationCycles = make([]uint64, 0, f.Invocations)
+	}
 }
 
 // Run implements Workload.
@@ -62,6 +64,9 @@ func (f *FaaS) Run(t *sim.Thread, part int, a alloc.Allocator) {
 	if part != 0 {
 		return
 	}
+	// Measurements restart every run; the backing array is reused so
+	// repeated Run calls don't grow the slice without bound.
+	f.InvocationCycles = f.InvocationCycles[:0]
 	for inv := 0; inv < f.Invocations; inv++ {
 		start := t.Clock()
 		// Handler: allocate the profile, initialize, work, respond.

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/region"
+	"nextgenmalloc/internal/ring"
+	"nextgenmalloc/internal/sim"
+	"nextgenmalloc/internal/slo"
+)
+
+// Service models a multi-tenant request-serving process — the
+// production shape ROADMAP item 5 asks for. Each worker thread serves a
+// stream of requests with bursty open-loop arrivals (deterministic
+// seeded inter-arrival draws: requests keep arriving whether or not the
+// worker is keeping up, so allocator stalls surface as queue-wait).
+// Each request belongs to a tenant with its own size profile and op
+// class, allocates an arena-style object set, computes, and hands the
+// whole arena to the *next* worker at the response boundary — frees are
+// cross-thread, as they are when a response is serialized by another
+// thread. Tenants churn: some join and leave mid-run, so a tenant can
+// finish a run with zero completed requests.
+//
+// The workload implements slo.Observable; when the harness attaches a
+// tracker, every completion/abandon is reported host-side. The
+// simulated instruction stream never branches on the tracker, so an
+// armed run is bit-identical to an unarmed one.
+type Service struct {
+	// NWorkers is the serving thread count.
+	NWorkers int
+	// RequestsPerWorker is each worker's arrival count.
+	RequestsPerWorker int
+	// Tenants is the tenant population (ids 0..Tenants-1; min 1).
+	Tenants int
+	// ChurnEvery makes every ChurnEvery-th tenant ephemeral: active only
+	// in the middle half of the run (the last tenant instead leaves
+	// after the first eighth). 0 disables churn; tenant 0 is always
+	// active so the arrival stream never starves.
+	ChurnEvery int
+	// MeanGapCycles is the mean open-loop inter-arrival gap per worker
+	// (defaulted when 0).
+	MeanGapCycles uint64
+	// BurstLen groups arrivals: within a burst requests arrive
+	// back-to-back, then one long gap re-arms (defaulted when 0).
+	BurstLen int
+	// ComputePerAlloc is handler work per allocated object (defaulted
+	// when 0).
+	ComputePerAlloc int
+	// AbandonAfter drops a request whose queue wait exceeds this many
+	// cycles before service starts (0 = never abandon). Abandoning is
+	// deterministic workload behaviour, independent of SLO arming.
+	AbandonAfter uint64
+	// Seed fixes the run.
+	Seed uint64
+
+	tracker  *slo.Tracker
+	profiles []*SizeDist
+
+	ringsBase   uint64
+	doneBase    uint64
+	scratchBase uint64
+	rings       []*ring.SPSC
+}
+
+// Default service parameters.
+const (
+	serviceRingSlots       = 256
+	serviceMaxAllocs       = 20 // bulk request arena size (the largest)
+	serviceDefaultGap      = 2000
+	serviceDefaultBurst    = 8
+	serviceDefaultCompute  = 16
+	serviceInteractiveObjs = 6
+	serviceBulkObjs        = serviceMaxAllocs
+)
+
+// Name implements Workload.
+func (s *Service) Name() string { return "service" }
+
+// Threads implements Workload.
+func (s *Service) Threads() int { return s.NWorkers }
+
+// AttachSLO implements slo.Observable (nil detaches).
+func (s *Service) AttachSLO(tr *slo.Tracker) { s.tracker = tr }
+
+// tenantClass maps a tenant to its op class: every third tenant runs
+// bulk requests, the rest interactive.
+func tenantClass(id int) slo.Class {
+	if id%3 == 2 {
+		return slo.Bulk
+	}
+	return slo.Interactive
+}
+
+// tenantObjs is the arena size for one request of tenant id.
+func tenantObjs(id int) int {
+	if tenantClass(id) == slo.Bulk {
+		return serviceBulkObjs
+	}
+	return serviceInteractiveObjs
+}
+
+// Setup implements Workload.
+func (s *Service) Setup(t *sim.Thread, a alloc.Allocator) {
+	if s.Tenants < 1 {
+		s.Tenants = 1
+	}
+	// Three size archetypes, assigned by tenant id: point lookups,
+	// mixed session state, bulk report buffers.
+	s.profiles = []*SizeDist{
+		NewSizeDist([3]uint64{80, 16, 96}, [3]uint64{20, 96, 256}),
+		NewSizeDist([3]uint64{70, 32, 128}, [3]uint64{25, 128, 512}, [3]uint64{5, 512, 2048}),
+		NewSizeDist([3]uint64{50, 256, 1024}, [3]uint64{40, 1024, 4096}, [3]uint64{10, 4096, 16384}),
+	}
+	// One response hand-off ring per worker (worker i pushes its
+	// finished arenas into ring i; worker i+1 frees them).
+	per := uint64(ring.BytesFor(serviceRingSlots)+sim.LineSize-1) &^ (sim.LineSize - 1)
+	pages := int((per*uint64(s.NWorkers) + 4095) >> 12)
+	s.ringsBase = t.Mmap(pages)
+	t.MarkRegion(s.ringsBase, pages<<12, region.Ring)
+	s.rings = make([]*ring.SPSC, s.NWorkers)
+	for i := 0; i < s.NWorkers; i++ {
+		s.rings[i] = ring.New(s.ringsBase+uint64(i)*per, serviceRingSlots)
+	}
+	// One done-flag cache line per worker, then per-worker arena slot
+	// tables.
+	donePages := int((uint64(s.NWorkers)*sim.LineSize + 4095) >> 12)
+	s.doneBase = t.Mmap(donePages)
+	t.MarkRegion(s.doneBase, donePages<<12, region.Global)
+	scratchPages := (s.NWorkers*serviceMaxAllocs*8 + 4095) >> 12
+	s.scratchBase = t.Mmap(scratchPages)
+	t.MarkRegion(s.scratchBase, scratchPages<<12, region.Global)
+}
+
+func (s *Service) doneFlag(i int) uint64 { return s.doneBase + uint64(i)*sim.LineSize }
+
+func (s *Service) scratch(part, slot int) uint64 {
+	return s.scratchBase + uint64(part*serviceMaxAllocs+slot)*8
+}
+
+// tenantActive reports whether tenant id can receive request k of the
+// per-worker stream (the churn schedule).
+func (s *Service) tenantActive(id, k int) bool {
+	if id == 0 || s.ChurnEvery <= 0 {
+		return true
+	}
+	r := s.RequestsPerWorker
+	if id == s.Tenants-1 && s.Tenants > 1 {
+		return k < r/8 // leaves early; can end a short run with 0 requests
+	}
+	if id%s.ChurnEvery == s.ChurnEvery-1 {
+		return k >= r/4 && k < (3*r)/4 // joins and leaves mid-run
+	}
+	return true
+}
+
+// Run implements Workload.
+func (s *Service) Run(t *sim.Thread, part int, a alloc.Allocator) {
+	gap := s.MeanGapCycles
+	if gap == 0 {
+		gap = serviceDefaultGap
+	}
+	burst := s.BurstLen
+	if burst <= 0 {
+		burst = serviceDefaultBurst
+	}
+	compute := s.ComputePerAlloc
+	if compute == 0 {
+		compute = serviceDefaultCompute
+	}
+	rng := NewRNG(s.Seed + uint64(part)*0x9e37)
+	prod := s.rings[part]
+	prev := (part + s.NWorkers - 1) % s.NWorkers
+	cons := s.rings[prev]
+	active := make([]int, 0, s.Tenants)
+
+	// free drains one incoming arena block if available.
+	free := func() bool {
+		if addr, _, ok := cons.TryPop(t); ok {
+			a.Free(t, addr)
+			return true
+		}
+		return false
+	}
+
+	arrival := t.Clock()
+	for k := 0; k < s.RequestsPerWorker; k++ {
+		// Open-loop arrival: back-to-back within a burst, then one long
+		// uniform gap (mean gap*burst) re-arms the burst.
+		if k%burst == 0 {
+			arrival += rng.Next(t) % (2 * gap * uint64(burst))
+		}
+		if now := t.Clock(); now < arrival {
+			t.Pause(int(arrival - now))
+		}
+		start := t.Clock()
+
+		// Tenant draw over the churn schedule's active set.
+		active = active[:0]
+		for id := 0; id < s.Tenants; id++ {
+			if s.tenantActive(id, k) {
+				active = append(active, id)
+			}
+		}
+		tenant := active[rng.IntN(t, len(active))]
+		class := tenantClass(tenant)
+
+		if s.AbandonAfter > 0 && start-arrival > s.AbandonAfter {
+			// Backlog too deep: drop the request before doing any work.
+			if s.tracker != nil {
+				s.tracker.Abandon(tenant, class)
+			}
+			continue
+		}
+
+		// Arena-style request body: allocate the tenant's object set,
+		// touch and compute, then hand the whole arena to the next
+		// worker at the response boundary.
+		objs := tenantObjs(tenant)
+		dist := s.profiles[tenant%len(s.profiles)]
+		for i := 0; i < objs; i++ {
+			size := dist.Draw(t, &rng)
+			p := a.Malloc(t, size)
+			t.BlockWrite(p, min(int(size), 64), uint64(tenant)+1)
+			t.Store64(s.scratch(part, i), p)
+			t.Exec(compute)
+		}
+		for i := 0; i < objs; i++ {
+			p := t.Load64(s.scratch(part, i))
+			for !prod.TryPush(t, p, 0) {
+				// The downstream worker is behind; drain our own frees
+				// while waiting so the hand-off cycle can't deadlock.
+				if !free() {
+					t.Pause(64)
+				}
+			}
+		}
+		complete := t.Clock()
+		if s.tracker != nil {
+			s.tracker.Observe(tenant, t.ID(), class, arrival, start, complete)
+		}
+		// Retire incoming arenas at the same rate we produce them so the
+		// hand-off rings stay shallow in steady state.
+		for i := 0; i < objs; i++ {
+			if !free() {
+				break
+			}
+		}
+	}
+
+	t.Store64(s.doneFlag(part), 1)
+	// Drain until the upstream producer is done and its ring is empty.
+	for {
+		if free() {
+			continue
+		}
+		if t.Load64(s.doneFlag(prev)) != 0 {
+			// One final pop settles a push that landed between our pop
+			// and the flag read.
+			if free() {
+				continue
+			}
+			break
+		}
+		t.Pause(64)
+	}
+}

@@ -209,6 +209,42 @@ func TestSh6benchDeterministic(t *testing.T) {
 	}
 }
 
+func TestFaaSRerunKeepsMeasurementsBounded(t *testing.T) {
+	// Re-running one FaaS instance (harness reruns, back-to-back
+	// experiments) must restart the measurement list, not grow it
+	// without bound — and must reuse the backing array.
+	w := &FaaS{Invocations: 25, Profile: DefaultFaaSProfile(), ComputePerAlloc: 10, Seed: 2}
+	first := runWorkload(w)
+	capAfterFirst := cap(w.InvocationCycles)
+	second := runWorkload(w)
+	if len(w.InvocationCycles) != 25 {
+		t.Fatalf("after two runs recorded %d invocations, want 25", len(w.InvocationCycles))
+	}
+	if cap(w.InvocationCycles) != capAfterFirst {
+		t.Errorf("backing array reallocated on rerun: cap %d -> %d", capAfterFirst, cap(w.InvocationCycles))
+	}
+	if first != second {
+		t.Errorf("rerun not deterministic: %+v vs %+v", first, second)
+	}
+}
+
+func TestServiceBalancedAndDeterministic(t *testing.T) {
+	mk := func() *Service {
+		return &Service{NWorkers: 2, RequestsPerWorker: 40, Tenants: 5,
+			ChurnEvery: 4, MeanGapCycles: 1500, BurstLen: 4, Seed: 3}
+	}
+	w := mk()
+	st := runWorkload(w)
+	// Every arena handed off at the response boundary is freed by the
+	// neighbouring worker's drain.
+	if st.MallocCalls == 0 || st.MallocCalls != st.FreeCalls {
+		t.Errorf("unbalanced: %d mallocs vs %d frees", st.MallocCalls, st.FreeCalls)
+	}
+	if b := runWorkload(mk()); st != b {
+		t.Error("service not deterministic")
+	}
+}
+
 func TestFaaSColdVsSteady(t *testing.T) {
 	w := &FaaS{Invocations: 30, Profile: DefaultFaaSProfile(), ComputePerAlloc: 10, Seed: 1}
 	st := runWorkload(w)
