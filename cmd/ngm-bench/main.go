@@ -54,8 +54,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	layoutSpec := fs.String("layout", "", "override NextGen metadata layout for standard experiments: segregated, aggregated, or compact (empty = per-kind default)")
 	cpuProfile := fs.String("cpuprofile", "", "write a host CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a host heap profile to this file at exit")
-	faultSpec := fs.String("fault", "", "inject offload faults on every standard-experiment run: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
+	faultSpec := fs.String("fault", "", "inject offload faults on every standard-experiment run: ;-separated plans, each a comma list of shard/seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
 	resSpec := fs.String("resilience", "", "offload degradation policy for standard-experiment runs: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
+	failoverSpec := fs.String("failover", "", "fleet malloc failover for standard-experiment runs: off, on/default, or the consecutive-timeout threshold before a client re-homes (empty = off; the failover-sweep owns its own policy)")
 	timelineIv := fs.Uint64("timeline", 0, "sample a cycle-interval timeline every N cycles on every run (0 = off; implied by -chrome-trace)")
 	tracePath := fs.String("chrome-trace", "", "write all runs as one Chrome trace-event JSON file (chrome://tracing / Perfetto)")
 	warp := fs.Bool("warp", true, "skip provably-idle wait windows in the scheduler (bit-identical counters; -warp=false forces fully-stepped execution)")
@@ -92,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	experiments.SetLayout(layoutTune)
 
-	faultPlan, err := experiments.ParseFault(*faultSpec)
+	faultPlans, err := experiments.ParseFaults(*faultSpec)
 	if err != nil {
 		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 		return 2
@@ -102,7 +103,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
 		return 2
 	}
-	experiments.SetFault(faultPlan, resilience)
+	failoverAfter, err := experiments.ParseFailover(*failoverSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-bench: %v\n", err)
+		return 2
+	}
+	experiments.SetFaults(faultPlans, experiments.WithFailover(resilience, failoverAfter))
 
 	sched, err := core.ParseSched(*schedSpec)
 	if err != nil {
@@ -168,13 +174,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		"fault-sweep":      func() experiments.Outcome { return experiments.FaultSweep(scale) },
 		"fleet-sweep":      func() experiments.Outcome { return experiments.FleetSweep(scale) },
 		"slo-sweep":        func() experiments.Outcome { return experiments.SLOSweep(scale) },
+		"failover-sweep":   func() experiments.Outcome { return experiments.FailoverSweep(scale) },
 	}
 	order := []string{
 		"figure1", "table1", "table2", "table3", "model",
 		"ablate-layout", "ablate-core", "ablate-prealloc", "ablate-transport",
 		"sensitivity",
 		"ablate-gc", "ablate-faas", "ablate-gpu", "ablate-scaling", "ablate-room",
-		"fault-sweep", "fleet-sweep", "slo-sweep",
+		"fault-sweep", "fleet-sweep", "slo-sweep", "failover-sweep",
 	}
 
 	if *list {
@@ -333,6 +340,7 @@ func writeChromeTrace(path string, outcomes []experiments.Outcome) error {
 			if r.SLO != nil {
 				tr.Tenants = r.SLO.TraceSpans()
 			}
+			tr.Failover = r.Failover.TraceEvents()
 			runs = append(runs, tr)
 		}
 	}

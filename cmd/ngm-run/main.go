@@ -51,8 +51,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	partSpec := fs.String("partition", "", "fleet shard partition: client or class (empty = client)")
 	prealloc := fs.String("prealloc", "", "override NextGen prealloc policy: off, static, or adaptive (empty = per-kind default)")
 	layoutSpec := fs.String("layout", "", "override NextGen metadata layout: segregated, aggregated, or compact (empty = per-kind default)")
-	faultSpec := fs.String("fault", "", "inject offload faults: comma list of seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
+	faultSpec := fs.String("fault", "", "inject offload faults: ;-separated plans, each a comma list of shard/seed/stall-len/stall-start/stall-period/drop/corrupt/slow key=value pairs (empty = none)")
 	resSpec := fs.String("resilience", "", "offload degradation policy: off, on/default, or a comma list of timeout/retries/backoff/fallback/probe/max-request key=value pairs (empty = kind default)")
+	failoverSpec := fs.String("failover", "", "fleet malloc failover: off, on/default, or the consecutive-timeout threshold before a client re-homes (empty = off; needs -servers >= 2)")
 	sloSpec := fs.String("slo", "", "per-tenant SLO tracking: off, on/default, or a comma list of window/interactive/bulk/spans/target-ppm key=value pairs (empty = off; only the service workload reports tenants)")
 	tenants := fs.Int("tenants", 8, "tenant count for the service workload (ignored by other workloads)")
 	metricsPath := fs.String("metrics", "", "write machine-readable results ("+metrics.Schema+") to this file")
@@ -81,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	tune := experiments.Tunes(transportTune, layoutTune)
-	faultPlan, err := experiments.ParseFault(*faultSpec)
+	faultPlans, err := experiments.ParseFaults(*faultSpec)
 	if err != nil {
 		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
 		return 2
@@ -91,6 +92,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
 		return 2
 	}
+	failoverAfter, err := experiments.ParseFailover(*failoverSpec)
+	if err != nil {
+		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
+		return 2
+	}
+	resilience = experiments.WithFailover(resilience, failoverAfter)
 	sloOpt, err := experiments.ParseSLO(*sloSpec)
 	if err != nil {
 		fmt.Fprintf(stderr, "ngm-run: %v\n", err)
@@ -100,8 +107,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ngm-run: -tenants must be >= 1 (got %d)\n", *tenants)
 		return 2
 	}
-	if faultPlan != nil && !harness.OffloadKind(*kind) {
+	if len(faultPlans) > 0 && !harness.OffloadKind(*kind) {
 		fmt.Fprintf(stderr, "ngm-run: -fault targets the offload path; %q runs no offload server\n", *kind)
+		return 2
+	}
+	if failoverAfter > 0 && *servers < 2 {
+		fmt.Fprintf(stderr, "ngm-run: -failover re-homes across fleet shards; it needs -servers >= 2 (got %d)\n", *servers)
 		return 2
 	}
 	sched, err := core.ParseSched(*schedSpec)
@@ -183,7 +194,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workload:       w,
 		Tune:           tune,
 		SampleInterval: interval,
-		FaultPlan:      faultPlan,
+		FaultPlans:     faultPlans,
 		Resilience:     resilience,
 		Machine:        &mcfg,
 		Servers:        *servers,
@@ -247,6 +258,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if res.Failover != nil {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, report.FailoverTable("fleet failover telemetry", res.Failover))
+	}
 	if res.Timeline != nil {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, report.TimelineTable("timeline (worker cores, per sample interval)", res.Timeline, res.ServerCore))
@@ -279,6 +294,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if res.SLO != nil {
 			tr.Tenants = res.SLO.TraceSpans()
 		}
+		tr.Failover = res.Failover.TraceEvents()
 		err = timeline.WriteChromeTrace(f, []timeline.TraceRun{tr})
 		if cerr := f.Close(); err == nil {
 			err = cerr

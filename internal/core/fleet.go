@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nextgenmalloc/internal/alloc"
+	"nextgenmalloc/internal/fault"
 	"nextgenmalloc/internal/ring"
 	"nextgenmalloc/internal/sim"
 )
@@ -59,6 +60,70 @@ type Fleet struct {
 	// when another thread (or another class bucket) releases them.
 	group map[int]int
 	owner map[uint64]int
+
+	// Failover state (armed by Resilience.FailoverAfter > 0 on a
+	// multi-shard fleet): per-thread routing ledgers in first-touch
+	// order, plus a bounded host-side event log for the trace.
+	fclients map[int]*fleetClient
+	forder   []int
+	events   []FailoverEvent
+	dropped  uint64 // events past the log cap
+}
+
+// fleetClient is one application thread's failover routing state. home
+// is where the partition scheme would send its mallocs; active is where
+// they actually land right now. Ownership of already-served blocks
+// never moves — frees always route by the owner map.
+type fleetClient struct {
+	home, active int
+	failedOver   bool
+	downs        uint64
+	rejoins      uint64
+	forwarded    uint64
+}
+
+// ClientFailover is one thread's failover ledger, exported for
+// telemetry: its home and currently active shard, how many times it
+// re-homed away (Downs) and back (Rejoins), and how many mallocs were
+// served by a non-home shard.
+type ClientFailover struct {
+	Thread           int
+	HomeShard        int
+	ActiveShard      int
+	Downs            uint64
+	Rejoins          uint64
+	ForwardedMallocs uint64
+}
+
+// FailoverEvent is one re-home transition (host-side trace record): at
+// Cycle, Thread moved its malloc traffic From one shard To another.
+type FailoverEvent struct {
+	Cycle  uint64
+	Thread int
+	From   int
+	To     int
+}
+
+// failoverEventCap bounds the event log; transitions past it still
+// count in the per-client ledgers, only the trace records are dropped
+// (and counted).
+const failoverEventCap = 8192
+
+// FailoverStats aggregates the per-client failover ledgers.
+type FailoverStats struct {
+	Downs            uint64
+	Rejoins          uint64
+	ForwardedMallocs uint64
+	DroppedEvents    uint64
+}
+
+// Add accumulates o into s, covering every field (kept exhaustive by
+// the reflection test in fleet_test.go).
+func (s *FailoverStats) Add(o FailoverStats) {
+	s.Downs += o.Downs
+	s.Rejoins += o.Rejoins
+	s.ForwardedMallocs += o.ForwardedMallocs
+	s.DroppedEvents += o.DroppedEvents
 }
 
 // routeCost is the simulated cycles charged per request for the shard
@@ -73,15 +138,28 @@ func NewFleet(t *sim.Thread, cfg Config, servers int, part Partition) *Fleet {
 		panic(fmt.Sprintf("core: fleet needs at least one server, got %d", servers))
 	}
 	f := &Fleet{
-		part:  part,
-		sc:    alloc.NewSizeClasses(),
-		group: make(map[int]int),
-		owner: make(map[uint64]int),
+		part:     part,
+		sc:       alloc.NewSizeClasses(),
+		group:    make(map[int]int),
+		owner:    make(map[uint64]int),
+		fclients: make(map[int]*fleetClient),
 	}
 	for i := 0; i < servers; i++ {
 		f.shards = append(f.shards, New(t, cfg))
 	}
 	return f
+}
+
+// SetShardFaults arms each shard with its own fault injector (index i →
+// shard i; nil entries and missing tail entries leave the shard clean).
+// Must be called before any client registers — the drop hooks are wired
+// at registration.
+func (f *Fleet) SetShardFaults(injs []*fault.Injector) {
+	for i, inj := range injs {
+		if i < len(f.shards) {
+			f.shards[i].cfg.Faults = inj
+		}
+	}
 }
 
 // Shards exposes the per-server allocators (shard i belongs to server
@@ -131,12 +209,142 @@ func (f *Fleet) mallocShard(t *sim.Thread, size uint64) int {
 // remember the owner so the matching free routes home.
 func (f *Fleet) Malloc(t *sim.Thread, size uint64) uint64 {
 	t.Exec(routeCost)
+	if f.FailoverArmed() {
+		addr, sh := f.failoverMalloc(t, size)
+		if addr != 0 {
+			f.owner[addr] = sh
+		}
+		return addr
+	}
 	sh := f.mallocShard(t, size)
 	addr := f.shards[sh].Malloc(t, size)
 	if addr != 0 {
 		f.owner[addr] = sh
 	}
 	return addr
+}
+
+// FailoverArmed reports whether the fleet re-routes mallocs around
+// marked-down shards: resilience on, a failover threshold set, and more
+// than one shard to fail over to.
+func (f *Fleet) FailoverArmed() bool {
+	r := &f.shards[0].cfg.Resilience
+	return r.Enabled && r.FailoverAfter > 0 && len(f.shards) > 1
+}
+
+// fclient returns t's failover ledger, creating it homed at home.
+func (f *Fleet) fclient(t *sim.Thread, home int) *fleetClient {
+	if fc, ok := f.fclients[t.ID()]; ok {
+		return fc
+	}
+	fc := &fleetClient{home: home, active: home}
+	f.fclients[t.ID()] = fc
+	f.forder = append(f.forder, t.ID())
+	return fc
+}
+
+// shardDown reports whether t has marked shard sh down: its client
+// there is degraded, or has accumulated FailoverAfter consecutive
+// failures. A shard the thread never talked to is presumed healthy.
+func (f *Fleet) shardDown(t *sim.Thread, sh int) bool {
+	a := f.shards[sh]
+	c, ok := a.byThread[t.ID()]
+	if !ok || c.res == nil {
+		return false
+	}
+	return c.res.degraded || c.res.consecFails >= a.cfg.Resilience.FailoverAfter
+}
+
+// failoverMalloc routes one malloc with shard failover: try the home
+// shard first, then rotate through the rest. Every attempted shard runs
+// the full resilient protocol (mallocFallible), so a marked-down shard
+// fails fast while still being probed at ProbeCycles cadence — the
+// probe-based re-homing path: the moment the home shard answers a
+// probe, the very next malloc lands home again and the transition is
+// recorded as a rejoin. The emergency allocator is the last tier, used
+// only when every shard is down (or the home shard is failing but still
+// below the failover threshold, the PR 5 single-server behaviour).
+// Returns the address and the shard that owns it.
+func (f *Fleet) failoverMalloc(t *sim.Thread, size uint64) (uint64, int) {
+	home := f.mallocShard(t, size)
+	fc := f.fclient(t, home)
+	n := len(f.shards)
+	for i := 0; i < n; i++ {
+		sh := (home + i) % n
+		addr, ok := f.shards[sh].mallocFallible(t, size)
+		if !ok {
+			if i == 0 && !f.shardDown(t, home) {
+				// Below the failover threshold: don't spread a transient
+				// hiccup across the fleet — fall straight to emergency.
+				break
+			}
+			continue
+		}
+		f.noteFailover(t, fc, home, sh)
+		return addr, sh
+	}
+	a := f.shards[home]
+	c := a.clientOf(t)
+	a.noteMalloc(size)
+	return a.emergencyMalloc(t, c, size), home
+}
+
+// noteFailover updates t's routing ledger after a served malloc and
+// records down/rejoin transitions.
+func (f *Fleet) noteFailover(t *sim.Thread, fc *fleetClient, home, sh int) {
+	fc.home = home
+	if sh != home {
+		fc.forwarded++
+		if !fc.failedOver || fc.active != sh {
+			fc.downs++
+			f.noteEvent(t, fc.active, sh)
+		}
+		fc.failedOver = true
+	} else if fc.failedOver {
+		fc.rejoins++
+		f.noteEvent(t, fc.active, sh)
+		fc.failedOver = false
+	}
+	fc.active = sh
+}
+
+// noteEvent appends one transition to the bounded event log (host-side
+// observation only — reading the thread clock issues no simulated
+// traffic).
+func (f *Fleet) noteEvent(t *sim.Thread, from, to int) {
+	if len(f.events) >= failoverEventCap {
+		f.dropped++
+		return
+	}
+	f.events = append(f.events, FailoverEvent{
+		Cycle: t.Clock(), Thread: t.ID(), From: from, To: to,
+	})
+}
+
+// FailoverTelemetry reports the per-client failover ledgers (in
+// first-touch order), the transition event log, and the fleet-wide
+// totals. armed is false (and everything empty) when failover never
+// engaged a routing decision — the disarmed fleet records nothing.
+func (f *Fleet) FailoverTelemetry() (clients []ClientFailover, events []FailoverEvent, totals FailoverStats, armed bool) {
+	if !f.FailoverArmed() {
+		return nil, nil, FailoverStats{}, false
+	}
+	for _, th := range f.forder {
+		fc := f.fclients[th]
+		clients = append(clients, ClientFailover{
+			Thread:           th,
+			HomeShard:        fc.home,
+			ActiveShard:      fc.active,
+			Downs:            fc.downs,
+			Rejoins:          fc.rejoins,
+			ForwardedMallocs: fc.forwarded,
+		})
+		totals.Downs += fc.downs
+		totals.Rejoins += fc.rejoins
+		totals.ForwardedMallocs += fc.forwarded
+	}
+	totals.DroppedEvents = f.dropped
+	return clients, append([]FailoverEvent(nil), f.events...), totals, true
 }
 
 // Free implements alloc.Allocator.

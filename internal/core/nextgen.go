@@ -811,15 +811,50 @@ func (a *Allocator) engineFree(t *sim.Thread, addr uint64) {
 
 // --- public API ----------------------------------------------------------------
 
-// Malloc implements alloc.Allocator.
-func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
+// noteMalloc records one malloc in the host-side ledger: the call count
+// and the class-rounded (or page-rounded) live-byte increment. Malloc
+// charges it up front; the fleet's fallible path charges it only on the
+// shard that actually served the request.
+func (a *Allocator) noteMalloc(size uint64) {
 	a.stats.MallocCalls++
-	t.Exec(4)
 	if class, ok := a.sc.ClassFor(size); ok {
 		a.stats.LiveBytes += a.sc.Size(class)
 	} else {
 		a.stats.LiveBytes += (size + mem.PageSize - 1) &^ (mem.PageSize - 1)
 	}
+}
+
+// stashPop consumes a locally stashed block for size's class when the
+// server stocked one — the no-round-trip fast path (predictive
+// preallocation, §3.3.2), shared by Malloc and the fleet failover path.
+func (a *Allocator) stashPop(t *sim.Thread, c *client, size uint64) (uint64, bool) {
+	if !a.preallocOn() {
+		return 0, false
+	}
+	class, ok := a.sc.ClassFor(size)
+	if !ok {
+		return 0, false
+	}
+	slot := stashSlot(c.page, class)
+	r := c.readIdx[class]
+	if t.AtomicLoad64(slot+stashWrite) == r {
+		return 0, false
+	}
+	addr := t.Load64(slot + stashAddrs + (r%stashWindow)*8)
+	c.readIdx[class] = r + 1
+	// Publish the read index lazily (every other pop): the server only
+	// needs a bounded-staleness view, and the store upgrades a line the
+	// server polls.
+	if (r+1)%2 == 0 {
+		t.Store64(slot+stashRead, r+1)
+	}
+	return addr, true
+}
+
+// Malloc implements alloc.Allocator.
+func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
+	a.noteMalloc(size)
+	t.Exec(4)
 	if !a.cfg.Offload {
 		a.lock.Lock(t)
 		p := a.engineMalloc(t, size)
@@ -833,24 +868,8 @@ func (a *Allocator) Malloc(t *sim.Thread, size uint64) uint64 {
 	if a.cfg.Batch > 1 {
 		c.freq.Publish(t)
 	}
-	// Predictive preallocation: consume a locally stashed block when the
-	// server stocked this class — no round trip at all.
-	if a.preallocOn() {
-		if class, ok := a.sc.ClassFor(size); ok {
-			slot := stashSlot(c.page, class)
-			r := c.readIdx[class]
-			if t.AtomicLoad64(slot+stashWrite) != r {
-				addr := t.Load64(slot + stashAddrs + (r%stashWindow)*8)
-				c.readIdx[class] = r + 1
-				// Publish the read index lazily (every other pop): the
-				// server only needs a bounded-staleness view, and the
-				// store upgrades a line the server polls.
-				if (r+1)%2 == 0 {
-					t.Store64(slot+stashRead, r+1)
-				}
-				return addr
-			}
-		}
+	if addr, ok := a.stashPop(t, c, size); ok {
+		return addr
 	}
 	if a.cfg.Resilience.Enabled {
 		return a.resilientMalloc(t, c, size)

@@ -46,6 +46,14 @@ type Resilience struct {
 	// corrupt size word past it is NACKed instead of grabbing the span
 	// allocator.
 	MaxRequestBytes uint64
+	// FailoverAfter arms fleet failover: after this many consecutive
+	// timeouts on the home shard, a client re-homes its mallocs to the
+	// next healthy shard instead of the emergency allocator, which
+	// becomes the last tier (every shard down). Zero keeps failover off
+	// — degraded clients fall straight back to emergency allocation, the
+	// PR 5 behaviour — and applyDefaults deliberately leaves it zero.
+	// Frees always route to the owning shard regardless of failover.
+	FailoverAfter int
 }
 
 // DefaultResilience is the policy the fault experiments start from:
@@ -223,6 +231,9 @@ type clientResilience struct {
 	nackM     uint64
 	nackF     uint64
 	abandoned []abandonedReq
+	// probeSeq is the outstanding asynchronous rejoin probe's sequence
+	// number (0 = none); only the fleet failover path uses it.
+	probeSeq uint64
 	// deferred holds engine-owned block addresses whose free could not be
 	// queued (ring full or degraded); drained opportunistically.
 	deferred []uint64
@@ -339,9 +350,12 @@ func (a *Allocator) resilientMalloc(t *sim.Thread, c *client, size uint64) uint6
 	return a.mallocFailed(t, c, seq, size)
 }
 
-// mallocFailed abandons an offloaded malloc and serves it locally,
-// flipping into degraded mode after enough consecutive failures.
-func (a *Allocator) mallocFailed(t *sim.Thread, c *client, seq, size uint64) uint64 {
+// mallocAbandoned records an offloaded malloc the client gave up on —
+// the late response stays catchable via maybeReclaim — and flips into
+// degraded mode after enough consecutive failures. The caller picks the
+// fallback tier: the local emergency allocator (mallocFailed) or, under
+// fleet failover, another shard.
+func (a *Allocator) mallocAbandoned(t *sim.Thread, c *client, seq, size uint64) {
 	rs := c.res
 	rs.abandoned = append(rs.abandoned, abandonedReq{seq: seq, size: size})
 	rs.stats.AbandonedRequests++
@@ -349,7 +363,57 @@ func (a *Allocator) mallocFailed(t *sim.Thread, c *client, seq, size uint64) uin
 	if !rs.degraded && rs.consecFails >= a.cfg.Resilience.FallbackAfter {
 		a.enterDegraded(t, c)
 	}
+}
+
+// mallocFailed abandons an offloaded malloc and serves it locally,
+// flipping into degraded mode after enough consecutive failures.
+func (a *Allocator) mallocFailed(t *sim.Thread, c *client, seq, size uint64) uint64 {
+	a.mallocAbandoned(t, c, seq, size)
 	return a.emergencyMalloc(t, c, size)
+}
+
+// mallocFallible is the fleet failover entry point: one full resilient
+// malloc attempt against this shard that reports failure instead of
+// falling back to the emergency allocator, so the fleet can re-route
+// the request to a healthy shard. It mirrors Malloc's offload path —
+// same dispatch charge, batch boundary, stash fast path, sealed push,
+// bounded wait — except the host-side malloc ledger is charged only on
+// success: the shard that serves the request owns its accounting. A
+// degraded shard fails fast (one host check, plus a ProbeCycles-spaced
+// rejoin probe), so a dead home shard costs its clients almost nothing
+// per malloc once marked down.
+func (a *Allocator) mallocFallible(t *sim.Thread, size uint64) (uint64, bool) {
+	c := a.clientOf(t)
+	rs := c.res
+	if rs.degraded {
+		if !a.pollRejoin(t, c) {
+			return 0, false
+		}
+	}
+	t.Exec(4)
+	if a.cfg.Batch > 1 {
+		c.freq.Publish(t)
+	}
+	if addr, ok := a.stashPop(t, c, size); ok {
+		a.noteMalloc(size)
+		return addr, true
+	}
+	a.drainDeferred(t, c)
+	c.seq++
+	seq := c.seq
+	t.Exec(sealCost)
+	if !c.mreq.TryPush(t, sealWord(opMalloc|size<<8, seq, seq), seq) {
+		rs.stats.Timeouts++
+		a.mallocAbandoned(t, c, seq, size)
+		return 0, false
+	}
+	if addr, ok := a.awaitMalloc(t, c, seq, size); ok {
+		rs.consecFails = 0
+		a.noteMalloc(size)
+		return addr, true
+	}
+	a.mallocAbandoned(t, c, seq, size)
+	return 0, false
 }
 
 // awaitMalloc waits for seq's response: rounds of TimeoutCycles spinning
@@ -602,6 +666,7 @@ func (a *Allocator) enterDegraded(t *sim.Thread, c *client) {
 	rs.degraded = true
 	rs.degradedSince = t.Clock()
 	rs.lastProbe = t.Clock() // the server just proved unresponsive; wait a full interval
+	rs.probeSeq = 0          // a stale async probe's answer must not fake a rejoin
 	rs.stats.FallbackEntries++
 	c.mreq.Republish(t)
 	c.freq.Republish(t)
@@ -612,6 +677,7 @@ func (a *Allocator) exitDegraded(t *sim.Thread, c *client) {
 	rs := c.res
 	rs.degraded = false
 	rs.consecFails = 0
+	rs.probeSeq = 0
 	rs.stats.FallbackExits++
 	rs.stats.DegradedCycles += t.Clock() - rs.degradedSince
 	a.drainDeferred(t, c)
@@ -625,6 +691,40 @@ func (a *Allocator) settleDegraded(t *sim.Thread, c *client) {
 		rs.stats.DegradedCycles += t.Clock() - rs.degradedSince
 		rs.degradedSince = t.Clock()
 	}
+}
+
+// pollRejoin is the fleet failover path's non-blocking rejoin check: a
+// degraded home shard is probed with a fire-and-forget sync barrier
+// every ProbeCycles, and each call merely glances at the response word
+// for the answer. Unlike tryRejoin it never spins out a timeout — a
+// failed-over client has a healthy shard serving it, so probing its dead
+// home must cost a load, not TimeoutCycles of its tenant's latency. (The
+// emergency path keeps the blocking probe: it has no other way back.)
+// True means the shard answered and the client has rejoined.
+func (a *Allocator) pollRejoin(t *sim.Thread, c *client) bool {
+	r := &a.cfg.Resilience
+	rs := c.res
+	if rs.probeSeq != 0 {
+		v := t.AtomicLoad64(c.page + respSeq)
+		if v == rs.probeSeq {
+			rs.probeSeq = 0
+			a.exitDegraded(t, c)
+			return true
+		}
+		a.maybeReclaim(t, c, v)
+	}
+	if t.Clock()-rs.lastProbe < r.ProbeCycles {
+		return false
+	}
+	rs.lastProbe = t.Clock()
+	c.seq++
+	seq := c.seq
+	t.Exec(sealCost)
+	if c.freq.TryPush(t, sealWord(opSync, seq, seq), seq) {
+		c.freq.Republish(t) // this probe's doorbell must not be the dropped one
+		rs.probeSeq = seq
+	}
+	return false
 }
 
 // tryRejoin probes a degraded client's server with a sync barrier; on an

@@ -217,5 +217,6 @@ func All(s Scale) []Outcome {
 		Sensitivity(s),
 		AblateGC(s), AblateFaaS(s), AblateGPU(s), AblateScaling(s),
 		AblateRoom(s), FaultSweep(s), FleetSweep(s), SLOSweep(s),
+		FailoverSweep(s),
 	}
 }

@@ -12,19 +12,31 @@ import (
 	"nextgenmalloc/internal/timeline"
 )
 
-// faultPlan / faultResilience are the global overrides installed by the
-// CLIs' -fault/-resilience flags; they apply to every harness run
-// launched through the standard experiment sets. The FaultSweep owns
-// its per-cell plans and ignores them.
+// faultPlans / faultResilience are the global overrides installed by
+// the CLIs' -fault/-resilience flags; they apply to every harness run
+// launched through the standard experiment sets. The FaultSweep and
+// FailoverSweep own their per-cell plans and ignore them.
 var (
-	faultPlan       *fault.Plan
+	faultPlans      []fault.Plan
 	faultResilience *core.Resilience
 )
 
-// SetFault installs a fault plan and resilience policy applied to every
-// run launched through the standard experiment sets (nil disarms).
+// SetFault installs a single fault plan and resilience policy applied to
+// every run launched through the standard experiment sets (nil disarms).
 func SetFault(p *fault.Plan, r *core.Resilience) {
-	faultPlan = p
+	if p == nil {
+		SetFaults(nil, r)
+		return
+	}
+	SetFaults([]fault.Plan{*p}, r)
+}
+
+// SetFaults installs a multi-plan fault spec (each plan targeting the
+// shard its shard= selector names) and a resilience policy, applied to
+// every run launched through the standard experiment sets. Empty plans
+// and a nil policy disarm.
+func SetFaults(ps []fault.Plan, r *core.Resilience) {
+	faultPlans = ps
 	faultResilience = r
 }
 
@@ -32,6 +44,45 @@ func SetFault(p *fault.Plan, r *core.Resilience) {
 // yields nil). It wraps fault.ParsePlan so command packages don't need
 // the fault import.
 func ParseFault(spec string) (*fault.Plan, error) { return fault.ParsePlan(spec) }
+
+// ParseFaults converts the CLI's -fault spec into a plan list: a
+// ";"-separated sequence of ParseFault specs, each optionally targeting
+// one fleet shard with shard=N. "" or "none" yields nil.
+func ParseFaults(spec string) ([]fault.Plan, error) { return fault.ParsePlans(spec) }
+
+// ParseFailover converts the CLI's -failover spec into a FailoverAfter
+// threshold (consecutive home-shard timeouts before a client re-homes
+// its mallocs). ""/"off" is 0 (disarmed, the seed behaviour);
+// "on"/"default" fails over after the first timeout; a positive integer
+// sets the threshold directly.
+func ParseFailover(spec string) (int, error) {
+	switch strings.TrimSpace(spec) {
+	case "", "off":
+		return 0, nil
+	case "on", "default":
+		return 1, nil
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(spec), 10, 32)
+	if err != nil || n == 0 {
+		return 0, fmt.Errorf("failover: want off, on/default, or a positive threshold, got %q", spec)
+	}
+	return int(n), nil
+}
+
+// WithFailover arms fleet failover on a resilience policy: after 0 it
+// returns r unchanged; otherwise it returns a copy of r (or of the
+// default policy when r is nil) with FailoverAfter set.
+func WithFailover(r *core.Resilience, after int) *core.Resilience {
+	if after == 0 {
+		return r
+	}
+	out := core.DefaultResilience()
+	if r != nil {
+		out = *r
+	}
+	out.FailoverAfter = after
+	return &out
+}
 
 // ParseResilience converts the CLI's -resilience spec into a policy.
 // "" keeps the kind default (nil); "off" pins the seed protocol even

@@ -26,8 +26,8 @@ func run(opt harness.Options) harness.Result {
 	if opt.Machine == nil {
 		opt.Machine = schedCfg
 	}
-	if opt.FaultPlan == nil {
-		opt.FaultPlan = faultPlan
+	if opt.FaultPlan == nil && len(opt.FaultPlans) == 0 {
+		opt.FaultPlans = faultPlans
 	}
 	if opt.Resilience == nil {
 		opt.Resilience = faultResilience

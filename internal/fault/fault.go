@@ -55,6 +55,17 @@ type Plan struct {
 	// slower: each served request is followed by (factor-1)x its
 	// service time of injected pause.
 	SlowFactor uint64
+
+	// Shard selects which fleet shard the plan targets, +1 encoded so
+	// the zero value keeps its pre-fleet meaning: 0 broadcasts to every
+	// shard (and to the lone server of a non-fleet run), N > 0 targets
+	// shard N-1 only. ParsePlan's "shard=n" key maps to Shard = n+1.
+	Shard int
+}
+
+// TargetsShard reports whether the plan applies to fleet shard i.
+func (p Plan) TargetsShard(i int) bool {
+	return p.Shard == 0 || p.Shard == i+1
 }
 
 // Armed reports whether the plan injects anything at all.
@@ -69,6 +80,9 @@ func (p Plan) String() string {
 		if v != 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", k, v))
 		}
+	}
+	if p.Shard > 0 {
+		parts = append(parts, fmt.Sprintf("shard=%d", p.Shard-1))
 	}
 	add("seed", p.Seed)
 	add("stall-start", p.StallStart)
@@ -91,23 +105,32 @@ func (p Plan) String() string {
 //
 // Keys: seed, stall-start, stall-len (window length in cycles),
 // stall-period (0/absent = one-shot), drop (1-in-N doorbell loss),
-// corrupt (1-in-N word bit flips), slow (server slow-down factor).
-// An empty spec returns (nil, nil); the spec "none" does too.
+// corrupt (1-in-N word bit flips), slow (server slow-down factor),
+// shard (the single fleet shard the plan targets; absent = every
+// shard). A duplicate key is an error, not a silent last-win; slow=1
+// (serve at ×1 speed) injects nothing and is rejected like drop=0
+// would be. An empty spec returns (nil, nil); the spec "none" does too.
 func ParsePlan(spec string) (*Plan, error) {
 	if spec == "" || spec == "none" {
 		return nil, nil
 	}
 	p := &Plan{}
+	seen := map[string]bool{}
 	for _, kv := range strings.Split(spec, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
 		if !ok {
 			return nil, fmt.Errorf("fault: %q is not key=value", kv)
 		}
+		k = strings.TrimSpace(k)
+		if seen[k] {
+			return nil, fmt.Errorf("fault: duplicate key %q in %q", k, spec)
+		}
+		seen[k] = true
 		n, err := strconv.ParseUint(strings.TrimSpace(v), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("fault: bad value in %q: %v", kv, err)
 		}
-		switch strings.TrimSpace(k) {
+		switch k {
 		case "seed":
 			p.Seed = n
 		case "stall-start":
@@ -121,9 +144,17 @@ func ParsePlan(spec string) (*Plan, error) {
 		case "corrupt":
 			p.CorruptEveryN = n
 		case "slow":
+			if n == 1 {
+				n = 0 // ×1 = full speed: treat as unarmed, like drop=0
+			}
 			p.SlowFactor = n
+		case "shard":
+			if n > 1<<20 {
+				return nil, fmt.Errorf("fault: implausible shard index %d", n)
+			}
+			p.Shard = int(n) + 1
 		default:
-			return nil, fmt.Errorf("fault: unknown key %q (want seed, stall-start, stall-len, stall-period, drop, corrupt, slow)", k)
+			return nil, fmt.Errorf("fault: unknown key %q (want seed, stall-start, stall-len, stall-period, drop, corrupt, slow, shard)", k)
 		}
 	}
 	if p.StallPeriod > 0 && p.StallPeriod <= p.StallCycles {
@@ -136,6 +167,44 @@ func ParsePlan(spec string) (*Plan, error) {
 		return nil, fmt.Errorf("fault: plan %q injects nothing", spec)
 	}
 	return p, nil
+}
+
+// ParsePlans parses a multi-plan spec: ";"-separated ParsePlan specs,
+// each optionally carrying its own shard selector, e.g.
+//
+//	shard=2,stall-start=50000,stall-len=60000;shard=3,drop=64
+//
+// An empty spec or "none" returns (nil, nil). Two plans may not target
+// the same shard (including two broadcast plans): each shard's injector
+// evaluates exactly one plan.
+func ParsePlans(spec string) ([]Plan, error) {
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var plans []Plan
+	seen := map[int]bool{}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("fault: empty plan in multi-plan spec %q", spec)
+		}
+		p, err := ParsePlan(part)
+		if err != nil {
+			return nil, err
+		}
+		if seen[p.Shard] {
+			if p.Shard == 0 {
+				return nil, fmt.Errorf("fault: two broadcast plans in %q (give each a shard=)", spec)
+			}
+			return nil, fmt.Errorf("fault: two plans target shard %d in %q", p.Shard-1, spec)
+		}
+		seen[p.Shard] = true
+		plans = append(plans, *p)
+	}
+	if len(plans) > 1 && seen[0] {
+		return nil, fmt.Errorf("fault: broadcast plan mixed with shard-targeted plans in %q", spec)
+	}
+	return plans, nil
 }
 
 // Stats counts what the injector actually did (host-side telemetry).
@@ -186,6 +255,23 @@ func NewInjector(p Plan) *Injector {
 	if seed == 0 {
 		seed = 1
 	}
+	return &Injector{plan: p, rng: seed}
+}
+
+// NewShardInjector builds fleet shard i's injector: the plan evaluated
+// under a shard-decorrelated seed (effective seed ⊕ shard<<32). Shard 0
+// keeps the plan's own stream, so a single-server run is bit-identical
+// to NewInjector. Stall windows consume no randomness — they are pure
+// functions of the wall clock — so a targeted stall covers the same
+// cycles on the same shard under any topology or interleaving; drops
+// and corruption draw from the shard's own stream, independent of
+// every other shard's.
+func NewShardInjector(p Plan, shard int) *Injector {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	seed ^= uint64(shard) << 32
 	return &Injector{plan: p, rng: seed}
 }
 

@@ -115,6 +115,15 @@ type Options struct {
 	// worth measuring with the degradation machinery on. Pass an explicit
 	// Resilience (possibly zero-valued) to override.
 	FaultPlan *fault.Plan
+	// FaultPlans arms several plans at once (fault.ParsePlans), each
+	// targeting the shard its shard= selector names (or every shard for
+	// a broadcast plan). Takes precedence over FaultPlan when non-empty.
+	// On a sharded run every targeted shard gets its own injector seeded
+	// from the plan seed and the shard index (fault.NewShardInjector), so
+	// a plan hits the same shard with the same fault sequence regardless
+	// of topology or interleaving; a single-server run keeps the seed
+	// injector stream bit for bit.
+	FaultPlans []fault.Plan
 	// Resilience overrides NextGen's graceful-degradation policy (applied
 	// after Tune). nil keeps the kind's default: disabled, unless
 	// FaultPlan forces the default policy on (see above). Ignored for
@@ -184,8 +193,12 @@ type Result struct {
 	// non-NextGen allocators).
 	MetaRecordBytes int
 	// Resilience carries the degradation/fault telemetry; nil unless the
-	// run armed Options.FaultPlan or a resilience policy.
+	// run armed Options.FaultPlan(s) or a resilience policy.
 	Resilience *ResilienceTelemetry
+	// Failover carries the fleet failover telemetry: per-client routing
+	// ledgers, the re-home transition log, and fleet totals. nil unless
+	// failover was armed (Servers > 1, resilience on, FailoverAfter > 0).
+	Failover *FailoverTelemetry
 	// Warp is the scheduler's time-warp ledger: how many steady wait
 	// windows were skipped instead of stepped. Host-side observation
 	// only — every other field of Result is bit-identical whether warp
@@ -215,6 +228,33 @@ func (tel *ResilienceTelemetry) Add(o ResilienceTelemetry) {
 	tel.Injected.Add(o.Injected)
 }
 
+// FailoverTelemetry is the fleet failover machinery's view of a run:
+// who re-homed where, when, and how much traffic travelled away from
+// home. Present (possibly all-zero) on every failover-armed run.
+type FailoverTelemetry struct {
+	// Clients holds one routing ledger per application thread, in
+	// first-touch order.
+	Clients []core.ClientFailover
+	// Events is the re-home transition log (bounded; overflow is counted
+	// in Totals.DroppedEvents), feeding the Chrome trace.
+	Events []core.FailoverEvent
+	// Totals aggregates the per-client ledgers.
+	Totals core.FailoverStats
+}
+
+// TraceEvents converts the transition log to the timeline's trace form
+// (nil-safe: a run without failover telemetry yields no events).
+func (fo *FailoverTelemetry) TraceEvents() []timeline.FailoverEvent {
+	if fo == nil {
+		return nil
+	}
+	out := make([]timeline.FailoverEvent, len(fo.Events))
+	for i, ev := range fo.Events {
+		out[i] = timeline.FailoverEvent{Cycle: ev.Cycle, Thread: ev.Thread, From: ev.From, To: ev.To}
+	}
+	return out
+}
+
 // ServerTelemetry is one server daemon's slice of a (possibly sharded)
 // offload run: which core it occupied, how its loop time split, what
 // its clients' rings carried, and how fairly it served each client.
@@ -238,6 +278,10 @@ type ServerTelemetry struct {
 	// Clients is the shard's per-client service ledger (served ops and
 	// the widest completion gap — the starvation metric).
 	Clients []core.ClientService
+	// Injected is this shard's own fault-injection ledger (zero-valued
+	// for a clean shard), so a targeted plan's telemetry shows which
+	// shard got hit instead of one fleet-wide aggregate.
+	Injected fault.Stats
 }
 
 // OffloadTelemetry is the transport-level view of an offload run: what
@@ -497,12 +541,48 @@ func RunE(opt Options) (Result, error) {
 	}
 
 	// Deterministic fault injection (offload runs only; a plan against an
-	// inline allocator has no transport to break).
-	var inj *fault.Injector
-	if opt.FaultPlan != nil && opt.FaultPlan.Armed() && len(srvs) > 0 {
-		inj = fault.NewInjector(*opt.FaultPlan)
-		inj.Attach(m)
+	// inline allocator has no transport to break). Each targeted shard
+	// gets its own injector: independently seeded on a fleet so shard
+	// i's fault sequence never depends on what the other shards are
+	// doing, the seed injector stream on a single server so pre-fleet
+	// fault runs stay byte-identical.
+	plans := opt.FaultPlans
+	if len(plans) == 0 && opt.FaultPlan != nil {
+		plans = []fault.Plan{*opt.FaultPlan}
 	}
+	var injs []*fault.Injector // per server daemon; nil entry = clean shard
+	if len(srvs) > 0 {
+		for _, p := range plans {
+			if !p.Armed() {
+				continue
+			}
+			if p.Shard > 0 && p.Shard-1 >= len(srvs) {
+				return Result{}, fmt.Errorf("harness: fault plan targets shard %d but the run has %d server(s)", p.Shard-1, len(srvs))
+			}
+			if injs == nil {
+				injs = make([]*fault.Injector, len(srvs))
+			}
+			for i := range srvs {
+				if !p.TargetsShard(i) {
+					continue
+				}
+				if injs[i] != nil {
+					return Result{}, fmt.Errorf("harness: two fault plans target shard %d", i)
+				}
+				if len(srvs) == 1 {
+					injs[i] = fault.NewInjector(p)
+				} else {
+					injs[i] = fault.NewShardInjector(p, i)
+				}
+			}
+		}
+		for _, in := range injs {
+			if in != nil {
+				in.Attach(m)
+			}
+		}
+	}
+	faultsArmed := injs != nil
 
 	// Per-tenant SLO observation (host-side only). The tracker — or nil,
 	// detaching any tracker left by a previous run of the same workload
@@ -579,7 +659,7 @@ func RunE(opt Options) (Result, error) {
 			readyAddrs := [1]uint64{ctrl}
 			barrierAddrs := [1]uint64{ctrl + 64}
 			if part == 0 {
-				a = makeAllocator(t, opt, servers, srvs, latRec, inj)
+				a = makeAllocator(t, opt, servers, srvs, latRec, injs)
 				if opt.Wrap != nil {
 					a = opt.Wrap(a)
 				}
@@ -649,6 +729,9 @@ func RunE(opt Options) (Result, error) {
 	res.Kernel = m.Kernel().Stats()
 	if f, ok := a.(*core.Fleet); ok {
 		res.ClientShards = f.ClientShards()
+		if cl, ev, tot, armed := f.FailoverTelemetry(); armed {
+			res.Failover = &FailoverTelemetry{Clients: cl, Events: ev, Totals: tot}
+		}
 	}
 	if shards := offloadShards(a); len(shards) > 0 {
 		for _, ng := range shards {
@@ -664,9 +747,12 @@ func RunE(opt Options) (Result, error) {
 				st.EmptyPolls, st.EmptyPollCycles = srv.PollStats()
 				st.MallocRing, st.FreeRing = ng.RingTelemetry()
 				st.Clients = ng.ClientServices()
-				if resilient || inj != nil {
+				if resilient || faultsArmed {
 					cs := ng.ResilienceTelemetry()
 					st.Nacks = cs.MallocNacks + cs.FreeNacks
+				}
+				if injs != nil && injs[i] != nil {
+					st.Injected = injs[i].Stats()
 				}
 				res.Servers = append(res.Servers, st)
 
@@ -679,13 +765,15 @@ func RunE(opt Options) (Result, error) {
 			}
 			res.Offload = tel
 		}
-		if resilient || inj != nil {
+		if resilient || faultsArmed {
 			rt := &ResilienceTelemetry{}
 			for _, ng := range shards {
 				rt.Client.Add(ng.ResilienceTelemetry())
 			}
-			if inj != nil {
-				rt.Injected = inj.Stats()
+			for _, in := range injs {
+				if in != nil {
+					rt.Injected.Add(in.Stats())
+				}
 			}
 			res.Resilience = rt
 		}
@@ -742,7 +830,9 @@ func offloadShards(a alloc.Allocator) []*core.Allocator {
 
 // makeAllocator instantiates the requested allocator on thread t,
 // attaching offload shards to the already-spawned server daemons.
-func makeAllocator(t *sim.Thread, opt Options, servers int, srvs []*core.Server, latRec *timeline.LatencyRecorder, inj *fault.Injector) alloc.Allocator {
+// injs holds one fault injector per daemon (nil entries = clean shard),
+// or nil when no plan is armed.
+func makeAllocator(t *sim.Thread, opt Options, servers int, srvs []*core.Server, latRec *timeline.LatencyRecorder, injs []*fault.Injector) alloc.Allocator {
 	switch kind := opt.Allocator; kind {
 	case "ptmalloc2":
 		return ptmalloc.New(t)
@@ -761,16 +851,22 @@ func makeAllocator(t *sim.Thread, opt Options, servers int, srvs []*core.Server,
 		cfg.Latency = latRec
 		if opt.Resilience != nil {
 			cfg.Resilience = *opt.Resilience
-		} else if inj != nil {
+		} else if injs != nil {
 			cfg.Resilience = core.DefaultResilience()
 		}
-		cfg.Faults = inj
 		if servers > 1 {
+			// Each shard gets its own injector after construction; the
+			// shared cfg stays clean so untargeted shards run the seed
+			// server loop.
 			f := core.NewFleet(t, cfg, servers, opt.Partition)
+			f.SetShardFaults(injs)
 			for i, sh := range f.Shards() {
 				srvs[i].Attach(sh)
 			}
 			return f
+		}
+		if len(injs) > 0 {
+			cfg.Faults = injs[0]
 		}
 		a := core.New(t, cfg)
 		if len(srvs) > 0 {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"nextgenmalloc/internal/fault"
 	"nextgenmalloc/internal/harness"
 	"nextgenmalloc/internal/region"
 	"nextgenmalloc/internal/ring"
@@ -77,6 +78,9 @@ type Result struct {
 	// Resilience is present when the run armed the graceful-degradation
 	// policy or a fault plan (additive in schema v1).
 	Resilience *Resilience `json:"resilience,omitempty"`
+	// Failover is present when the run armed fleet failover (additive in
+	// schema v1): per-client re-homing ledgers and fleet totals.
+	Failover *Failover `json:"failover,omitempty"`
 	// Warp is present when the scheduler's time warp skipped at least
 	// one idle window (additive in schema v1). Host telemetry only:
 	// every simulated counter above is bit-identical with warp off.
@@ -163,6 +167,53 @@ type ServerMetrics struct {
 	// PerClient is the server's service-fairness ledger, one entry per
 	// registered client thread.
 	PerClient []ClientServiceMetrics `json:"per_client"`
+	// Injected is this shard's own fault-injection ledger, present only
+	// when an armed plan actually hit this shard (additive in schema
+	// v1) — a targeted plan's telemetry shows which room was broken.
+	Injected *InjectedFaults `json:"injected,omitempty"`
+}
+
+// InjectedFaults mirrors fault.Stats in snake_case: what the injector
+// did to one shard.
+type InjectedFaults struct {
+	Stalls         uint64 `json:"stalls"`
+	StallCycles    uint64 `json:"stall_cycles"`
+	DoorbellDrops  uint64 `json:"doorbell_drops"`
+	CorruptWords   uint64 `json:"corrupt_words"`
+	SlowdownCycles uint64 `json:"slowdown_cycles"`
+}
+
+// Failover is the fleet failover ledger of a run: how many times
+// clients re-homed their mallocs away from a marked-down shard (downs),
+// re-homed back after a successful probe (rejoins), and how many
+// mallocs a non-home shard served (forwarded_mallocs). Every event in
+// the transition log pairs with a down or a rejoin; overflow past the
+// log cap is counted in dropped_events (checked by Validate).
+type Failover struct {
+	Downs            uint64           `json:"downs"`
+	Rejoins          uint64           `json:"rejoins"`
+	ForwardedMallocs uint64           `json:"forwarded_mallocs"`
+	DroppedEvents    uint64           `json:"dropped_events"`
+	Clients          []FailoverClient `json:"clients"`
+	Events           []FailoverEvent  `json:"events,omitempty"`
+}
+
+// FailoverClient is one application thread's failover routing ledger.
+type FailoverClient struct {
+	Thread           int    `json:"thread"`
+	HomeShard        int    `json:"home_shard"`
+	ActiveShard      int    `json:"active_shard"`
+	Downs            uint64 `json:"downs"`
+	Rejoins          uint64 `json:"rejoins"`
+	ForwardedMallocs uint64 `json:"forwarded_mallocs"`
+}
+
+// FailoverEvent is one re-home transition.
+type FailoverEvent struct {
+	Cycle  uint64 `json:"cycle"`
+	Thread int    `json:"thread"`
+	From   int    `json:"from_shard"`
+	To     int    `json:"to_shard"`
 }
 
 // ClientServiceMetrics is one client's share of a server's service:
@@ -489,6 +540,15 @@ func FromResult(r harness.Result) Result {
 				MaxServiceGapCycles: c.MaxGapCycles,
 			})
 		}
+		if inj := s.Injected; inj != (fault.Stats{}) {
+			sm.Injected = &InjectedFaults{
+				Stalls:         inj.Stalls,
+				StallCycles:    inj.StallCycles,
+				DoorbellDrops:  inj.DoorbellDrops,
+				CorruptWords:   inj.CorruptWords,
+				SlowdownCycles: inj.SlowdownCycles,
+			}
+		}
 		out.Servers = append(out.Servers, sm)
 	}
 	if r.Timeline != nil {
@@ -519,6 +579,30 @@ func FromResult(r harness.Result) Result {
 			InjectedCorruptWords:   inj.CorruptWords,
 			InjectedSlowdownCycles: inj.SlowdownCycles,
 		}
+	}
+	if r.Failover != nil {
+		fo := &Failover{
+			Downs:            r.Failover.Totals.Downs,
+			Rejoins:          r.Failover.Totals.Rejoins,
+			ForwardedMallocs: r.Failover.Totals.ForwardedMallocs,
+			DroppedEvents:    r.Failover.Totals.DroppedEvents,
+		}
+		for _, c := range r.Failover.Clients {
+			fo.Clients = append(fo.Clients, FailoverClient{
+				Thread:           c.Thread,
+				HomeShard:        c.HomeShard,
+				ActiveShard:      c.ActiveShard,
+				Downs:            c.Downs,
+				Rejoins:          c.Rejoins,
+				ForwardedMallocs: c.ForwardedMallocs,
+			})
+		}
+		for _, e := range r.Failover.Events {
+			fo.Events = append(fo.Events, FailoverEvent{
+				Cycle: e.Cycle, Thread: e.Thread, From: e.From, To: e.To,
+			})
+		}
+		out.Failover = fo
 	}
 	if r.SLO.HasData() {
 		out.SLO = sloMetrics(r.SLO)
@@ -621,6 +705,9 @@ func Validate(data []byte) error {
 				return err
 			}
 			if err := validateServers(e.ID, i, r.Servers, r.Offload); err != nil {
+				return err
+			}
+			if err := validateFailover(e.ID, i, r.Failover, len(r.Servers)); err != nil {
 				return err
 			}
 			if err := validateSLO(e.ID, i, r.SLO); err != nil {
@@ -747,6 +834,56 @@ func validateSLO(exp string, i int, s *SLO) error {
 	}
 	if s.WorstBurnRate < 0 {
 		return fmt.Errorf("metrics: experiment %q result %d slo has negative burn rate", exp, i)
+	}
+	return nil
+}
+
+// validateFailover checks the fleet failover accounting: per client,
+// every rejoin pairs with an earlier down and every down was a
+// forwarded malloc (rejoins ≤ downs ≤ forwarded_mallocs); the totals
+// sum the clients; shard indices stay inside the fleet; and the event
+// log plus its overflow count exactly covers the transitions.
+func validateFailover(exp string, i int, fo *Failover, servers int) error {
+	if fo == nil {
+		return nil
+	}
+	var downs, rejoins, forwarded uint64
+	for _, c := range fo.Clients {
+		if c.Rejoins > c.Downs {
+			return fmt.Errorf("metrics: experiment %q result %d failover client %d has %d rejoins for %d downs",
+				exp, i, c.Thread, c.Rejoins, c.Downs)
+		}
+		if c.Downs > c.ForwardedMallocs {
+			return fmt.Errorf("metrics: experiment %q result %d failover client %d has %d downs but only %d forwarded mallocs",
+				exp, i, c.Thread, c.Downs, c.ForwardedMallocs)
+		}
+		if servers > 0 && (c.HomeShard < 0 || c.HomeShard >= servers || c.ActiveShard < 0 || c.ActiveShard >= servers) {
+			return fmt.Errorf("metrics: experiment %q result %d failover client %d homed %d/active %d outside %d shards",
+				exp, i, c.Thread, c.HomeShard, c.ActiveShard, servers)
+		}
+		downs += c.Downs
+		rejoins += c.Rejoins
+		forwarded += c.ForwardedMallocs
+	}
+	if downs != fo.Downs || rejoins != fo.Rejoins || forwarded != fo.ForwardedMallocs {
+		return fmt.Errorf("metrics: experiment %q result %d failover clients sum to %d/%d/%d but totals are %d/%d/%d",
+			exp, i, downs, rejoins, forwarded, fo.Downs, fo.Rejoins, fo.ForwardedMallocs)
+	}
+	if uint64(len(fo.Events))+fo.DroppedEvents != fo.Downs+fo.Rejoins {
+		return fmt.Errorf("metrics: experiment %q result %d failover logs %d events + %d dropped for %d transitions",
+			exp, i, len(fo.Events), fo.DroppedEvents, fo.Downs+fo.Rejoins)
+	}
+	for j, e := range fo.Events {
+		if e.From == e.To {
+			return fmt.Errorf("metrics: experiment %q result %d failover event %d moves shard %d to itself",
+				exp, i, j, e.From)
+		}
+		if j > 0 && e.Cycle < fo.Events[j-1].Cycle {
+			return fmt.Errorf("metrics: experiment %q result %d failover event cycles not monotone at %d", exp, i, j)
+		}
+		if servers > 0 && (e.From < 0 || e.From >= servers || e.To < 0 || e.To >= servers) {
+			return fmt.Errorf("metrics: experiment %q result %d failover event %d outside %d shards", exp, i, j, servers)
+		}
 	}
 	return nil
 }

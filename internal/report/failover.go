@@ -1,0 +1,39 @@
+package report
+
+import (
+	"fmt"
+
+	"nextgenmalloc/internal/harness"
+)
+
+// FailoverTable renders one run's fleet failover ledger: a row per
+// client thread (its home shard, where it ended up, and how much
+// traffic travelled away from home), with the fleet totals and the
+// event-log accounting underneath. A nil telemetry (failover never
+// armed) renders a placeholder.
+func FailoverTable(title string, fo *harness.FailoverTelemetry) string {
+	if fo == nil {
+		return title + "\n(failover not armed)\n"
+	}
+	header := []string{"thread", "home", "active", "downs", "rejoins", "forwarded"}
+	var rows [][]string
+	for _, c := range fo.Clients {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", c.Thread),
+			fmt.Sprintf("%d", c.HomeShard),
+			fmt.Sprintf("%d", c.ActiveShard),
+			fmt.Sprintf("%d", c.Downs),
+			fmt.Sprintf("%d", c.Rejoins),
+			fmt.Sprintf("%d", c.ForwardedMallocs),
+		})
+	}
+	out := Table(title, header, rows)
+	t := fo.Totals
+	out += fmt.Sprintf("totals: %d downs, %d rejoins, %d forwarded mallocs; %d transitions logged",
+		t.Downs, t.Rejoins, t.ForwardedMallocs, len(fo.Events))
+	if t.DroppedEvents > 0 {
+		out += fmt.Sprintf(" (+%d dropped beyond the cap)", t.DroppedEvents)
+	}
+	out += "\n"
+	return out
+}

@@ -17,6 +17,20 @@ type TraceRun struct {
 	Latency    *LatencyRecorder
 	ServerCore int
 	Tenants    []TenantSpan
+	// Failover holds the fleet's re-home transitions (empty unless the
+	// run armed shard failover), drawn as instant events on the moving
+	// thread's track.
+	Failover []FailoverEvent
+}
+
+// FailoverEvent is one shard re-home transition: at Cycle, Thread moved
+// its malloc traffic From one shard To another. Mirrors the fleet's
+// event record without importing core (core imports timeline).
+type FailoverEvent struct {
+	Cycle  uint64
+	Thread int
+	From   int
+	To     int
 }
 
 // TenantSpan is one service request's life on a tenant-labeled track:
@@ -133,7 +147,29 @@ func writeRun(emit func(chromeEvent) error, pid int, run TraceRun) error {
 	if err := writeSpans(emit, pid, run); err != nil {
 		return err
 	}
+	if err := writeFailover(emit, pid, run); err != nil {
+		return err
+	}
 	return writeTenantSpans(emit, pid, run)
+}
+
+// writeFailover emits each shard re-home transition as a ph "i" instant
+// event on the moving client's thread track, so failover and recovery
+// line up visually with the latency spans around them.
+func writeFailover(emit func(chromeEvent) error, pid int, run TraceRun) error {
+	for _, ev := range run.Failover {
+		if err := emit(chromeEvent{
+			Name: "re-home", Ph: "i",
+			Ts: ev.Cycle, Pid: pid, Tid: ev.Thread, Cat: "failover",
+			Args: map[string]any{
+				"from_shard": ev.From,
+				"to_shard":   ev.To,
+			},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeCounters emits per-interval counter deltas as ph "C" events.
